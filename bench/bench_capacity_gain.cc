@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E6 -- Capacity gain of the split scheme (§4.2): "SOS would result in a 50%
+// and 10% capacity gain over using TLC or QLC memory". Measured two ways:
+// analytically from bits/cell, and on the actual simulated die (which also
+// accounts for SYS parity overhead and over-provisioning).
+
+#include "bench/bench_util.h"
+#include "src/carbon/embodied.h"
+#include "src/sos/sos_device.h"
+
+namespace sos {
+namespace {
+
+NandConfig DieGeometry(CellTech tech) {
+  NandConfig nand;
+  nand.num_blocks = 256;
+  nand.wordlines_per_block = 64;
+  nand.page_size_bytes = 4096;
+  nand.tech = tech;
+  nand.store_payloads = false;
+  return nand;
+}
+
+void Run() {
+  PrintBanner("E6", "Capacity from the same cells: SOS split vs pure technologies", "§4.2");
+
+  // Device-measured capacities. All four devices are built from the *same*
+  // physical die geometry (same cell count); only the bit density differs.
+  SimClock clock;
+  SosDevice sos_dev(
+      [] {
+        SosDeviceConfig config;
+        config.nand = DieGeometry(CellTech::kPlc);
+        return config;
+      }(),
+      &clock);
+  const uint64_t page = DieGeometry(CellTech::kPlc).page_size_bytes;
+
+  PrintSection("Measured exported capacity (same die, 256 blocks x 64 wordlines)");
+  TextTable table({"device", "exported capacity", "vs TLC", "vs QLC"});
+  uint64_t tlc_bytes = 0;
+  uint64_t qlc_bytes = 0;
+  struct Row {
+    const char* name;
+    uint64_t bytes;
+  };
+  std::vector<Row> rows;
+  for (CellTech tech : {CellTech::kTlc, CellTech::kQlc, CellTech::kPlc}) {
+    SimClock c2;
+    BaselineDevice device(DieGeometry(tech), &c2, EccPreset::kBch, GcPolicy::kGreedy);
+    const uint64_t bytes = device.capacity_blocks() * page;
+    if (tech == CellTech::kTlc) {
+      tlc_bytes = bytes;
+    }
+    if (tech == CellTech::kQlc) {
+      qlc_bytes = bytes;
+    }
+    rows.push_back({CellTechName(tech).data(), bytes});
+  }
+  rows.push_back({"SOS split (pQLC+PLC)", sos_dev.capacity_blocks() * page});
+  for (const Row& row : rows) {
+    table.AddRow({row.name, FormatBytes(row.bytes),
+                  FormatPercent(static_cast<double>(row.bytes) / static_cast<double>(tlc_bytes) -
+                                1.0),
+                  FormatPercent(static_cast<double>(row.bytes) / static_cast<double>(qlc_bytes) -
+                                1.0)});
+  }
+  PrintTable(table);
+
+  PrintSection("Analytic vs measured split gain");
+  const double analytic_tlc =
+      FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc, 0.5, CellTech::kTlc);
+  const double analytic_qlc =
+      FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc, 0.5, CellTech::kQlc);
+  const double measured_tlc = static_cast<double>(sos_dev.capacity_blocks() * page) /
+                              static_cast<double>(tlc_bytes);
+  PrintClaim("+50% capacity vs TLC (analytic bits/cell)", FormatPercent(analytic_tlc - 1.0));
+  PrintClaim("+10% capacity vs QLC (analytic bits/cell)", FormatPercent(analytic_qlc - 1.0));
+  PrintClaim("measured on simulated die (incl. SYS parity + OP)",
+             FormatPercent(measured_tlc - 1.0) + " vs TLC");
+
+  PrintSection("Equivalent embodied-carbon saving for a 128 GB device");
+  const FlashCarbonModel carbon;
+  TextTable carbon_table({"build", "kgCO2e for 128 GB", "saving vs TLC"});
+  const double tlc_kg = carbon.DeviceKg(128 * kGB, CellTech::kTlc);
+  carbon_table.AddRow({"TLC", FormatDouble(tlc_kg, 1), "-"});
+  carbon_table.AddRow({"QLC", FormatDouble(carbon.DeviceKg(128 * kGB, CellTech::kQlc), 1),
+                       FormatPercent(1.0 - carbon.DeviceKg(128 * kGB, CellTech::kQlc) / tlc_kg)});
+  const double split_kg = carbon.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, 0.5) * 128.0;
+  carbon_table.AddRow({"SOS split", FormatDouble(split_kg, 1),
+                       FormatPercent(1.0 - split_kg / tlc_kg)});
+  PrintTable(carbon_table);
+}
+
+}  // namespace
+}  // namespace sos
+
+int main() {
+  sos::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E5 -- Carbon footprint of flash (§3): the 2021 anchor (765 EB, 122 Mt,
+// 28M people), the 2021-2030 projection (>150M people by 2030), and the
+// carbon-credit economics (EU credits ~= +40% on a $45/TB QLC SSD).
+
+#include "bench/bench_util.h"
+#include "src/carbon/embodied.h"
+#include "src/carbon/projection.h"
+
+namespace sos {
+namespace {
+
+void Run() {
+  PrintBanner("E5", "Flash production carbon projection and credit costs", "§1, §3");
+
+  const CarbonProjection projection{ProjectionParams{}};
+
+  PrintSection("Projected flash production emissions, 2021-2030");
+  TextTable table({"year", "production (EB)", "kgCO2e/GB", "emissions (Mt)",
+                   "people-equivalent (M)"});
+  for (const YearProjection& year : projection.Range(2021, 2030)) {
+    table.AddRow({std::to_string(year.year), FormatDouble(year.production_eb, 0),
+                  FormatDouble(year.kg_per_gb, 3), FormatDouble(year.emissions_mt, 1),
+                  FormatDouble(year.people_equivalent / 1e6, 1)});
+  }
+  PrintTable(table);
+
+  PrintSection("Paper anchors");
+  const YearProjection y2021 = projection.ForYear(2021);
+  const YearProjection y2030 = projection.ForYear(2030);
+  PrintClaim("2021: ~765 EB produced", FormatDouble(y2021.production_eb, 0) + " EB");
+  PrintClaim("2021: ~122 Mt CO2e from flash production",
+             FormatDouble(y2021.emissions_mt, 1) + " Mt");
+  PrintClaim("2021: equivalent to ~28M people",
+             FormatDouble(y2021.people_equivalent / 1e6, 1) + "M people");
+  PrintClaim("2030: equivalent of over 150M people",
+             FormatDouble(y2030.people_equivalent / 1e6, 1) + "M people");
+
+  PrintSection("Carbon credit cost as a fraction of SSD street price (§3)");
+  const FlashCarbonModel carbon;
+  TextTable credit_table({"scheme", "USD/tonne", "USD/TB @TLC intensity",
+                          "vs $45/TB QLC drive"});
+  for (const CarbonCredit& credit : RepresentativeCreditSchemes()) {
+    credit_table.AddRow(
+        {std::string(credit.name), FormatDouble(credit.usd_per_tonne, 0),
+         "$" + FormatDouble(credit.CostPerTb(carbon.tlc_kg_per_gb), 2),
+         FormatPercent(credit.PriceIncreaseFraction(kQlcUsdPerTb2023, carbon.tlc_kg_per_gb))});
+  }
+  PrintTable(credit_table);
+  const CarbonCredit eu = RepresentativeCreditSchemes().front();
+  PrintClaim("EU credits ~= 40% price increase on $45/TB QLC",
+             FormatPercent(eu.PriceIncreaseFraction(kQlcUsdPerTb2023, carbon.tlc_kg_per_gb)));
+
+  PrintSection("Credit cost per technology (denser flash pays less)");
+  TextTable tech_table({"tech", "kgCO2e/GB", "EU credit USD/TB"});
+  for (CellTech tech : {CellTech::kSlc, CellTech::kMlc, CellTech::kTlc, CellTech::kQlc,
+                        CellTech::kPlc}) {
+    tech_table.AddRow({std::string(CellTechName(tech)), FormatDouble(carbon.KgPerGb(tech), 3),
+                       "$" + FormatDouble(eu.CostPerTb(carbon.KgPerGb(tech)), 2)});
+  }
+  const double split_kg = carbon.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, 0.5);
+  tech_table.AddRow({"SOS split", FormatDouble(split_kg, 3),
+                     "$" + FormatDouble(eu.CostPerTb(split_kg), 2)});
+  PrintTable(tech_table);
+}
+
+}  // namespace
+}  // namespace sos
+
+int main() {
+  sos::Run();
+  return 0;
+}

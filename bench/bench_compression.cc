@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E16 -- "Data reduction methods ... are less effective in personal storage"
+// (paper §5, [66][67][83-85]): transparent compression recovers little on a
+// media-dominated personal corpus, while SOS's density lever is orthogonal
+// and much larger. Compares the personal corpus against an enterprise-like
+// population (databases, logs, documents) where compression genuinely pays.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "src/carbon/embodied.h"
+#include "src/classify/corpus.h"
+#include "src/common/rng.h"
+#include "src/host/compression.h"
+
+namespace sos {
+namespace {
+
+// Enterprise-like population: structured, low-entropy data dominates.
+std::vector<FileMeta> EnterpriseCorpus(size_t n, uint64_t seed) {
+  std::vector<FileMeta> corpus;
+  corpus.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double pick = rng.NextDouble();
+    FileType type = FileType::kAppData;       // databases / key-value stores
+    double entropy = rng.NextGaussian(4.2, 0.8);
+    uint64_t bytes = 4 * kMiB;
+    if (pick < 0.35) {
+      type = FileType::kDocument;             // logs, text, office docs
+      entropy = rng.NextGaussian(4.8, 0.7);
+      bytes = 512 * 1024;
+    } else if (pick < 0.45) {
+      type = FileType::kDownload;             // packed artifacts
+      entropy = rng.NextGaussian(7.6, 0.3);
+      bytes = 32 * kMiB;
+    }
+    FileMeta meta = SynthesizeFile(type, 0, 0.0, rng);
+    meta.size_bytes = bytes;
+    meta.entropy_bits_per_byte = std::clamp(entropy, 0.5, 8.0);
+    corpus.push_back(std::move(meta));
+  }
+  return corpus;
+}
+
+void PrintReport(const char* name, const CorpusCompressionReport& report) {
+  PrintSection(name);
+  TextTable table({"file type", "bytes", "compressed", "savings"});
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    const CompressionEstimate& est = report.by_type[static_cast<size_t>(t)];
+    if (est.original_bytes == 0) {
+      continue;
+    }
+    table.AddRow({FileTypeName(static_cast<FileType>(t)), FormatBytes(est.original_bytes),
+                  FormatBytes(est.compressed_bytes), FormatPercent(est.savings())});
+  }
+  table.AddRow({"TOTAL", FormatBytes(report.total.original_bytes),
+                FormatBytes(report.total.compressed_bytes),
+                FormatPercent(report.total.savings())});
+  PrintTable(table);
+}
+
+void Run() {
+  PrintBanner("E16", "Compression potential: personal vs enterprise storage",
+              "§5, [66][67][83-85]");
+
+  CorpusConfig config;
+  config.num_files = 20000;
+  config.seed = 5150;
+  const auto personal = GenerateCorpus(config);
+  const auto enterprise = EnterpriseCorpus(8000, 5151);
+
+  const CorpusCompressionReport personal_report = AnalyzeCorpus(personal);
+  const CorpusCompressionReport enterprise_report = AnalyzeCorpus(enterprise);
+
+  PrintReport("Personal-device corpus (media-dominated, [66-68])", personal_report);
+  PrintReport("Enterprise-like corpus (structured data dominated)", enterprise_report);
+
+  PrintSection("The paper's point (§5)");
+  PrintClaim("compression savings on personal storage",
+             FormatPercent(personal_report.total.savings()));
+  PrintClaim("compression savings on enterprise-like storage",
+             FormatPercent(enterprise_report.total.savings()));
+  const double sos_gain = 1.0 - 1.0 / FlashCarbonModel::SplitDensityGain(
+                                          CellTech::kQlc, CellTech::kPlc, 0.5, CellTech::kTlc);
+  PrintClaim("SOS's density lever (silicon saved per byte vs TLC)",
+             FormatPercent(sos_gain));
+  std::printf(
+      "\nMedia is already entropy-coded, so transparent compression recovers only a\n"
+      "few percent of a personal device -- while the density lever SOS pulls does\n"
+      "not care about entropy at all. The two compose, but only one moves the\n"
+      "needle on personal devices.\n");
+}
+
+}  // namespace
+}  // namespace sos
+
+int main() {
+  sos::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E3 -- Density/endurance/reliability tradeoff table (§2.2, §4.1): bits per
+// cell, density relative to TLC, rated endurance, the paper's endurance
+// ratios (PLC 6-10x below TLC, 2x below QLC), and the split-scheme density.
+
+#include "bench/bench_util.h"
+#include "src/carbon/embodied.h"
+#include "src/flash/cell_tech.h"
+#include "src/flash/error_model.h"
+
+namespace sos {
+namespace {
+
+void Run() {
+  PrintBanner("E3", "Cell technology density vs endurance", "§2.2, §4.1");
+
+  PrintSection("Technology catalog");
+  TextTable table({"tech", "bits/cell", "levels", "density vs TLC", "endurance (PEC)",
+                   "base RBER", "RBER @rated+1yr"});
+  for (CellTech tech : {CellTech::kSlc, CellTech::kMlc, CellTech::kTlc, CellTech::kQlc,
+                        CellTech::kPlc}) {
+    const CellTechInfo& info = GetCellTechInfo(tech);
+    PageErrorState worn;
+    worn.mode = tech;
+    worn.endurance_pec = info.rated_endurance_pec;
+    worn.pec_at_program = info.rated_endurance_pec;
+    worn.retention_years = 1.0;
+    char rber[32];
+    std::snprintf(rber, sizeof(rber), "%.1e", info.base_rber);
+    char worn_rber[32];
+    std::snprintf(worn_rber, sizeof(worn_rber), "%.1e", ErrorModel::Rber(worn));
+    table.AddRow({std::string(CellTechName(tech)), std::to_string(info.bits_per_cell),
+                  std::to_string(VoltageLevels(tech)),
+                  FormatPercent(RelativeDensity(tech, CellTech::kTlc) - 1.0, 0) + " gain",
+                  FormatCount(info.rated_endurance_pec), rber, worn_rber});
+  }
+  PrintTable(table);
+
+  PrintSection("Paper endurance ratios (§4.1)");
+  const double tlc = GetCellTechInfo(CellTech::kTlc).rated_endurance_pec;
+  const double qlc = GetCellTechInfo(CellTech::kQlc).rated_endurance_pec;
+  const double plc = GetCellTechInfo(CellTech::kPlc).rated_endurance_pec;
+  PrintClaim("PLC endurance 6-10x below TLC", FormatDouble(tlc / plc, 1) + "x");
+  PrintClaim("PLC endurance ~2x below QLC", FormatDouble(qlc / plc, 1) + "x");
+  PrintClaim("QLC density +33% over TLC",
+             FormatPercent(RelativeDensity(CellTech::kQlc, CellTech::kTlc) - 1.0));
+  PrintClaim("PLC density +66% over TLC",
+             FormatPercent(RelativeDensity(CellTech::kPlc, CellTech::kTlc) - 1.0));
+
+  PrintSection("SOS split scheme (pseudo-QLC SYS + PLC SPARE, 50/50)");
+  const double eff_bits =
+      FlashCarbonModel::EffectiveBitsPerCell(CellTech::kQlc, CellTech::kPlc, 0.5);
+  PrintClaim("effective bits/cell of the split", FormatDouble(eff_bits, 2));
+  PrintClaim("split density gain vs TLC (~+50%)",
+             FormatPercent(FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc,
+                                                              0.5, CellTech::kTlc) -
+                           1.0));
+  PrintClaim("split density gain vs QLC (~+10%)",
+             FormatPercent(FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc,
+                                                              0.5, CellTech::kQlc) -
+                           1.0));
+
+  PrintSection("SYS-share sweep: density gain vs TLC as the split varies");
+  TextTable sweep({"SYS share (pQLC)", "effective bits/cell", "gain vs TLC", "gain vs QLC"});
+  for (double share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sweep.AddRow(
+        {FormatPercent(share, 0),
+         FormatDouble(FlashCarbonModel::EffectiveBitsPerCell(CellTech::kQlc, CellTech::kPlc,
+                                                             share),
+                      2),
+         FormatPercent(FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc, share,
+                                                          CellTech::kTlc) -
+                       1.0),
+         FormatPercent(FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc, share,
+                                                          CellTech::kQlc) -
+                       1.0)});
+  }
+  PrintTable(sweep);
+}
+
+}  // namespace
+}  // namespace sos
+
+int main() {
+  sos::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E1 -- Figure 1: flash market share by device type (2020), plus the three
+// derived motivation claims of §2.3: personal devices take ~half of flash
+// bits, are replaced ~3x per decade, and consume only ~5% of flash wear.
+
+#include "bench/bench_util.h"
+#include "src/carbon/embodied.h"
+#include "src/carbon/market.h"
+
+namespace sos {
+namespace {
+
+void Run() {
+  PrintBanner("E1", "Flash market share by device type (Figure 1)", "Figure 1, §2.3");
+
+  PrintSection("Figure 1: flash bit production share by target device (2020)");
+  TextTable table({"segment", "bit share", "replacement (yrs)", "wear used", "personal"});
+  for (const MarketSegment& seg : FlashMarketSegments()) {
+    table.AddRow({std::string(seg.name), FormatPercent(seg.bit_share),
+                  FormatDouble(seg.replacement_years, 1), FormatPercent(seg.wear_utilization),
+                  seg.personal ? "yes" : "no"});
+  }
+  PrintTable(table);
+
+  PrintSection("Derived claims (§2.3)");
+  PrintClaim("personal devices take ~half of annual flash bits",
+             FormatPercent(PersonalBitShare()));
+  PrintClaim("personal flash replaced >3x in the coming decade",
+             FormatDouble(PersonalReplacementsOver(10.0), 2) + "x");
+  PrintClaim("typical users consume ~5% of rated wear per device life",
+             FormatPercent(PersonalWearUtilization()));
+  PrintClaim("flash outlasts its encasing device by ~an order of magnitude",
+             FormatDouble(1.0 / PersonalWearUtilization(), 1) + "x headroom");
+
+  PrintSection("Carbon attribution of 2021 production by segment");
+  const FlashCarbonModel carbon;
+  const double total_mt = kAnnualProduction2021Eb * carbon.tlc_kg_per_gb;  // EB * kg/GB = Mt
+  TextTable attribution({"segment", "share", "emissions (Mt CO2e)", "people-equivalent (M)"});
+  for (const MarketSegment& seg : FlashMarketSegments()) {
+    const double mt = total_mt * seg.bit_share;
+    attribution.AddRow({std::string(seg.name), FormatPercent(seg.bit_share),
+                        FormatDouble(mt, 1), FormatDouble(PeopleEquivalent(mt) / 1e6, 1)});
+  }
+  attribution.AddRow({"TOTAL", "100.0%", FormatDouble(total_mt, 1),
+                      FormatDouble(PeopleEquivalent(total_mt) / 1e6, 1)});
+  PrintTable(attribution);
+}
+
+}  // namespace
+}  // namespace sos
+
+int main() {
+  sos::Run();
+  return 0;
+}

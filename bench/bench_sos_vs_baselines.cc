@@ -1,0 +1,118 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E12 -- The headline comparison: SOS (split pseudo-QLC/PLC with daemons)
+// vs conventional TLC, QLC, and naive-PLC devices built from the same
+// physical die, running the same 3-year personal-device workload. Reports
+// exported capacity, embodied carbon for an equal-capacity build, wear,
+// data quality, and survival.
+
+#include "bench/bench_util.h"
+#include "src/carbon/embodied.h"
+#include "src/sos/lifetime_sim.h"
+
+namespace sos {
+namespace {
+
+LifetimeSimConfig Config(DeviceKind kind) {
+  LifetimeSimConfig config;
+  config.kind = kind;
+  config.days = 365 * 3;
+  config.seed = 2024;
+  config.nand.num_blocks = 256;  // 3-year accumulation ~50% of TLC capacity
+  config.training_files = 3000;
+  config.workload.photos_per_day = 1.0;
+  config.workload.cache_files_per_day = 6.0;
+  config.workload.deletes_per_day = 5.0;
+  config.workload.app_updates_per_day = 50.0;
+  config.workload.reads_per_day = 60.0;
+  config.file_size_cap = 32 * kKiB;
+  config.sample_period_days = 365;
+  return config;
+}
+
+// Carbon intensity of each build (kgCO2e per GB of *exported* capacity).
+double KgPerGb(DeviceKind kind) {
+  const FlashCarbonModel model;
+  switch (kind) {
+    case DeviceKind::kSos:
+      return model.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, 0.5);
+    case DeviceKind::kTlcBaseline:
+      return model.KgPerGb(CellTech::kTlc);
+    case DeviceKind::kQlcBaseline:
+      return model.KgPerGb(CellTech::kQlc);
+    case DeviceKind::kPlcNaive:
+      return model.KgPerGb(CellTech::kPlc);
+  }
+  return 0.0;
+}
+
+void Run() {
+  PrintBanner("E12", "SOS vs conventional devices: 3 years, same die, same workload",
+              "§4 (the paper's overall value proposition)");
+
+  const FlashCarbonModel carbon;
+  const double tlc_kg_128 = carbon.KgPerGb(CellTech::kTlc) * 128.0;
+
+  PrintSection("3-year outcomes per build");
+  TextTable table({"device", "capacity (pages)", "vs TLC", "kgCO2e @128GB", "carbon saving",
+                   "max wear", "flash life (yrs)", "rejected files", "quality"});
+  uint64_t tlc_capacity = 0;
+  struct Outcome {
+    DeviceKind kind;
+    LifetimeResult result;
+  };
+  std::vector<Outcome> outcomes;
+  for (DeviceKind kind : {DeviceKind::kTlcBaseline, DeviceKind::kQlcBaseline,
+                          DeviceKind::kPlcNaive, DeviceKind::kSos}) {
+    LifetimeSim sim(Config(kind));
+    outcomes.push_back({kind, sim.Run()});
+    if (kind == DeviceKind::kTlcBaseline) {
+      tlc_capacity = outcomes.back().result.initial_exported_pages;
+    }
+  }
+  for (const Outcome& o : outcomes) {
+    const double kg128 = KgPerGb(o.kind) * 128.0;
+    table.AddRow({DeviceKindName(o.kind), FormatCount(o.result.initial_exported_pages),
+                  FormatPercent(static_cast<double>(o.result.initial_exported_pages) /
+                                    static_cast<double>(tlc_capacity) -
+                                1.0),
+                  FormatDouble(kg128, 1), FormatPercent(1.0 - kg128 / tlc_kg_128),
+                  FormatPercent(o.result.final_max_wear_ratio),
+                  FormatDouble(o.result.projected_lifetime_years, 1),
+                  FormatCount(o.result.create_failures),
+                  FormatDouble(o.result.final_spare_quality, 3)});
+  }
+  PrintTable(table);
+
+  PrintSection("Reading the result");
+  std::printf(
+      "  - SOS exports ~45-50%% more capacity than TLC from the same cells, i.e. ~1/3\n"
+      "    less embodied carbon for the same capacity (the paper's headline).\n"
+      "  - Naive PLC gets the full +66%% density but stores *everything* on fragile\n"
+      "    cells behind one ECC -- no reliability classes, no degradation management.\n"
+      "    SOS trades 13%% of that density for a reliable SYS home for critical data.\n"
+      "  - After 3 years of typical use every build retains years of endurance\n"
+      "    headroom (E4); SOS's quality column shows SPARE media stayed near-pristine\n"
+      "    (degradation under typical retention is mild and scrubbed).\n");
+
+  PrintSection("Carbon at fleet scale (annual smartphone flash production)");
+  // ~half of 765 EB/yr goes to personal devices (E1); what if it were SOS?
+  const double personal_eb = 765.0 * 0.5;
+  const double tlc_mt = personal_eb * carbon.KgPerGb(CellTech::kTlc);
+  const double sos_mt = personal_eb * carbon.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, 0.5);
+  PrintClaim("personal-device flash emissions at TLC intensity",
+             FormatDouble(tlc_mt, 1) + " Mt CO2e/yr");
+  PrintClaim("the same capacity built as SOS",
+             FormatDouble(sos_mt, 1) + " Mt CO2e/yr");
+  PrintClaim("annual saving", FormatDouble(tlc_mt - sos_mt, 1) + " Mt CO2e (~" +
+                                  FormatDouble(PeopleEquivalent(tlc_mt - sos_mt) / 1e6, 1) +
+                                  "M people's emissions)");
+}
+
+}  // namespace
+}  // namespace sos
+
+int main() {
+  sos::Run();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Shared helpers for the experiment benches. Every bench binary regenerates
+// one paper artifact (figure / table / quantitative claim) and prints it as
+// an ASCII report; EXPERIMENTS.md records paper-vs-measured for each.
+
+#ifndef SOS_BENCH_BENCH_UTIL_H_
+#define SOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.h"
+
+namespace sos {
+
+// Prints the standard experiment banner.
+inline void PrintBanner(const char* experiment_id, const char* title, const char* paper_ref) {
+  std::printf("================================================================================\n");
+  std::printf("%s: %s\n", experiment_id, title);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("================================================================================\n");
+}
+
+inline void PrintSection(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+inline void PrintTable(const TextTable& table) { std::printf("%s", table.Render().c_str()); }
+
+inline void PrintClaim(const char* claim, const std::string& measured) {
+  std::printf("  paper: %-58s measured: %s\n", claim, measured.c_str());
+}
+
+}  // namespace sos
+
+#endif  // SOS_BENCH_BENCH_UTIL_H_

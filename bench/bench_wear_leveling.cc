@@ -1,0 +1,118 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E9 -- Wear leveling ablation (§4.3, [73]): the paper disables preemptive
+// wear leveling on the SPARE partition because leveling's extra data
+// movement consumes the very endurance it tries to protect. Compare a
+// SPARE-like pool with WL on vs off under the read-dominant, rarely-updated
+// workload SPARE actually sees, and under a hostile skewed-write workload.
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/ftl/ftl.h"
+
+namespace sos {
+namespace {
+
+struct WlOutcome {
+  uint64_t nand_writes = 0;
+  uint64_t wl_relocations = 0;
+  uint64_t gc_erases = 0;
+  uint32_t max_pec = 0;
+  uint32_t pec_spread = 0;
+  double mean_pec = 0.0;
+  uint64_t retired = 0;
+};
+
+// Runs `writes` operations against a PLC pool; `hot_fraction` of the LBA
+// space absorbs 90% of the writes (cold media + hot app state).
+WlOutcome RunPool(bool wear_leveling, uint64_t writes, double hot_fraction, uint64_t seed) {
+  FtlConfig config;
+  config.nand.num_blocks = 64;
+  config.nand.wordlines_per_block = 16;
+  config.nand.page_size_bytes = 2048;
+  config.nand.tech = CellTech::kPlc;
+  config.nand.seed = seed;
+  config.nand.store_payloads = false;
+  FtlPoolConfig pool;
+  pool.name = "SPARE";
+  pool.mode = CellTech::kPlc;
+  pool.ecc = EccScheme::FromPreset(EccPreset::kNone);
+  pool.retire_rber = 2e-3;
+  pool.wear_leveling = wear_leveling;
+  config.pools = {pool};
+
+  SimClock clock;
+  Ftl ftl(config, &clock);
+  const uint64_t space = ftl.ExportedPages() * 9 / 10;
+  const uint64_t hot = std::max<uint64_t>(1, static_cast<uint64_t>(
+                                                 static_cast<double>(space) * hot_fraction));
+  // Fill once (the cold archive).
+  for (uint64_t lba = 0; lba < space; ++lba) {
+    (void)ftl.Write(lba, {}, 0);
+  }
+  // Identical workload stream for both arms: only the policy differs.
+  Rng rng(DeriveSeed({seed}));
+  for (uint64_t i = 0; i < writes; ++i) {
+    const uint64_t lba = rng.NextBool(0.9) ? rng.NextBounded(hot) : rng.NextBounded(space);
+    if (!ftl.Write(lba, {}, 0).ok()) {
+      break;
+    }
+    clock.Advance(kUsPerMinute);  // background cadence
+  }
+
+  WlOutcome out;
+  out.nand_writes = ftl.stats().nand_writes;
+  out.wl_relocations = ftl.stats().wl_relocations;
+  out.gc_erases = ftl.stats().gc_erases;
+  out.retired = ftl.stats().retired_blocks;
+  uint32_t min_pec = ~0u;
+  uint64_t pec_sum = 0;
+  uint32_t blocks = 0;
+  for (uint32_t b = 0; b < config.nand.num_blocks; ++b) {
+    const uint32_t pec = ftl.nand().block_info(b).pec;
+    out.max_pec = std::max(out.max_pec, pec);
+    min_pec = std::min(min_pec, pec);
+    pec_sum += pec;
+    ++blocks;
+  }
+  out.pec_spread = out.max_pec - min_pec;
+  out.mean_pec = static_cast<double>(pec_sum) / blocks;
+  return out;
+}
+
+void AddComparison(TextTable& table, const char* workload, uint64_t writes, double hot) {
+  const WlOutcome on = RunPool(true, writes, hot, 11);
+  const WlOutcome off = RunPool(false, writes, hot, 11);
+  table.AddRow({workload, "on", FormatCount(on.nand_writes), FormatCount(on.wl_relocations),
+                FormatCount(on.max_pec), FormatCount(on.pec_spread),
+                FormatDouble(on.mean_pec, 1), FormatCount(on.retired)});
+  table.AddRow({workload, "off", FormatCount(off.nand_writes), FormatCount(off.wl_relocations),
+                FormatCount(off.max_pec), FormatCount(off.pec_spread),
+                FormatDouble(off.mean_pec, 1), FormatCount(off.retired)});
+}
+
+void Run() {
+  PrintBanner("E9", "Wear leveling considered harmful on SPARE", "§4.3, [73]");
+
+  PrintSection("SPARE-like PLC pool, WL on vs off");
+  TextTable table({"workload", "WL", "nand writes", "WL moves", "max PEC", "PEC spread",
+                   "mean PEC", "retired"});
+  AddComparison(table, "read-dominant (SPARE-like)", 8000, 0.05);
+  AddComparison(table, "update-heavy skewed", 40000, 0.05);
+  PrintTable(table);
+
+  std::printf(
+      "\nReading the table: leveling narrows the PEC spread but pays for it in extra\n"
+      "relocation writes (total nand writes and mean PEC go *up*). On the SPARE\n"
+      "partition -- read-dominant, rarely updated, error-tolerant -- the spread is\n"
+      "harmless (a hot block degrading early is refreshed or retired gracefully),\n"
+      "so SOS keeps leveling off and banks the endurance ([73]).\n");
+}
+
+}  // namespace
+}  // namespace sos
+
+int main() {
+  sos::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Scenario: the sustainability ledger for a storage configuration.
+//
+// A little calculator over the paper's §3 model: give it a capacity and it
+// prints the embodied carbon of every way to build it (SLC..PLC and the SOS
+// split), the carbon-credit exposure under representative pricing schemes,
+// and the fleet-scale saving if all personal-device flash switched to SOS.
+//
+// Usage: carbon_report [capacity_gb=128] [sys_share=0.5]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/carbon/embodied.h"
+#include "src/carbon/market.h"
+#include "src/carbon/projection.h"
+#include "src/common/table.h"
+
+using namespace sos;
+
+int main(int argc, char** argv) {
+  const double capacity_gb = argc > 1 ? std::atof(argv[1]) : 128.0;
+  const double sys_share = argc > 2 ? std::atof(argv[2]) : 0.5;
+  if (capacity_gb <= 0 || sys_share < 0 || sys_share > 1) {
+    std::fprintf(stderr, "usage: %s [capacity_gb] [sys_share in 0..1]\n", argv[0]);
+    return 1;
+  }
+
+  const FlashCarbonModel model;
+  const auto schemes = RepresentativeCreditSchemes();
+  const CarbonCredit& eu = schemes.front();
+
+  std::printf("Embodied-carbon report for %.0f GB of flash storage\n", capacity_gb);
+  std::printf("(production intensity anchored at %.2f kgCO2e/GB for TLC [Tannu & Nair])\n\n",
+              model.tlc_kg_per_gb);
+
+  TextTable table({"build", "bits/cell", "kgCO2e", "vs TLC", "EU credit cost"});
+  const double tlc_kg = model.KgPerGb(CellTech::kTlc) * capacity_gb;
+  for (CellTech tech : {CellTech::kSlc, CellTech::kMlc, CellTech::kTlc, CellTech::kQlc,
+                        CellTech::kPlc}) {
+    const double kg = model.KgPerGb(tech) * capacity_gb;
+    table.AddRow({std::string(CellTechName(tech)), std::to_string(BitsPerCell(tech)),
+                  FormatDouble(kg, 1), FormatPercent(kg / tlc_kg - 1.0),
+                  "$" + FormatDouble(eu.CostPerTb(model.KgPerGb(tech)) * capacity_gb / 1000.0, 2)});
+  }
+  const double split_per_gb = model.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, sys_share);
+  const double split_kg = split_per_gb * capacity_gb;
+  char split_name[64];
+  std::snprintf(split_name, sizeof(split_name), "SOS split (%.0f%% pQLC)", sys_share * 100.0);
+  table.AddRow({split_name,
+                FormatDouble(FlashCarbonModel::EffectiveBitsPerCell(CellTech::kQlc,
+                                                                    CellTech::kPlc, sys_share),
+                             2),
+                FormatDouble(split_kg, 1), FormatPercent(split_kg / tlc_kg - 1.0),
+                "$" + FormatDouble(eu.CostPerTb(split_per_gb) * capacity_gb / 1000.0, 2)});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("Carbon-credit exposure per TB at TLC intensity:\n");
+  for (const CarbonCredit& scheme : schemes) {
+    std::printf("  %-14s $%6.2f/tonne -> $%5.2f/TB (%s of a $45/TB QLC drive)\n",
+                std::string(scheme.name).c_str(), scheme.usd_per_tonne,
+                scheme.CostPerTb(model.tlc_kg_per_gb),
+                FormatPercent(scheme.PriceIncreaseFraction(kQlcUsdPerTb2023,
+                                                           model.tlc_kg_per_gb))
+                    .c_str());
+  }
+
+  std::printf("\nFleet-scale what-if (2021 production, Figure 1 market mix):\n");
+  const double personal_eb = kAnnualProduction2021Eb * PersonalBitShare();
+  const double before_mt = personal_eb * model.KgPerGb(CellTech::kTlc);
+  const double after_mt = personal_eb * split_per_gb;
+  std::printf("  personal-device flash: %.0f EB/yr (%s of all flash bits)\n", personal_eb,
+              FormatPercent(PersonalBitShare()).c_str());
+  std::printf("  built as TLC  : %6.1f Mt CO2e/yr\n", before_mt);
+  std::printf("  built as SOS  : %6.1f Mt CO2e/yr\n", after_mt);
+  std::printf("  saving        : %6.1f Mt CO2e/yr  (annual emissions of %.1fM people)\n",
+              before_mt - after_mt, PeopleEquivalent(before_mt - after_mt) / 1e6);
+  return 0;
+}

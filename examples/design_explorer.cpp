@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Scenario: exploring the SOS design space.
+//
+// Sweeps the SYS/SPARE split (the central design knob of §4.2) and prints
+// the frontier it traces: capacity and embodied carbon on one side,
+// reliable-capacity share and data-at-risk on the other. Then sweeps the
+// classifier demotion threshold (the safety knob of §4.4) on a trained
+// model. The default 50/50 split and 0.6 threshold sit where the paper's
+// qualitative argument puts them: most of the density win at modest risk.
+//
+// Usage: design_explorer [capacity_gb=128]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/carbon/embodied.h"
+#include "src/classify/corpus.h"
+#include "src/classify/eval.h"
+#include "src/classify/logistic.h"
+#include "src/common/table.h"
+#include "src/sos/sos_device.h"
+
+using namespace sos;
+
+int main(int argc, char** argv) {
+  const double capacity_gb = argc > 1 ? std::atof(argv[1]) : 128.0;
+  const FlashCarbonModel carbon;
+  const double tlc_kg = carbon.KgPerGb(CellTech::kTlc) * capacity_gb;
+
+  std::printf("SOS design explorer, %.0f GB device\n\n", capacity_gb);
+  std::printf("Knob 1: SYS share of the die (pseudo-QLC reliable vs PLC approximate)\n\n");
+  TextTable split({"SYS share", "eff bits/cell", "capacity vs TLC", "kgCO2e", "carbon saving",
+                   "reliable share of capacity"});
+  for (double share : {0.0, 0.2, 0.35, 0.5, 0.65, 0.8, 1.0}) {
+    const double bits = FlashCarbonModel::EffectiveBitsPerCell(CellTech::kQlc,
+                                                               CellTech::kPlc, share);
+    const double kg = carbon.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, share) * capacity_gb;
+    // Fraction of exported capacity that lives on the reliable partition:
+    // share of cells * bits of pQLC / total bits.
+    const double reliable =
+        share * 4.0 / (share * 4.0 + (1.0 - share) * 5.0);
+    split.AddRow({FormatPercent(share, 0), FormatDouble(bits, 2),
+                  FormatPercent(bits / 3.0 - 1.0), FormatDouble(kg, 1),
+                  FormatPercent(1.0 - kg / tlc_kg), FormatPercent(reliable, 0)});
+  }
+  std::printf("%s\n", split.Render().c_str());
+  std::printf(
+      "Reading it: SYS share buys reliability and costs density. The paper's 50/50\n"
+      "keeps ~45%% of capacity fully reliable while banking 2/3 of the max saving.\n\n");
+
+  std::printf("Knob 2: classifier demotion threshold (data-at-risk vs density realized)\n\n");
+  CorpusConfig corpus_config;
+  corpus_config.num_files = 12000;
+  corpus_config.seed = 777;
+  const auto corpus = GenerateCorpus(corpus_config);
+  const CorpusSplit split_set = SplitCorpus(corpus, 5);
+  const LogisticClassifier model =
+      LogisticClassifier::Train(split_set.train, &ExpendableLabel, corpus_config.device_age_us);
+  TextTable threshold({"threshold", "bytes demoted to SPARE", "critical bytes at risk",
+                       "expendable bytes left on SYS"});
+  for (double cut : {0.3, 0.5, 0.6, 0.7, 0.9}) {
+    uint64_t demoted_bytes = 0;
+    uint64_t at_risk_bytes = 0;
+    uint64_t stranded_bytes = 0;
+    uint64_t total_bytes = 0;
+    for (const FileMeta* meta : split_set.test) {
+      total_bytes += meta->size_bytes;
+      const bool demote = model.Predict(*meta, corpus_config.device_age_us, cut);
+      const bool expendable = meta->true_priority == Priority::kExpendable;
+      if (demote) {
+        demoted_bytes += meta->size_bytes;
+        if (!expendable) {
+          at_risk_bytes += meta->size_bytes;
+        }
+      } else if (expendable) {
+        stranded_bytes += meta->size_bytes;
+      }
+    }
+    auto pct = [&](uint64_t v) {
+      return FormatPercent(static_cast<double>(v) / static_cast<double>(total_bytes));
+    };
+    threshold.AddRow({FormatDouble(cut, 1), pct(demoted_bytes), pct(at_risk_bytes),
+                      pct(stranded_bytes)});
+  }
+  std::printf("%s\n", threshold.Render().c_str());
+  std::printf(
+      "Reading it: a higher threshold strands expendable data on SYS (density lost);\n"
+      "a lower one sends more critical bytes to the lossy partition. The daemon's\n"
+      "default of 0.6, plus per-type user preferences, is the paper's \"err on the\n"
+      "side of caution\" point. Run bench_classifier for the full tradeoff curves.\n");
+  return 0;
+}

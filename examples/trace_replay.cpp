@@ -1,0 +1,162 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Scenario: record and replay workload traces.
+//
+// `record` writes N days of the synthetic mobile workload to a trace file
+// (one event per line, human-readable); `replay` runs any such trace against
+// a chosen device build and reports the outcome. Replaying the same trace on
+// different builds is the controlled-experiment workflow behind E12.
+//
+// Usage: trace_replay record <file> [days=30] [seed=1] [intensity=1.0]
+//        trace_replay replay <file> [device=sos|tlc|qlc|plc]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/table.h"
+#include "src/host/file_system.h"
+#include "src/host/workload.h"
+#include "src/sos/sos_device.h"
+
+using namespace sos;
+
+namespace {
+
+int Record(const char* path, uint32_t days, uint64_t seed, double intensity) {
+  MobileWorkloadConfig config;
+  config.seed = seed;
+  config.intensity = intensity;
+  MobileWorkloadGenerator generator(config);
+  std::vector<WorkloadEvent> events;
+  for (uint32_t day = 0; day < days; ++day) {
+    auto day_events = generator.Day(day);
+    events.insert(events.end(), day_events.begin(), day_events.end());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  out << SerializeTrace(events);
+  std::printf("Recorded %zu events over %u days to %s\n", events.size(), days, path);
+  uint64_t creates = 0;
+  uint64_t bytes = 0;
+  for (const auto& ev : events) {
+    if (ev.op == WorkloadOp::kCreate) {
+      ++creates;
+      bytes += ev.meta.size_bytes;
+    }
+  }
+  std::printf("  %llu file creates, %s of new data\n",
+              static_cast<unsigned long long>(creates), FormatBytes(bytes).c_str());
+  return 0;
+}
+
+int Replay(const char* path, const char* device_name) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<WorkloadEvent> events = ParseTrace(buffer.str());
+  if (events.empty()) {
+    std::fprintf(stderr, "no events in %s\n", path);
+    return 1;
+  }
+
+  SimClock clock;
+  std::unique_ptr<SosDevice> sos_device;
+  std::unique_ptr<BaselineDevice> baseline;
+  BlockDevice* device = nullptr;
+  NandConfig nand;
+  nand.num_blocks = 256;
+  nand.store_payloads = false;
+  if (std::strcmp(device_name, "sos") == 0) {
+    SosDeviceConfig config;
+    config.nand = nand;
+    sos_device = std::make_unique<SosDevice>(config, &clock);
+    device = sos_device.get();
+  } else {
+    nand.tech = std::strcmp(device_name, "tlc") == 0   ? CellTech::kTlc
+                : std::strcmp(device_name, "qlc") == 0 ? CellTech::kQlc
+                                                       : CellTech::kPlc;
+    baseline = std::make_unique<BaselineDevice>(nand, &clock, EccPreset::kBch,
+                                                GcPolicy::kGreedy);
+    device = baseline.get();
+  }
+  ExtentFileSystem fs(device, &clock);
+
+  std::unordered_map<uint64_t, uint64_t> ref_to_id;
+  uint64_t failures = 0;
+  for (const WorkloadEvent& ev : events) {
+    if (ev.at > clock.now()) {
+      clock.AdvanceTo(ev.at);
+    }
+    switch (ev.op) {
+      case WorkloadOp::kCreate: {
+        FileMeta meta = ev.meta;
+        meta.size_bytes = std::min<uint64_t>(meta.size_bytes, 32 * kKiB);
+        auto id = fs.CreateFile(meta, {}, StreamClass::kSys);
+        if (id.ok()) {
+          ref_to_id[ev.file_ref] = id.value();
+        } else {
+          ++failures;
+        }
+        break;
+      }
+      case WorkloadOp::kRead:
+        if (auto it = ref_to_id.find(ev.file_ref); it != ref_to_id.end()) {
+          (void)fs.ReadFile(it->second);
+        }
+        break;
+      case WorkloadOp::kUpdate:
+        if (auto it = ref_to_id.find(ev.file_ref); it != ref_to_id.end()) {
+          (void)fs.OverwriteFile(it->second, {});
+        }
+        break;
+      case WorkloadOp::kDelete:
+        if (auto it = ref_to_id.find(ev.file_ref); it != ref_to_id.end()) {
+          (void)fs.DeleteFile(it->second);
+          ref_to_id.erase(it);
+        }
+        break;
+    }
+  }
+
+  const Ftl& ftl = sos_device != nullptr ? sos_device->ftl() : baseline->ftl();
+  const FsStats stats = fs.Stats();
+  std::printf("Replayed %zu events on %s over %.0f simulated days:\n", events.size(),
+              device_name, clock.now_days());
+  std::printf("  files alive        : %s\n", FormatCount(stats.files).c_str());
+  std::printf("  fs utilization     : %s\n",
+              FormatPercent(static_cast<double>(stats.used_blocks) /
+                            static_cast<double>(stats.capacity_blocks))
+                  .c_str());
+  std::printf("  write amplification: %.2f\n", ftl.stats().WriteAmplification());
+  std::printf("  max wear           : %s\n", FormatPercent(ftl.nand().MaxWearRatio()).c_str());
+  std::printf("  create failures    : %s\n", FormatCount(failures).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "record") == 0) {
+    return Record(argv[2], argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 30,
+                  argc > 4 ? static_cast<uint64_t>(std::atoll(argv[4])) : 1,
+                  argc > 5 ? std::atof(argv[5]) : 1.0);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "replay") == 0) {
+    return Replay(argv[2], argc > 3 ? argv[3] : "sos");
+  }
+  std::fprintf(stderr,
+               "usage: %s record <file> [days] [seed] [intensity]\n"
+               "       %s replay <file> [sos|tlc|qlc|plc]\n",
+               argv[0], argv[0]);
+  return 1;
+}

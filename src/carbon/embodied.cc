@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/carbon/embodied.h"
+
+#include <cassert>
+
+#include "src/common/units.h"
+
+namespace sos {
+
+double FlashCarbonModel::KgPerGb(CellTech tech) const {
+  // Carbon per bit scales with cells per bit; TLC (3 bits/cell) anchors.
+  return tlc_kg_per_gb * 3.0 / static_cast<double>(BitsPerCell(tech));
+}
+
+double FlashCarbonModel::KgPerGbSplit(CellTech sys_mode, CellTech spare_mode,
+                                      double sys_fraction) const {
+  const double eff_bits = EffectiveBitsPerCell(sys_mode, spare_mode, sys_fraction);
+  return tlc_kg_per_gb * 3.0 / eff_bits;
+}
+
+double FlashCarbonModel::DeviceKg(uint64_t capacity_bytes, CellTech tech) const {
+  return KgPerGb(tech) * BytesToGB(capacity_bytes);
+}
+
+double FlashCarbonModel::EffectiveBitsPerCell(CellTech sys_mode, CellTech spare_mode,
+                                              double sys_fraction) {
+  assert(sys_fraction >= 0.0 && sys_fraction <= 1.0);
+  const double cells_per_bit =
+      sys_fraction / static_cast<double>(BitsPerCell(sys_mode)) +
+      (1.0 - sys_fraction) / static_cast<double>(BitsPerCell(spare_mode));
+  return 1.0 / cells_per_bit;
+}
+
+double FlashCarbonModel::SplitDensityGain(CellTech sys_mode, CellTech spare_mode,
+                                          double sys_fraction, CellTech baseline) {
+  return EffectiveBitsPerCell(sys_mode, spare_mode, sys_fraction) /
+         static_cast<double>(BitsPerCell(baseline));
+}
+
+double PeopleEquivalent(double megatonnes) {
+  return megatonnes * 1e6 / kTonnesCo2PerPersonYear;
+}
+
+}  // namespace sos

@@ -1,0 +1,63 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Embodied (production) carbon model for flash storage.
+//
+// The paper's §3 argument: flash production emissions dominate the lifecycle
+// footprint, scale with the number of manufactured *cells* (wafer area and
+// fab energy), and therefore drop proportionally when more bits are packed
+// into each cell. The anchor constant is 0.16 kgCO2e per GB for today's
+// (TLC-dominated) production, from Tannu & Nair, HotCarbon'22 [8].
+//
+// The model exposes per-technology carbon intensity and the arithmetic for
+// SOS's split scheme (paper §4.1-4.2): a device whose cells are partitioned
+// between pseudo-QLC (SYS) and native PLC (SPARE) needs
+//     cells_per_bit = sys_frac/4 + spare_frac/5
+// of the cells a pure scheme needs per bit, which for a 50/50 split yields
+// the paper's "+50% capacity vs TLC, +10% vs QLC for the same cells".
+
+#ifndef SOS_SRC_CARBON_EMBODIED_H_
+#define SOS_SRC_CARBON_EMBODIED_H_
+
+#include <cstdint>
+
+#include "src/flash/cell_tech.h"
+
+namespace sos {
+
+struct FlashCarbonModel {
+  // Production carbon intensity of TLC-generation flash (kgCO2e per decimal
+  // GB), the [8] anchor. Everything else scales from it by cell count.
+  double tlc_kg_per_gb = 0.16;
+
+  // kgCO2e per GB for a given cell technology: carbon scales with cells per
+  // bit, i.e. inversely with bits per cell (TLC = 3 is the anchor).
+  double KgPerGb(CellTech tech) const;
+
+  // kgCO2e per GB for a split scheme storing `sys_fraction` of bits in
+  // `sys_mode` and the rest in `spare_mode` on the same die generation.
+  double KgPerGbSplit(CellTech sys_mode, CellTech spare_mode, double sys_fraction) const;
+
+  // Embodied carbon (kg) of `capacity_bytes` of storage built as `tech`.
+  double DeviceKg(uint64_t capacity_bytes, CellTech tech) const;
+
+  // Effective bits-per-cell of a split scheme: 1 / (sys_frac/bits_sys +
+  // spare_frac/bits_spare). The paper's 50/50 pQLC+PLC split gives ~4.44.
+  static double EffectiveBitsPerCell(CellTech sys_mode, CellTech spare_mode, double sys_fraction);
+
+  // Density (capacity from the same cells) of the split scheme relative to a
+  // pure `baseline` device: 50/50 pQLC+PLC vs TLC ~= 1.48 ("up to 50%").
+  static double SplitDensityGain(CellTech sys_mode, CellTech spare_mode, double sys_fraction,
+                                 CellTech baseline);
+};
+
+// Per-capita annual CO2 emissions (tonnes/person/year) used by the paper to
+// translate megatonnes into "emissions of N people" (World Bank [12]; the
+// paper's 122 Mt ~ 28M people implies ~4.36 t/person).
+inline constexpr double kTonnesCo2PerPersonYear = 122.4e6 / 28.0e6;
+
+// People whose annual emissions equal `megatonnes` of CO2e.
+double PeopleEquivalent(double megatonnes);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_CARBON_EMBODIED_H_

@@ -1,0 +1,56 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Flash market model -- the data behind Figure 1 and §2.3.
+//
+// Figure 1 breaks 2020 flash bit production down by target device. The
+// paper's motivation chains three observations on top of it:
+//   (1) personal devices (smartphones + tablets) absorb ~half of all bits,
+//   (2) those devices are replaced every ~2-3 years while their flash can
+//       survive an order of magnitude longer, and
+//   (3) flash soldered into discarded devices is effectively never re-used.
+// The market model encodes the share table plus per-segment replacement
+// lifetimes and wear utilization, and derives the headline claim: over half
+// of all flash bits manufactured annually will be discarded and replaced
+// about three times in the coming decade.
+
+#ifndef SOS_SRC_CARBON_MARKET_H_
+#define SOS_SRC_CARBON_MARKET_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sos {
+
+struct MarketSegment {
+  std::string_view name;
+  double bit_share;            // fraction of annual flash bit production
+  double replacement_years;    // typical encasing-device service life
+  double wear_utilization;     // fraction of rated flash wear consumed over
+                               // that life (mobile study [38]: ~5%)
+  bool personal;               // counts toward "personal storage devices"
+};
+
+// The Figure 1 breakdown (2020, [39]). Shares sum to 1.
+std::span<const MarketSegment> FlashMarketSegments();
+
+// Annual flash capacity production in 2021: ~765 EB ([11]).
+inline constexpr double kAnnualProduction2021Eb = 765.0;
+
+// Fraction of flash bits that go into personal devices (phones + tablets +
+// memory cards); the paper's "approximately half".
+double PersonalBitShare();
+
+// Production-weighted mean number of device replacements over `horizon_years`
+// for personal segments: horizon / replacement_years, averaged by bit share.
+// ~3 for a decade (paper: "replaced over three times in the coming decade").
+double PersonalReplacementsOver(double horizon_years);
+
+// Production-weighted mean wear utilization of personal-device flash at the
+// moment its encasing device is discarded (paper: ~5%, i.e. flash outlives
+// the device by an order of magnitude).
+double PersonalWearUtilization();
+
+}  // namespace sos
+
+#endif  // SOS_SRC_CARBON_MARKET_H_

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/carbon/projection.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/carbon/embodied.h"
+#include "src/common/units.h"
+
+namespace sos {
+
+YearProjection CarbonProjection::ForYear(int year) const {
+  assert(year >= params_.start_year);
+  const double years = static_cast<double>(year - params_.start_year);
+  YearProjection proj;
+  proj.year = year;
+  proj.production_eb = params_.start_production_eb *
+                       std::pow(1.0 + params_.demand_growth + params_.flash_share_shift, years);
+  proj.kg_per_gb = params_.kg_per_gb_start * std::pow(1.0 - params_.density_growth, years);
+  // EB -> GB is 1e9; kg -> Mt is 1e-9; the factors cancel.
+  proj.emissions_mt = proj.production_eb * proj.kg_per_gb;
+  proj.people_equivalent = PeopleEquivalent(proj.emissions_mt);
+  return proj;
+}
+
+std::vector<YearProjection> CarbonProjection::Range(int from_year, int to_year) const {
+  std::vector<YearProjection> out;
+  for (int y = from_year; y <= to_year; ++y) {
+    out.push_back(ForYear(y));
+  }
+  return out;
+}
+
+double CarbonCredit::CostPerTb(double kg_per_gb) const {
+  // kg/GB * 1000 GB/TB = kg/TB; / 1000 kg/t = tonnes/TB.
+  const double tonnes_per_tb = kg_per_gb;  // the factors cancel exactly
+  return tonnes_per_tb * usd_per_tonne;
+}
+
+double CarbonCredit::PriceIncreaseFraction(double drive_usd_per_tb, double kg_per_gb) const {
+  assert(drive_usd_per_tb > 0.0);
+  return CostPerTb(kg_per_gb) / drive_usd_per_tb;
+}
+
+std::vector<CarbonCredit> RepresentativeCreditSchemes() {
+  return {
+      {"EU ETS", 111.0},
+      {"Korea ETS", 12.0},
+      {"China national", 9.0},
+  };
+}
+
+}  // namespace sos

@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Classifier interfaces and the rule-based baseline.
+//
+// SOS needs two predictions per file (paper §4.4-4.5):
+//   - priority: SYS (critical) vs SPARE (expendable) placement,
+//   - deletion: will the user delete this file soon (the auto-delete
+//     fallback's ranking signal).
+// Both are binary classifiers over the same features; BinaryClassifier is
+// the shared abstraction. The paper stresses "erring on the side of
+// caution": the decision threshold is explicit so SOS can trade recall on
+// EXPENDABLE against the risk of degrading something precious.
+//
+// RuleBasedClassifier is the strawman the paper dismisses ("straightforwardly
+// classifying files of certain types as non-critical according to type is
+// insufficient"): pure file-type rules, no content signal. It serves as the
+// baseline in the E8 benchmark.
+
+#ifndef SOS_SRC_CLASSIFY_CLASSIFIER_H_
+#define SOS_SRC_CLASSIFY_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/classify/features.h"
+#include "src/classify/file_meta.h"
+
+namespace sos {
+
+// A binary classifier over FileMeta. Scores near 1 mean "positive class".
+// For priority models the positive class is EXPENDABLE (safe-to-degrade);
+// for deletion models it is WILL-DELETE.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  // P(positive) in [0, 1].
+  virtual double Score(const FileMeta& meta, SimTimeUs now_us) const = 0;
+
+  // Hard decision at `threshold` (default 0.5). Higher thresholds are more
+  // conservative about declaring a file expendable/deletable.
+  bool Predict(const FileMeta& meta, SimTimeUs now_us, double threshold = 0.5) const {
+    return Score(meta, now_us) >= threshold;
+  }
+};
+
+// Priority decision helper: maps a positive ("expendable") prediction to the
+// partition enum.
+inline Priority PredictPriority(const BinaryClassifier& model, const FileMeta& meta,
+                                SimTimeUs now_us, double threshold = 0.5) {
+  return model.Predict(meta, now_us, threshold) ? Priority::kExpendable : Priority::kCritical;
+}
+
+// File-type-only baseline: media/cache/download are expendable, everything
+// else critical. Ignores the personal-significance signal entirely.
+class RuleBasedClassifier final : public BinaryClassifier {
+ public:
+  double Score(const FileMeta& meta, SimTimeUs now_us) const override;
+};
+
+// Label accessors shared by trainers/evaluators.
+inline bool ExpendableLabel(const FileMeta& meta) {
+  return meta.true_priority == Priority::kExpendable;
+}
+inline bool DeletionLabel(const FileMeta& meta) { return meta.will_be_deleted; }
+
+using LabelFn = bool (*)(const FileMeta&);
+
+// View of a corpus as non-owning pointers, the form trainers and evaluators
+// consume (so train/test splits avoid copying FileMeta).
+std::vector<const FileMeta*> AsPointers(const std::vector<FileMeta>& corpus);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_CLASSIFY_CLASSIFIER_H_

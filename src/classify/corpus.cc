@@ -1,0 +1,167 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/classify/corpus.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/rng.h"
+
+namespace sos {
+namespace {
+
+struct TypeProfile {
+  FileType type;
+  double count_fraction;    // share of file count
+  double median_bytes;      // log-normal-ish size center
+  double size_spread;       // multiplicative spread factor
+  double entropy;           // typical bits/byte
+  double read_rate;         // expected reads/day while hot
+  double write_rate;        // expected writes/day while hot
+  double base_critical;     // P(critical) before the personal signal
+  double personal_weight;   // how strongly personal_signal pulls to critical
+  double delete_prob;       // P(user deletes within a year | expendable)
+  const char* path_fmt;     // printf template with one %llu
+};
+
+// Count mix leans photo-heavy (camera rolls); byte mix lands media > 50% of
+// capacity via the large video/photo sizes -- matching [66-68].
+constexpr std::array<TypeProfile, kNumFileTypes> kProfiles = {{
+    {FileType::kSystem, 0.10, 1.5 * 1024 * 1024, 4.0, 7.0, 1.0, 0.001, 1.00, 0.0, 0.00,
+     "system/lib/lib%llu.so"},
+    {FileType::kAppData, 0.20, 96.0 * 1024, 6.0, 5.5, 2.0, 1.5, 0.98, 0.0, 0.02,
+     "data/app/com.app%llu/state.db"},
+    {FileType::kDocument, 0.05, 400.0 * 1024, 8.0, 6.5, 0.3, 0.05, 0.90, 0.05, 0.05,
+     "documents/report_%llu.pdf"},
+    {FileType::kPhoto, 0.32, 3.0 * 1024 * 1024, 3.0, 7.9, 0.5, 0.002, 0.25, 0.65, 0.20,
+     "dcim/camera/img_%llu.jpg"},
+    {FileType::kVideo, 0.08, 120.0 * 1024 * 1024, 5.0, 7.95, 0.2, 0.001, 0.15, 0.60, 0.30,
+     "dcim/camera/vid_%llu.mp4"},
+    {FileType::kAudio, 0.10, 5.0 * 1024 * 1024, 2.5, 7.9, 0.8, 0.001, 0.10, 0.30, 0.25,
+     "music/track_%llu.mp3"},
+    {FileType::kDownload, 0.05, 18.0 * 1024 * 1024, 10.0, 7.5, 0.1, 0.001, 0.10, 0.10, 0.50,
+     "download/file_%llu.bin"},
+    {FileType::kCache, 0.10, 180.0 * 1024, 8.0, 7.0, 1.5, 0.8, 0.02, 0.0, 0.75,
+     "data/cache/app%llu.tmp"},
+}};
+
+const TypeProfile& ProfileFor(FileType type) {
+  return kProfiles[static_cast<size_t>(type)];
+}
+
+// Monotonically increasing id for synthesized paths; purely cosmetic (paths
+// feed the hashed-token features, uniqueness avoids artificial collisions).
+uint64_t NextPathNonce(Rng& rng) { return rng.NextU64() % 1000000; }
+
+}  // namespace
+
+FileType SampleFileType(Rng& rng) {
+  double u = rng.NextDouble();
+  for (const auto& p : kProfiles) {
+    if (u < p.count_fraction) {
+      return p.type;
+    }
+    u -= p.count_fraction;
+  }
+  return kProfiles.back().type;
+}
+
+FileMeta SynthesizeFile(FileType type, SimTimeUs created_us, double label_noise, Rng& rng) {
+  const TypeProfile& profile = ProfileFor(type);
+  FileMeta meta;
+  meta.type = type;
+  char path[128];
+  std::snprintf(path, sizeof(path), profile.path_fmt,
+                static_cast<unsigned long long>(NextPathNonce(rng)));
+  meta.path = path;
+
+  // Log-normal-ish size: median * spread^gaussian.
+  const double size_mult = std::pow(profile.size_spread, rng.NextGaussian(0.0, 0.5));
+  meta.size_bytes =
+      std::max<uint64_t>(512, static_cast<uint64_t>(profile.median_bytes * size_mult));
+
+  meta.created_us = created_us;
+  meta.last_modified_us = created_us;
+  meta.last_accessed_us = created_us;
+  meta.entropy_bits_per_byte = std::clamp(rng.NextGaussian(profile.entropy, 0.2), 0.5, 8.0);
+
+  // Personal significance: most media is low-value; a skewed minority is
+  // precious (family albums, favorites).
+  meta.personal_signal =
+      profile.personal_weight > 0.0 ? std::pow(rng.NextDouble(), 3.0) : 0.0;
+
+  // Ground truth.
+  const double p_critical = std::clamp(
+      profile.base_critical + profile.personal_weight * meta.personal_signal, 0.0, 1.0);
+  bool critical = rng.NextBool(p_critical);
+  bool deleted = !critical && rng.NextBool(profile.delete_prob);
+  // Irreducible labeling noise: users disagree with any policy ([80]).
+  if (rng.NextBool(label_noise)) {
+    critical = !critical;
+  }
+  if (rng.NextBool(label_noise)) {
+    deleted = !deleted;
+  }
+  meta.true_priority = critical ? Priority::kCritical : Priority::kExpendable;
+  meta.will_be_deleted = deleted;
+  return meta;
+}
+
+std::vector<FileMeta> GenerateCorpus(const CorpusConfig& config) {
+  std::vector<FileMeta> corpus;
+  corpus.reserve(config.num_files);
+  Rng rng(DeriveSeed({config.seed, 0x636f72707573ull /* "corpus" */}));
+
+  for (size_t n = 0; n < config.num_files; ++n) {
+    const FileType type = SampleFileType(rng);
+    const auto created_us = static_cast<SimTimeUs>(
+        rng.NextDouble() * static_cast<double>(config.device_age_us));
+    FileMeta meta = SynthesizeFile(type, created_us, config.label_noise, rng);
+    meta.file_id = n;
+
+    // Simulated access history: media cools after ~1-3 months, system and
+    // app data stay hot for the device's whole life.
+    const TypeProfile& profile = ProfileFor(type);
+    const SimTimeUs age_us = config.device_age_us - created_us;
+    const double age_days = UsToDays(age_us);
+    const bool media = type == FileType::kPhoto || type == FileType::kVideo ||
+                       type == FileType::kAudio;
+    const double hot_days =
+        media ? std::min(age_days, 30.0 + rng.NextDouble() * 60.0) : age_days;
+    meta.read_count = static_cast<uint32_t>(
+        std::min(1e6, rng.NextExponential(profile.read_rate * hot_days + 0.5)));
+    meta.write_count = static_cast<uint32_t>(
+        std::min(1e6, rng.NextExponential(profile.write_rate * hot_days + 0.1)));
+    const double recency_frac = media ? std::min(1.0, hot_days / std::max(age_days, 1.0)) : 1.0;
+    meta.last_accessed_us =
+        created_us + static_cast<SimTimeUs>(static_cast<double>(age_us) * recency_frac);
+    meta.last_modified_us = profile.write_rate > 0.1 ? meta.last_accessed_us : created_us;
+
+    corpus.push_back(std::move(meta));
+  }
+  return corpus;
+}
+
+CorpusStats ComputeCorpusStats(const std::vector<FileMeta>& corpus) {
+  CorpusStats stats;
+  for (const auto& meta : corpus) {
+    stats.total_bytes += meta.size_bytes;
+    const bool media = meta.type == FileType::kPhoto || meta.type == FileType::kVideo ||
+                       meta.type == FileType::kAudio;
+    if (media) {
+      stats.media_bytes += meta.size_bytes;
+    }
+    if (meta.true_priority == Priority::kExpendable) {
+      stats.expendable_bytes += meta.size_bytes;
+      ++stats.expendable_files;
+    }
+    if (meta.will_be_deleted) {
+      ++stats.deleted_files;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sos

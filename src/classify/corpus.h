@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Synthetic labelled file corpus.
+//
+// The paper trains its classifier on "data collected from a large pool of
+// previously scanned users files" (§4.4) -- data we do not have. This
+// generator synthesizes a personal-device file population with the
+// distributions reported by the mobile storage studies the paper cites:
+// media files dominate capacity ([66-68]), most files are read-dominant,
+// app data is small and write-heavy, and caches churn.
+//
+// Ground-truth labels follow the paper's classification intent: system and
+// app files are critical; media criticality tracks an abstract personal-
+// significance signal (standing in for face/favorite/keyword detection);
+// caches and stale downloads are expendable and likely to be deleted.
+// `label_noise` injects irreducible disagreement (user preferences vary,
+// [80]), which bounds any classifier's achievable accuracy -- that is how
+// the auto-delete predictor lands near the cited 79% rather than 100%.
+
+#ifndef SOS_SRC_CLASSIFY_CORPUS_H_
+#define SOS_SRC_CLASSIFY_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/classify/file_meta.h"
+
+namespace sos {
+
+struct CorpusConfig {
+  size_t num_files = 10000;
+  uint64_t seed = 42;
+  SimTimeUs device_age_us = 2 * kUsPerYear;  // files spread over this window
+  double label_noise = 0.08;                 // fraction of labels flipped
+};
+
+std::vector<FileMeta> GenerateCorpus(const CorpusConfig& config);
+
+// Synthesizes a single file of the given type created at `created_us`:
+// size/entropy/personal-signal distributions plus ground-truth labels (with
+// `label_noise` flip probability). Access statistics are left at zero -- the
+// caller (corpus or workload generator) owns the access history.
+class Rng;  // src/common/rng.h
+FileMeta SynthesizeFile(FileType type, SimTimeUs created_us, double label_noise, Rng& rng);
+
+// Draws a file type from the personal-device count mix (photo-heavy).
+FileType SampleFileType(Rng& rng);
+
+// Aggregate corpus statistics used by tests and the Fig-2 bench.
+struct CorpusStats {
+  uint64_t total_bytes = 0;
+  uint64_t media_bytes = 0;       // photo + video + audio
+  uint64_t expendable_bytes = 0;  // ground-truth SPARE bytes
+  size_t expendable_files = 0;
+  size_t deleted_files = 0;
+};
+
+CorpusStats ComputeCorpusStats(const std::vector<FileMeta>& corpus);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_CLASSIFY_CORPUS_H_

@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/classify/eval.h"
+
+namespace sos {
+
+double ConfusionMatrix::accuracy() const {
+  const uint64_t n = total();
+  return n > 0 ? static_cast<double>(true_positive + true_negative) / static_cast<double>(n) : 0.0;
+}
+
+double ConfusionMatrix::precision() const {
+  const uint64_t denom = true_positive + false_positive;
+  return denom > 0 ? static_cast<double>(true_positive) / static_cast<double>(denom) : 0.0;
+}
+
+double ConfusionMatrix::recall() const {
+  const uint64_t denom = true_positive + false_negative;
+  return denom > 0 ? static_cast<double>(true_positive) / static_cast<double>(denom) : 0.0;
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double ConfusionMatrix::false_discovery_rate() const {
+  const uint64_t denom = true_positive + false_positive;
+  return denom > 0 ? static_cast<double>(false_positive) / static_cast<double>(denom) : 0.0;
+}
+
+CorpusSplit SplitCorpus(const std::vector<FileMeta>& corpus, uint32_t test_every) {
+  CorpusSplit split;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    if (test_every > 0 && i % test_every == 0) {
+      split.test.push_back(&corpus[i]);
+    } else {
+      split.train.push_back(&corpus[i]);
+    }
+  }
+  return split;
+}
+
+ConfusionMatrix EvaluateClassifier(const BinaryClassifier& model,
+                                   const std::vector<const FileMeta*>& samples, LabelFn label_fn,
+                                   SimTimeUs now_us, double threshold) {
+  ConfusionMatrix cm;
+  for (const FileMeta* meta : samples) {
+    const bool predicted = model.Predict(*meta, now_us, threshold);
+    const bool actual = label_fn(*meta);
+    if (predicted && actual) {
+      ++cm.true_positive;
+    } else if (predicted && !actual) {
+      ++cm.false_positive;
+    } else if (!predicted && actual) {
+      ++cm.false_negative;
+    } else {
+      ++cm.true_negative;
+    }
+  }
+  return cm;
+}
+
+std::vector<ThresholdPoint> SweepThreshold(const BinaryClassifier& model,
+                                           const std::vector<const FileMeta*>& samples,
+                                           LabelFn label_fn, SimTimeUs now_us, int steps) {
+  std::vector<ThresholdPoint> points;
+  for (int i = 1; i <= steps; ++i) {
+    const double threshold = static_cast<double>(i) / (static_cast<double>(steps) + 1.0);
+    points.push_back({threshold, EvaluateClassifier(model, samples, label_fn, now_us, threshold)});
+  }
+  return points;
+}
+
+}  // namespace sos

@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Classifier evaluation: split, metrics, threshold sweeps.
+//
+// The paper quotes one number -- the auto-delete predictor's ~79% accuracy
+// ([68]) -- but SOS's safety story depends on the full confusion matrix:
+// a false EXPENDABLE (precious file sent to the lossy partition) is the
+// failure mode "erring on the side of caution" must minimize, while a false
+// CRITICAL merely wastes some reliable capacity. EvaluateClassifier reports
+// both, and SweepThreshold exposes the tradeoff curve the E8 bench prints.
+
+#ifndef SOS_SRC_CLASSIFY_EVAL_H_
+#define SOS_SRC_CLASSIFY_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/classify/classifier.h"
+
+namespace sos {
+
+struct ConfusionMatrix {
+  uint64_t true_positive = 0;   // predicted positive, is positive
+  uint64_t false_positive = 0;  // predicted positive, is negative
+  uint64_t true_negative = 0;
+  uint64_t false_negative = 0;
+
+  uint64_t total() const {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double accuracy() const;
+  double precision() const;  // of predicted positives, fraction correct
+  double recall() const;     // of actual positives, fraction found
+  double f1() const;
+  // Of predicted positives, fraction that are actually negative: for the
+  // priority model this is the at-risk rate (critical data sent to SPARE).
+  double false_discovery_rate() const;
+};
+
+// Deterministic split: every k-th sample (by index) goes to test.
+struct CorpusSplit {
+  std::vector<const FileMeta*> train;
+  std::vector<const FileMeta*> test;
+};
+CorpusSplit SplitCorpus(const std::vector<FileMeta>& corpus, uint32_t test_every = 5);
+
+// Evaluates `model` on `samples` at `threshold`.
+ConfusionMatrix EvaluateClassifier(const BinaryClassifier& model,
+                                   const std::vector<const FileMeta*>& samples, LabelFn label_fn,
+                                   SimTimeUs now_us, double threshold = 0.5);
+
+struct ThresholdPoint {
+  double threshold = 0.0;
+  ConfusionMatrix matrix;
+};
+
+// Evaluates at evenly spaced thresholds in (0, 1).
+std::vector<ThresholdPoint> SweepThreshold(const BinaryClassifier& model,
+                                           const std::vector<const FileMeta*>& samples,
+                                           LabelFn label_fn, SimTimeUs now_us, int steps = 9);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_CLASSIFY_EVAL_H_

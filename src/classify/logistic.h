@@ -1,0 +1,50 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// L2-regularized logistic regression trained with mini-batch SGD.
+//
+// The discriminative counterpart to the Naive Bayes model: typically a point
+// or two more accurate on the synthetic corpus and the default classifier
+// wired into SosDevice. Features are standardized with training-set
+// statistics baked into the model.
+
+#ifndef SOS_SRC_CLASSIFY_LOGISTIC_H_
+#define SOS_SRC_CLASSIFY_LOGISTIC_H_
+
+#include <array>
+#include <vector>
+
+#include "src/classify/classifier.h"
+
+namespace sos {
+
+struct LogisticConfig {
+  int epochs = 30;
+  double learning_rate = 0.15;
+  double l2 = 1e-4;
+  uint64_t seed = 7;  // shuffling
+};
+
+class LogisticClassifier final : public BinaryClassifier {
+ public:
+  static LogisticClassifier Train(const std::vector<const FileMeta*>& corpus, LabelFn label_fn,
+                                  SimTimeUs now_us, const LogisticConfig& config = {});
+
+  double Score(const FileMeta& meta, SimTimeUs now_us) const override;
+
+  const std::array<double, kFeatureDim>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  LogisticClassifier() = default;
+
+  std::array<double, kFeatureDim> Standardize(const FeatureVector& f) const;
+
+  std::array<double, kFeatureDim> w_{};
+  double b_ = 0.0;
+  std::array<double, kFeatureDim> feat_mean_{};
+  std::array<double, kFeatureDim> feat_std_{};
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_CLASSIFY_LOGISTIC_H_

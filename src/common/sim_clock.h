@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Simulated wall clock shared by the device, the FTL, and the SOS daemons.
+//
+// SOS phenomena span ten orders of magnitude of time: a PLC page read takes
+// ~100us while retention degradation plays out over years. The simulator uses
+// a single logical microsecond clock; device operations advance it by their
+// modeled latency and the host can fast-forward across idle periods
+// ("a week passes") to age data.
+
+#ifndef SOS_SRC_COMMON_SIM_CLOCK_H_
+#define SOS_SRC_COMMON_SIM_CLOCK_H_
+
+#include <cassert>
+
+#include "src/common/units.h"
+
+namespace sos {
+
+class SimClock {
+ public:
+  SimTimeUs now() const { return now_us_; }
+
+  // Advance by a delta (device op latency, daemon period, idle gap).
+  void Advance(SimTimeUs delta_us) { now_us_ += delta_us; }
+
+  // Jump directly to an absolute time; must not go backwards.
+  void AdvanceTo(SimTimeUs t_us) {
+    assert(t_us >= now_us_ && "simulated time must be monotonic");
+    now_us_ = t_us;
+  }
+
+  double now_days() const { return UsToDays(now_us_); }
+  double now_years() const { return UsToYears(now_us_); }
+
+ private:
+  SimTimeUs now_us_ = 0;
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,41 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/common/status.h"
+
+namespace sos {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfSpace:
+      return "OUT_OF_SPACE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kWornOut:
+      return "WORN_OUT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sos

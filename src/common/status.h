@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Lightweight status/error propagation for the SOS libraries.
+//
+// The simulator is exception-free (simulation code paths are hot and error
+// outcomes like "ECC failure" are expected results, not exceptional states).
+// Status carries an error code + message; Result<T> is Status-or-value.
+
+#ifndef SOS_SRC_COMMON_STATUS_H_
+#define SOS_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sos {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller bug: out-of-range address, bad config
+  kNotFound,          // unmapped LBA, missing file
+  kOutOfSpace,        // no free blocks / capacity exhausted
+  kDataLoss,          // uncorrectable error on a reliable partition
+  kWornOut,           // block or device beyond endurance
+  kFailedPrecondition,  // e.g. write to a retired block, double free
+  kUnavailable,       // transient: resource busy / backup not reachable
+};
+
+// Human-readable name for a code ("OK", "DATA_LOSS", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_LOSS: page 42 uncorrectable" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status. value() asserts on misuse so
+// bugs fail fast in tests.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {     // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_COMMON_STATUS_H_

@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "src/common/units.h"
+
+namespace sos {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size() && "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != '%' && c != ',' &&
+        c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        line += " | ";
+      }
+      const size_t pad = widths[c] - row[c].size();
+      const bool right = align_numeric && LooksNumeric(row[c]);
+      if (right) {
+        line.append(pad, ' ');
+      }
+      line += row[c];
+      if (!right) {
+        line.append(pad, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_, /*align_numeric=*/false);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) {
+      out += "-+-";
+    }
+    out.append(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row, /*align_numeric=*/true);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string FormatCount(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  const size_t n = digits.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) {
+      out += ',';
+    }
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kTiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f TiB", static_cast<double>(bytes) / static_cast<double>(kTiB));
+  } else if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace sos

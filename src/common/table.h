@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// ASCII table rendering for benchmark reports.
+//
+// Every bench binary reproduces a paper figure/claim as a printed table with
+// the same rows the paper reports. TextTable right-aligns numeric-looking
+// cells and pads columns, giving uniform, diffable output across benches.
+
+#ifndef SOS_SRC_COMMON_TABLE_H_
+#define SOS_SRC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sos {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a data row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with a header separator line:
+  //   col_a  | col_b
+  //   -------+------
+  //   1      | 2
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style float formatting helpers used when building table rows.
+std::string FormatDouble(double v, int precision = 2);
+std::string FormatPercent(double fraction, int precision = 1);  // 0.5 -> "50.0%"
+std::string FormatCount(uint64_t v);                            // 1234567 -> "1,234,567"
+std::string FormatBytes(uint64_t bytes);                        // auto KiB/MiB/GiB suffix
+
+}  // namespace sos
+
+#endif  // SOS_SRC_COMMON_TABLE_H_

@@ -1,0 +1,119 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/ecc/hamming.h"
+
+#include <array>
+#include <cstddef>
+
+namespace sos {
+namespace {
+
+// Expanded codeword positions run 1..71: positions 1,2,4,8,16,32,64 hold the
+// seven Hamming parity bits, every other position holds a data bit in order.
+// kDataPos[i] is the expanded position of data bit i.
+constexpr std::array<uint8_t, 64> BuildDataPositions() {
+  std::array<uint8_t, 64> pos{};
+  int idx = 0;
+  for (int p = 1; p <= 71 && idx < 64; ++p) {
+    if ((p & (p - 1)) != 0) {  // not a power of two -> data position
+      pos[static_cast<size_t>(idx++)] = static_cast<uint8_t>(p);
+    }
+  }
+  return pos;
+}
+
+constexpr std::array<uint8_t, 64> kDataPos = BuildDataPositions();
+
+// Computes the 7-bit Hamming syndrome/parity over the expanded positions for
+// the given data word with parity bits zeroed (used for encode) or taken
+// from `check` (used for decode).
+uint8_t ComputeParity(uint64_t data, uint8_t check_bits) {
+  uint8_t parity = 0;
+  for (int i = 0; i < 64; ++i) {
+    if ((data >> i) & 1u) {
+      parity = static_cast<uint8_t>(parity ^ kDataPos[static_cast<size_t>(i)]);
+    }
+  }
+  // Parity bits occupy positions 1,2,4,...,64; bit j of `check_bits` sits at
+  // expanded position 2^j and contributes that position to the syndrome.
+  for (int j = 0; j < 7; ++j) {
+    if ((check_bits >> j) & 1u) {
+      parity = static_cast<uint8_t>(parity ^ (1u << j));
+    }
+  }
+  return parity;
+}
+
+// Overall parity across all 71 expanded bits plus the DED bit.
+uint8_t OverallParity(uint64_t data, uint8_t check) {
+  uint64_t x = data;
+  x ^= x >> 32;
+  x ^= x >> 16;
+  x ^= x >> 8;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  uint8_t p = static_cast<uint8_t>(x & 1u);
+  uint8_t c = check;
+  c = static_cast<uint8_t>(c ^ (c >> 4));
+  c = static_cast<uint8_t>(c ^ (c >> 2));
+  c = static_cast<uint8_t>(c ^ (c >> 1));
+  return static_cast<uint8_t>(p ^ (c & 1u));
+}
+
+}  // namespace
+
+HammingCodeword HammingEncode(uint64_t data) {
+  HammingCodeword cw;
+  cw.data = data;
+  // With parity bits zero, ComputeParity yields exactly the parity values
+  // that make the full syndrome zero.
+  const uint8_t hamming = ComputeParity(data, 0);
+  cw.check = hamming;
+  // DED bit (check bit 7): even parity over everything else.
+  const uint8_t overall = OverallParity(data, hamming);
+  cw.check = static_cast<uint8_t>(hamming | (overall << 7));
+  return cw;
+}
+
+HammingResult HammingDecode(HammingCodeword& cw) {
+  const uint8_t hamming_bits = static_cast<uint8_t>(cw.check & 0x7f);
+  const uint8_t ded_bit = static_cast<uint8_t>((cw.check >> 7) & 1u);
+  const uint8_t syndrome = ComputeParity(cw.data, hamming_bits);
+  const uint8_t overall = static_cast<uint8_t>(OverallParity(cw.data, hamming_bits) ^ ded_bit);
+
+  if (syndrome == 0 && overall == 0) {
+    return HammingResult::kClean;
+  }
+  if (syndrome == 0 && overall == 1) {
+    // The DED bit itself flipped.
+    cw.check = static_cast<uint8_t>(cw.check ^ 0x80);
+    return HammingResult::kCorrected;
+  }
+  if (overall == 0) {
+    // Non-zero syndrome with even overall parity: two bits flipped.
+    return HammingResult::kDetectedOnly;
+  }
+  // Single error at expanded position `syndrome`.
+  if ((syndrome & (syndrome - 1)) == 0) {
+    // Power of two: one of the Hamming parity bits flipped.
+    for (int j = 0; j < 7; ++j) {
+      if (syndrome == (1u << j)) {
+        cw.check = static_cast<uint8_t>(cw.check ^ (1u << j));
+        break;
+      }
+    }
+    return HammingResult::kCorrected;
+  }
+  // Data bit: find which data index maps to this position.
+  for (int i = 0; i < 64; ++i) {
+    if (kDataPos[static_cast<size_t>(i)] == syndrome) {
+      cw.data ^= (1ull << i);
+      return HammingResult::kCorrected;
+    }
+  }
+  // Syndrome points outside the codeword (>71): treat as detected-only.
+  return HammingResult::kDetectedOnly;
+}
+
+}  // namespace sos

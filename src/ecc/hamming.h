@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Hamming(72,64) SEC-DED codec.
+//
+// A bit-exact single-error-correct / double-error-detect code over 64-bit
+// words, the classic scheme used for NAND spare-area protection in
+// SLC-generation controllers. Included as the repo's real (non-modeled)
+// codec: property tests flip bits and verify correction guarantees, and the
+// quickstart example uses it to show what "weak protection" means concretely.
+//
+// Layout: 64 data bits + 8 check bits packed as: check[0..6] are Hamming
+// parity bits over the expanded 71-bit positions, check[7] is overall parity
+// (the DED bit).
+
+#ifndef SOS_SRC_ECC_HAMMING_H_
+#define SOS_SRC_ECC_HAMMING_H_
+
+#include <cstdint>
+
+namespace sos {
+
+struct HammingCodeword {
+  uint64_t data = 0;
+  uint8_t check = 0;
+};
+
+enum class HammingResult {
+  kClean,         // no error detected
+  kCorrected,     // single bit error corrected
+  kDetectedOnly,  // double error detected, not correctable
+};
+
+// Encodes a 64-bit word into a codeword with 8 check bits.
+HammingCodeword HammingEncode(uint64_t data);
+
+// Decodes in place: fixes a single flipped bit anywhere in the codeword
+// (data or check), detects double flips.
+HammingResult HammingDecode(HammingCodeword& cw);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_ECC_HAMMING_H_

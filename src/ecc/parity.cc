@@ -1,0 +1,64 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/ecc/parity.h"
+
+#include <array>
+#include <cassert>
+
+namespace sos {
+
+std::vector<uint8_t> ComputeParityPage(std::span<const std::vector<uint8_t>> stripe) {
+  assert(!stripe.empty());
+  std::vector<uint8_t> parity(stripe.front().size(), 0);
+  for (const auto& page : stripe) {
+    assert(page.size() == parity.size() && "stripe pages must share a size");
+    for (size_t i = 0; i < parity.size(); ++i) {
+      parity[i] = static_cast<uint8_t>(parity[i] ^ page[i]);
+    }
+  }
+  return parity;
+}
+
+std::vector<uint8_t> ReconstructFromParity(std::span<const std::vector<uint8_t>> stripe,
+                                           std::span<const uint8_t> parity, size_t lost_index) {
+  assert(lost_index < stripe.size());
+  std::vector<uint8_t> rebuilt(parity.begin(), parity.end());
+  for (size_t p = 0; p < stripe.size(); ++p) {
+    if (p == lost_index) {
+      continue;
+    }
+    assert(stripe[p].size() == rebuilt.size() && "stripe pages must share a size");
+    for (size_t i = 0; i < rebuilt.size(); ++i) {
+      rebuilt[i] = static_cast<uint8_t>(rebuilt[i] ^ stripe[p][i]);
+    }
+  }
+  return rebuilt;
+}
+
+namespace {
+
+constexpr std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = BuildCrcTable();
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc = kCrcTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sos

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/flash/cell_tech.h"
+
+#include <array>
+#include <cassert>
+
+namespace sos {
+
+std::string_view CellTechName(CellTech tech) {
+  switch (tech) {
+    case CellTech::kSlc:
+      return "SLC";
+    case CellTech::kMlc:
+      return "MLC";
+    case CellTech::kTlc:
+      return "TLC";
+    case CellTech::kQlc:
+      return "QLC";
+    case CellTech::kPlc:
+      return "PLC";
+  }
+  return "???";
+}
+
+namespace {
+
+// Endurance: SLC ~100K (paper §2.2), MLC ~10K, TLC ~3K, QLC ~1K ([22]),
+// PLC ~300 (early generations: "a factor of 6-10 versus TLC, 2 versus QLC",
+// paper §4.1).
+//
+// base_rber anchors: fresh TLC RBER is ~1e-7..1e-6 in field studies; each
+// density step costs roughly an order of magnitude.
+constexpr std::array<CellTechInfo, kNumCellTechs> kCatalog = {{
+    // tech, bits, PEC,   base_rber, alpha, wear_k, beta, ret_m, disturb,  tR,   tProg, tErase
+    {CellTech::kSlc, 1, 100000, 1.0e-9, 15.0, 2.0, 2.0, 1.1, 1.0e-12, 25, 200, 2000},
+    {CellTech::kMlc, 2, 10000, 2.0e-8, 15.0, 2.0, 2.5, 1.1, 5.0e-12, 50, 600, 3000},
+    {CellTech::kTlc, 3, 3000, 2.0e-7, 15.0, 2.0, 3.0, 1.2, 2.0e-11, 75, 900, 5000},
+    {CellTech::kQlc, 4, 1000, 2.0e-6, 18.0, 2.0, 4.0, 1.2, 8.0e-11, 140, 2200, 8000},
+    {CellTech::kPlc, 5, 300, 2.0e-5, 20.0, 2.0, 5.0, 1.3, 3.0e-10, 280, 5000, 12000},
+}};
+
+}  // namespace
+
+const CellTechInfo& GetCellTechInfo(CellTech tech) {
+  const auto idx = static_cast<size_t>(tech);
+  assert(idx < kCatalog.size());
+  return kCatalog[idx];
+}
+
+double RelativeDensity(CellTech tech, CellTech baseline) {
+  return static_cast<double>(BitsPerCell(tech)) / static_cast<double>(BitsPerCell(baseline));
+}
+
+double PseudoModeEnduranceBonus(CellTech physical, CellTech mode) {
+  assert(static_cast<int>(mode) <= static_cast<int>(physical) &&
+         "pseudo-mode cannot add bits beyond the die's native density");
+  if (mode == physical) {
+    return 1.0;
+  }
+  // Dense-generation 3D cells are larger than native cells of older
+  // technologies, so each density step down buys a modest endurance bonus on
+  // top of the mode's own rating. 20% per step is within the ranges reported
+  // for pseudo-SLC operation of TLC parts.
+  const int steps = static_cast<int>(physical) - static_cast<int>(mode);
+  double bonus = 1.0;
+  for (int i = 0; i < steps; ++i) {
+    bonus *= 1.2;
+  }
+  return bonus;
+}
+
+}  // namespace sos

@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// NAND cell technology catalog.
+//
+// SOS's central tradeoff (paper §2.2, §4.1) is between bit density and
+// endurance/reliability: each added bit per cell subdivides the same physical
+// voltage window into twice as many levels, which raises the raw bit error
+// rate (RBER) and lowers program/erase endurance, but proportionally reduces
+// silicon -- and therefore embodied carbon -- per stored bit.
+//
+// CellTechInfo captures the per-technology constants used across the
+// simulator: bits per cell, rated endurance, the RBER model coefficients, and
+// operation latencies. Values follow the ranges cited in the paper
+// ([21][22][81]) and the approximate-storage literature ([70][72]):
+//   SLC ~100K P/E cycles ... TLC ~3K ... QLC ~1K ... PLC a few hundred,
+// i.e. PLC endurance is 6-10x below TLC and ~2x below QLC (paper §4.1).
+//
+// Pseudo-modes: a physical die built as PLC can be *programmed* at fewer bits
+// per cell ("pseudo-QLC"/"pseudo-TLC"/"pseudo-SLC", paper [69][76]); the cell
+// then enjoys the wider voltage margins of the lower density, plus a small
+// endurance bonus because dense-generation 3D cells are physically larger
+// than native cells of the older technology ([26-28]).
+
+#ifndef SOS_SRC_FLASH_CELL_TECH_H_
+#define SOS_SRC_FLASH_CELL_TECH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/units.h"
+
+namespace sos {
+
+enum class CellTech : uint8_t {
+  kSlc = 0,  // 1 bit/cell
+  kMlc = 1,  // 2 bits/cell
+  kTlc = 2,  // 3 bits/cell
+  kQlc = 3,  // 4 bits/cell
+  kPlc = 4,  // 5 bits/cell
+};
+
+inline constexpr int kNumCellTechs = 5;
+
+// Short display name: "SLC", "MLC", ...
+std::string_view CellTechName(CellTech tech);
+
+// Bits stored per physical cell (1..5).
+constexpr int BitsPerCell(CellTech tech) { return static_cast<int>(tech) + 1; }
+
+// Number of distinguishable voltage levels (2^bits).
+constexpr int VoltageLevels(CellTech tech) { return 1 << BitsPerCell(tech); }
+
+// Per-technology device constants. All figures are per *mode*, i.e. a PLC die
+// programmed in pseudo-QLC mode uses the kQlc row (plus the pseudo bonus).
+struct CellTechInfo {
+  CellTech tech;
+  int bits_per_cell;
+
+  // Rated program/erase cycles before the block is considered worn out when
+  // protected by nominal ECC (paper §2.1: "1-5K PEC" for modern flash).
+  uint32_t rated_endurance_pec;
+
+  // RBER model coefficients; see ErrorModel for the formula.
+  double base_rber;          // fresh cell, zero retention
+  double wear_alpha;         // multiplicative wear amplification at rated PEC
+  double wear_exponent;      // super-linearity of wear
+  double retention_beta;     // retention amplification per year
+  double retention_exponent; // super-linearity of retention loss
+  double read_disturb_per_read;  // additive RBER per read of the page
+
+  // Operation latencies (typical datasheet-order values; paper §4.5 notes
+  // PLC speeds match nearline/sequential use).
+  SimTimeUs read_latency_us;
+  SimTimeUs program_latency_us;
+  SimTimeUs erase_latency_us;
+};
+
+// Catalog lookup. The returned reference is to a static constexpr table.
+const CellTechInfo& GetCellTechInfo(CellTech tech);
+
+// Density of `tech` relative to `baseline`, in stored bits for the same cell
+// count: Density(kPlc, kTlc) == 5/3 ~= 1.67 (the paper's "66% improvement").
+double RelativeDensity(CellTech tech, CellTech baseline);
+
+// Endurance bonus applied when a die of `physical` technology is programmed
+// in a sparser `mode` (pseudo-mode). Returns 1.0 for native operation and
+// >1.0 for pseudo-modes; the bonus reflects the physically larger cells of
+// dense-generation dies ([26-28], FlexFS [76]).
+double PseudoModeEnduranceBonus(CellTech physical, CellTech mode);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_FLASH_CELL_TECH_H_

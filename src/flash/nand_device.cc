@@ -1,0 +1,222 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/flash/nand_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/rng.h"
+
+namespace sos {
+
+NandDevice::NandDevice(const NandConfig& config, SimClock* clock)
+    : config_(config), clock_(clock) {
+  assert(clock != nullptr);
+  assert(config_.num_blocks > 0 && config_.wordlines_per_block > 0 && config_.page_size_bytes > 0);
+  blocks_.resize(config_.num_blocks);
+  for (auto& blk : blocks_) {
+    blk.info.mode = config_.tech;  // native density until told otherwise
+    blk.pages.resize(config_.PagesPerBlock(blk.info.mode));
+    if (config_.store_payloads) {
+      blk.data.resize(blk.pages.size());
+    }
+  }
+}
+
+Status NandDevice::SetBlockMode(uint32_t block, CellTech mode) {
+  if (block >= blocks_.size()) {
+    return Status(StatusCode::kInvalidArgument, "block out of range");
+  }
+  if (static_cast<int>(mode) > static_cast<int>(config_.tech)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "mode denser than the die's native technology");
+  }
+  Block& blk = blocks_[block];
+  if (blk.info.programmed_pages > 0) {
+    return Status(StatusCode::kFailedPrecondition, "block holds data; erase before mode change");
+  }
+  blk.info.mode = mode;
+  blk.info.next_page = 0;
+  blk.pages.assign(config_.PagesPerBlock(mode), PageMeta{});
+  if (config_.store_payloads) {
+    blk.data.assign(blk.pages.size(), {});
+  }
+  return Status::Ok();
+}
+
+double NandDevice::EffectiveEndurance(uint32_t block) const {
+  const Block& blk = blocks_[block];
+  const CellTechInfo& info = GetCellTechInfo(blk.info.mode);
+  return static_cast<double>(info.rated_endurance_pec) *
+         PseudoModeEnduranceBonus(config_.tech, blk.info.mode);
+}
+
+Status NandDevice::EraseBlock(uint32_t block) {
+  if (block >= blocks_.size()) {
+    return Status(StatusCode::kInvalidArgument, "block out of range");
+  }
+  Block& blk = blocks_[block];
+  ++blk.info.pec;
+  blk.info.next_page = 0;
+  blk.info.programmed_pages = 0;
+  blk.info.erased = true;
+  for (auto& page : blk.pages) {
+    page = PageMeta{};
+  }
+  if (config_.store_payloads) {
+    for (auto& payload : blk.data) {
+      payload.clear();
+    }
+  }
+  const SimTimeUs latency = GetCellTechInfo(blk.info.mode).erase_latency_us;
+  if (config_.advance_clock) {
+    clock_->Advance(latency);
+  }
+  ++stats_.erases;
+  stats_.busy_us += latency;
+  return Status::Ok();
+}
+
+Status NandDevice::CheckAddr(PageAddr addr) const {
+  if (addr.block >= blocks_.size()) {
+    return Status(StatusCode::kInvalidArgument, "block out of range");
+  }
+  if (addr.page >= blocks_[addr.block].pages.size()) {
+    return Status(StatusCode::kInvalidArgument, "page out of range for block mode");
+  }
+  return Status::Ok();
+}
+
+Status NandDevice::Program(PageAddr addr, std::span<const uint8_t> data) {
+  if (Status s = CheckAddr(addr); !s.ok()) {
+    return s;
+  }
+  if (data.size() > config_.page_size_bytes) {
+    return Status(StatusCode::kInvalidArgument, "payload exceeds page size");
+  }
+  Block& blk = blocks_[addr.block];
+  if (addr.page != blk.info.next_page) {
+    return Status(StatusCode::kFailedPrecondition, "pages must be programmed sequentially");
+  }
+  PageMeta& page = blk.pages[addr.page];
+  if (page.programmed) {
+    return Status(StatusCode::kFailedPrecondition, "page already programmed; erase block first");
+  }
+  page.programmed = true;
+  page.program_time_us = clock_->now();
+  page.pec_at_program = blk.info.pec;
+  page.reads = 0;
+  ++blk.info.next_page;
+  ++blk.info.programmed_pages;
+  blk.info.erased = false;
+  if (config_.store_payloads) {
+    auto& payload = blk.data[addr.page];
+    payload.assign(data.begin(), data.end());
+    payload.resize(config_.page_size_bytes, 0);  // NAND pads with the erased pattern
+  }
+  const SimTimeUs latency = GetCellTechInfo(blk.info.mode).program_latency_us;
+  if (config_.advance_clock) {
+    clock_->Advance(latency);
+  }
+  ++stats_.programs;
+  stats_.bytes_programmed += config_.page_size_bytes;
+  stats_.busy_us += latency;
+  return Status::Ok();
+}
+
+PageErrorState NandDevice::ErrorStateFor(const Block& blk, const PageMeta& page) const {
+  PageErrorState state;
+  state.mode = blk.info.mode;
+  state.endurance_pec = static_cast<double>(GetCellTechInfo(blk.info.mode).rated_endurance_pec) *
+                        PseudoModeEnduranceBonus(config_.tech, blk.info.mode);
+  state.pec_at_program = page.pec_at_program;
+  state.retention_years =
+      UsToYears(clock_->now() >= page.program_time_us ? clock_->now() - page.program_time_us : 0);
+  state.reads_since_program = page.reads;
+  return state;
+}
+
+Result<ReadResult> NandDevice::Read(PageAddr addr, int retry_level) {
+  if (Status s = CheckAddr(addr); !s.ok()) {
+    return s;
+  }
+  Block& blk = blocks_[addr.block];
+  PageMeta& page = blk.pages[addr.page];
+  if (!page.programmed) {
+    return Status(StatusCode::kNotFound, "page not programmed");
+  }
+  ++page.reads;
+
+  const PageErrorState state = ErrorStateFor(blk, page);
+  const uint64_t bits = static_cast<uint64_t>(config_.page_size_bytes) * 8;
+  const uint64_t stream_seed =
+      DeriveSeed({config_.seed, addr.block, addr.page, page.pec_at_program, page.reads,
+                  static_cast<uint64_t>(retry_level)});
+  ReadResult result;
+  result.rber = ComputeRber(config_.error_model, state, retry_level);
+  result.bit_errors =
+      result.rber <= 0.0 ? 0 : Rng(stream_seed).NextBinomial(bits, result.rber);
+  if (config_.store_payloads) {
+    result.data = blk.data[addr.page];
+    ErrorModel::InjectErrors(result.data, result.bit_errors, stream_seed);
+  }
+  result.latency_us = GetCellTechInfo(blk.info.mode).read_latency_us;
+  if (config_.advance_clock) {
+    clock_->Advance(result.latency_us);
+  }
+  ++stats_.reads;
+  stats_.bytes_read += config_.page_size_bytes;
+  stats_.bit_errors_injected += result.bit_errors;
+  stats_.busy_us += result.latency_us;
+  return result;
+}
+
+Result<std::vector<uint8_t>> NandDevice::PeekClean(PageAddr addr) const {
+  if (Status s = CheckAddr(addr); !s.ok()) {
+    return s;
+  }
+  const Block& blk = blocks_[addr.block];
+  if (!blk.pages[addr.page].programmed) {
+    return Status(StatusCode::kNotFound, "page not programmed");
+  }
+  if (!config_.store_payloads) {
+    return std::vector<uint8_t>{};
+  }
+  return blk.data[addr.page];
+}
+
+Result<double> NandDevice::PredictRber(PageAddr addr, double ahead_years) const {
+  if (Status s = CheckAddr(addr); !s.ok()) {
+    return s;
+  }
+  const Block& blk = blocks_[addr.block];
+  const PageMeta& page = blk.pages[addr.page];
+  if (!page.programmed) {
+    return Status(StatusCode::kNotFound, "page not programmed");
+  }
+  PageErrorState state = ErrorStateFor(blk, page);
+  state.retention_years += std::max(ahead_years, 0.0);
+  return ComputeRber(config_.error_model, state, 0);
+}
+
+double NandDevice::MaxWearRatio() const {
+  double worst = 0.0;
+  for (uint32_t b = 0; b < blocks_.size(); ++b) {
+    const double endurance = EffectiveEndurance(b);
+    worst = std::max(worst, static_cast<double>(blocks_[b].info.pec) / endurance);
+  }
+  return worst;
+}
+
+double NandDevice::MeanPec() const {
+  if (blocks_.empty()) {
+    return 0.0;
+  }
+  uint64_t total = 0;
+  for (const auto& blk : blocks_) {
+    total += blk.info.pec;
+  }
+  return static_cast<double>(total) / static_cast<double>(blocks_.size());
+}
+
+}  // namespace sos

@@ -1,0 +1,190 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// NAND flash die simulator.
+//
+// Geometry follows real parts: a die is a set of erase blocks; each block is
+// a stack of *wordlines*; each wordline is one physical row of cells that
+// exposes one logical page per stored bit. A block of 64 wordlines therefore
+// offers 64 pages in pseudo-SLC mode, 192 in pseudo-TLC, 256 in pseudo-QLC
+// and 320 in native PLC -- which is exactly the density arithmetic of paper
+// §4.1 (TLC -> QLC +33%, TLC -> PLC +66%).
+//
+// The device enforces the NAND programming constraints that matter to an FTL:
+//   - pages within a block must be programmed sequentially,
+//   - a programmed page cannot be reprogrammed before a block erase,
+//   - the programming mode of a block can only change while it is erased.
+//
+// Reads inject bit errors according to ErrorModel, driven by the block's
+// wear, the page's retention age and its accumulated read disturb. When
+// `store_payloads` is on the device keeps the actual bytes and corrupts a
+// copy on every read (end-to-end observable degradation); when off it tracks
+// metadata only and reports sampled error counts, letting multi-year
+// device-lifetime simulations run at scale.
+//
+// The device advances the shared SimClock by each operation's latency, i.e.
+// it models a single serial die. Multi-die parallelism is out of scope here
+// and handled analytically by the performance benchmark.
+
+#ifndef SOS_SRC_FLASH_NAND_DEVICE_H_
+#define SOS_SRC_FLASH_NAND_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/sim_clock.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/flash/cell_tech.h"
+#include "src/flash/error_model.h"
+#include "src/flash/voltage_model.h"
+
+namespace sos {
+
+struct NandConfig {
+  uint32_t num_blocks = 128;
+  uint32_t wordlines_per_block = 64;
+  uint32_t page_size_bytes = 4096;  // one bit-layer of one wordline
+  CellTech tech = CellTech::kPlc;   // physical die technology (max density)
+  uint64_t seed = 1;
+  bool store_payloads = true;
+  // RBER source: fitted curves (default) or the physical threshold-voltage
+  // model (src/flash/voltage_model.h).
+  ErrorModelKind error_model = ErrorModelKind::kPhenomenological;
+  // When false the die does NOT advance the shared clock on operations (the
+  // caller owns timing). Used by NandPackage, which overlaps dies and
+  // advances the clock to batch completion itself. Latencies are still
+  // reported in each result / via CellTechInfo.
+  bool advance_clock = true;
+
+  // Page count of one block when programmed in `mode`.
+  uint32_t PagesPerBlock(CellTech mode) const {
+    return wordlines_per_block * static_cast<uint32_t>(BitsPerCell(mode));
+  }
+  // Byte capacity of one block in `mode`.
+  uint64_t BlockBytes(CellTech mode) const {
+    return static_cast<uint64_t>(PagesPerBlock(mode)) * page_size_bytes;
+  }
+  // Whole-die byte capacity in `mode`.
+  uint64_t DieBytes(CellTech mode) const { return static_cast<uint64_t>(num_blocks) * BlockBytes(mode); }
+};
+
+struct PageAddr {
+  uint32_t block = 0;
+  uint32_t page = 0;
+
+  bool operator==(const PageAddr&) const = default;
+};
+
+struct ReadResult {
+  std::vector<uint8_t> data;  // corrupted copy; empty when !store_payloads
+  uint64_t bit_errors = 0;    // raw bit errors present in this read
+  double rber = 0.0;          // model RBER used for the sample
+  SimTimeUs latency_us = 0;
+};
+
+// Per-block bookkeeping, exposed read-only for FTL policies and tests.
+struct BlockInfo {
+  CellTech mode = CellTech::kPlc;
+  uint32_t pec = 0;                // completed program/erase cycles
+  uint32_t next_page = 0;          // sequential-programming cursor
+  uint32_t programmed_pages = 0;   // pages currently holding data
+  bool erased = true;              // true after erase until first program
+};
+
+// Cumulative device counters for benches.
+struct NandStats {
+  uint64_t programs = 0;
+  uint64_t reads = 0;
+  uint64_t erases = 0;
+  uint64_t bytes_programmed = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bit_errors_injected = 0;
+  SimTimeUs busy_us = 0;
+};
+
+class NandDevice {
+ public:
+  // `clock` must outlive the device; it is advanced by operation latencies.
+  NandDevice(const NandConfig& config, SimClock* clock);
+
+  const NandConfig& config() const { return config_; }
+
+  // --- Block mode management -----------------------------------------------
+
+  // Sets the programming mode of an erased block. Fails with
+  // kFailedPrecondition if the block currently holds data and with
+  // kInvalidArgument if the mode exceeds the die's native density.
+  Status SetBlockMode(uint32_t block, CellTech mode);
+
+  // Effective endurance of a block in its current mode (rated endurance of
+  // the mode times the pseudo-mode bonus of this die).
+  double EffectiveEndurance(uint32_t block) const;
+
+  // --- Operations ----------------------------------------------------------
+
+  // Erases a block, incrementing its P/E count. Always succeeds on a valid
+  // address: worn blocks keep erasing, they just get noisier (retirement is
+  // an FTL policy, not a device behaviour).
+  Status EraseBlock(uint32_t block);
+
+  // Programs the next-expected page of a block. `data` must be at most one
+  // page; shorter payloads are zero-padded. Fails on out-of-order pages or a
+  // full block.
+  Status Program(PageAddr addr, std::span<const uint8_t> data);
+
+  // Reads a programmed page, injecting bit errors per the error model.
+  // `retry_level` > 0 models a READ-RETRY re-read with reference voltages
+  // tracking the retention drift: lower RBER, same latency per attempt, and
+  // an independent error sample (each re-read is a fresh analog measurement).
+  Result<ReadResult> Read(PageAddr addr, int retry_level = 0);
+
+  // Returns the stored payload of a programmed page *without* error injection
+  // and without advancing time. This is the "ECC succeeded" backdoor: the
+  // ECC layer models correction on error counts, and when a codeword is
+  // within the correction capability the corrected output equals the
+  // original bytes. Empty when the device runs payload-free.
+  Result<std::vector<uint8_t>> PeekClean(PageAddr addr) const;
+
+  // Model RBER the page would see if read `ahead_years` from now, without
+  // performing the read (no disturb, no time). Used by scrub policies to
+  // predict degradation.
+  Result<double> PredictRber(PageAddr addr, double ahead_years) const;
+
+  // --- Introspection -------------------------------------------------------
+
+  const BlockInfo& block_info(uint32_t block) const { return blocks_[block].info; }
+  const NandStats& stats() const { return stats_; }
+  SimClock& clock() { return *clock_; }
+
+  // Fraction of rated endurance consumed by the most worn block, in [0, inf).
+  double MaxWearRatio() const;
+  // Mean P/E cycles across all blocks.
+  double MeanPec() const;
+
+ private:
+  struct PageMeta {
+    SimTimeUs program_time_us = 0;
+    uint32_t pec_at_program = 0;
+    uint32_t reads = 0;
+    bool programmed = false;
+  };
+
+  struct Block {
+    BlockInfo info;
+    std::vector<PageMeta> pages;           // sized for the current mode
+    std::vector<std::vector<uint8_t>> data;  // payloads, iff store_payloads
+  };
+
+  Status CheckAddr(PageAddr addr) const;
+  PageErrorState ErrorStateFor(const Block& blk, const PageMeta& page) const;
+
+  NandConfig config_;
+  SimClock* clock_;
+  std::vector<Block> blocks_;
+  NandStats stats_;
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_FLASH_NAND_DEVICE_H_

@@ -1,0 +1,141 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/flash/nand_package.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sos {
+
+NandPackage::NandPackage(const NandPackageConfig& config, SimClock* clock)
+    : config_(config), clock_(clock) {
+  assert(config_.num_dies > 0);
+  NandConfig die_config = config_.die;
+  die_config.advance_clock = false;  // the package owns timing
+  dies_.reserve(config_.num_dies);
+  for (uint32_t d = 0; d < config_.num_dies; ++d) {
+    die_config.seed = config_.die.seed + d;  // independent error streams
+    dies_.push_back(std::make_unique<NandDevice>(die_config, clock));
+  }
+  busy_until_.assign(config_.num_dies, 0);
+}
+
+SimTimeUs NandPackage::Account(uint32_t die, SimTimeUs latency) {
+  const SimTimeUs start = std::max(clock_->now(), busy_until_[die]);
+  busy_until_[die] = start + latency;
+  return busy_until_[die];
+}
+
+Status NandPackage::QueueProgram(GlobalPageAddr addr, std::span<const uint8_t> data) {
+  if (addr.global_block >= total_blocks()) {
+    return Status(StatusCode::kInvalidArgument, "global block out of range");
+  }
+  const uint32_t die = DieOfBlock(addr.global_block);
+  Status s = dies_[die]->Program({LocalBlock(addr.global_block), addr.page}, data);
+  if (s.ok()) {
+    const CellTech mode = dies_[die]->block_info(LocalBlock(addr.global_block)).mode;
+    Account(die, GetCellTechInfo(mode).program_latency_us);
+  }
+  return s;
+}
+
+Result<ReadResult> NandPackage::QueueRead(GlobalPageAddr addr, int retry_level) {
+  if (addr.global_block >= total_blocks()) {
+    return Status(StatusCode::kInvalidArgument, "global block out of range");
+  }
+  const uint32_t die = DieOfBlock(addr.global_block);
+  auto read = dies_[die]->Read({LocalBlock(addr.global_block), addr.page}, retry_level);
+  if (read.ok()) {
+    Account(die, read.value().latency_us);
+  }
+  return read;
+}
+
+Status NandPackage::QueueErase(uint32_t global_block) {
+  if (global_block >= total_blocks()) {
+    return Status(StatusCode::kInvalidArgument, "global block out of range");
+  }
+  const uint32_t die = DieOfBlock(global_block);
+  const CellTech mode = dies_[die]->block_info(LocalBlock(global_block)).mode;
+  Status s = dies_[die]->EraseBlock(LocalBlock(global_block));
+  if (s.ok()) {
+    Account(die, GetCellTechInfo(mode).erase_latency_us);
+  }
+  return s;
+}
+
+SimTimeUs NandPackage::Drain() {
+  SimTimeUs latest = clock_->now();
+  for (SimTimeUs busy : busy_until_) {
+    latest = std::max(latest, busy);
+  }
+  const SimTimeUs makespan = latest - clock_->now();
+  if (latest > clock_->now()) {
+    clock_->AdvanceTo(latest);
+  }
+  return makespan;
+}
+
+Status NandPackage::StripeWrite(uint32_t first_local_block, std::span<const uint8_t> data) {
+  const uint32_t page_bytes = config_.die.page_size_bytes;
+  const CellTech mode = dies_[0]->block_info(first_local_block).mode;
+  const uint32_t pages_per_block = config_.die.PagesPerBlock(mode);
+  std::vector<uint32_t> block(num_dies(), first_local_block);
+  std::vector<uint32_t> page(num_dies(), 0);
+  uint32_t die = 0;
+  for (size_t off = 0; off < data.size(); off += page_bytes) {
+    if (page[die] >= pages_per_block) {
+      ++block[die];
+      page[die] = 0;
+      if (block[die] >= blocks_per_die()) {
+        return Status(StatusCode::kOutOfSpace, "stripe ran past the die");
+      }
+    }
+    const size_t len = std::min<size_t>(page_bytes, data.size() - off);
+    const uint32_t global = die * blocks_per_die() + block[die];
+    if (Status s = QueueProgram({global, page[die]}, data.subspan(off, len)); !s.ok()) {
+      return s;
+    }
+    ++page[die];
+    die = (die + 1) % num_dies();
+  }
+  Drain();
+  return Status::Ok();
+}
+
+Result<NandPackage::StripeReadResult> NandPackage::StripeRead(uint32_t first_local_block,
+                                                              uint64_t bytes) {
+  const uint32_t page_bytes = config_.die.page_size_bytes;
+  const CellTech mode = dies_[0]->block_info(first_local_block).mode;
+  const uint32_t pages_per_block = config_.die.PagesPerBlock(mode);
+  StripeReadResult result;
+  result.data.reserve(bytes);
+  std::vector<uint32_t> block(num_dies(), first_local_block);
+  std::vector<uint32_t> page(num_dies(), 0);
+  uint32_t die = 0;
+  for (uint64_t off = 0; off < bytes; off += page_bytes) {
+    if (page[die] >= pages_per_block) {
+      ++block[die];
+      page[die] = 0;
+      if (block[die] >= blocks_per_die()) {
+        return Status(StatusCode::kOutOfSpace, "stripe ran past the die");
+      }
+    }
+    const uint32_t global = die * blocks_per_die() + block[die];
+    auto read = QueueRead({global, page[die]});
+    if (!read.ok()) {
+      return read.status();
+    }
+    const uint64_t take = std::min<uint64_t>(page_bytes, bytes - off);
+    if (!read.value().data.empty()) {
+      result.data.insert(result.data.end(), read.value().data.begin(),
+                         read.value().data.begin() + static_cast<ptrdiff_t>(take));
+    }
+    ++page[die];
+    die = (die + 1) % num_dies();
+  }
+  result.makespan_us = Drain();
+  return result;
+}
+
+}  // namespace sos

@@ -1,0 +1,98 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Multi-die NAND package with per-die command queuing.
+//
+// Real devices hide the slow cell operations behind parallelism: a package
+// stripes sequential data across several dies so N reads overlap and the
+// effective throughput approaches N x the single-die rate (§4.5: SPARE
+// traffic is sequential, which is exactly the access pattern that stripes
+// well; existing PLC SSDs are built for such nearline streams [14]).
+//
+// The package owns its dies in caller-timed mode (advance_clock=false) and
+// models timing itself: each die has a busy-until horizon; a queued command
+// starts at max(now, busy[die]) and completes after the operation latency.
+// Drain() advances the shared clock to the last completion, returning the
+// batch makespan. Issuing through the package with queue depth 1 degenerates
+// to the serial single-die model used by the FTL.
+//
+// Addressing: global block id g maps to die g / blocks_per_die, local block
+// g % blocks_per_die. Sequential *pages* of a stream should be written
+// die-round-robin (StripeWrite/StripeRead helpers) to expose parallelism.
+
+#ifndef SOS_SRC_FLASH_NAND_PACKAGE_H_
+#define SOS_SRC_FLASH_NAND_PACKAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/flash/nand_device.h"
+
+namespace sos {
+
+struct NandPackageConfig {
+  NandConfig die;           // per-die geometry (advance_clock is forced off)
+  uint32_t num_dies = 4;
+};
+
+struct GlobalPageAddr {
+  uint32_t global_block = 0;
+  uint32_t page = 0;
+};
+
+class NandPackage {
+ public:
+  NandPackage(const NandPackageConfig& config, SimClock* clock);
+
+  uint32_t num_dies() const { return static_cast<uint32_t>(dies_.size()); }
+  uint32_t blocks_per_die() const { return config_.die.num_blocks; }
+  uint32_t total_blocks() const { return num_dies() * blocks_per_die(); }
+
+  NandDevice& die(uint32_t i) { return *dies_[i]; }
+  uint32_t DieOfBlock(uint32_t global_block) const { return global_block / blocks_per_die(); }
+  uint32_t LocalBlock(uint32_t global_block) const { return global_block % blocks_per_die(); }
+
+  // --- Queued operations ----------------------------------------------------
+  // Execute the state change immediately (deterministic data path) but
+  // account the latency on the owning die's queue. Results are valid right
+  // away; *time* is settled by Drain().
+
+  Status QueueProgram(GlobalPageAddr addr, std::span<const uint8_t> data);
+  Result<ReadResult> QueueRead(GlobalPageAddr addr, int retry_level = 0);
+  Status QueueErase(uint32_t global_block);
+
+  // Advances the clock to the completion of everything queued since the last
+  // drain and returns the batch makespan in microseconds.
+  SimTimeUs Drain();
+
+  // --- Striping helpers -------------------------------------------------------
+  // Writes/reads `pages` sequential pages of a stream, one page per die in
+  // round-robin order starting at (start_block, page 0) of each die's
+  // current cursor. Simplified bulk API for throughput studies; the general
+  // FTL path manages blocks itself.
+
+  // Programs `data` split into page-size chunks across dies; each die fills
+  // its own blocks sequentially starting from local block `first_local_block`.
+  Status StripeWrite(uint32_t first_local_block, std::span<const uint8_t> data);
+
+  // Reads the same layout back; returns makespan via Drain() internally.
+  struct StripeReadResult {
+    std::vector<uint8_t> data;
+    SimTimeUs makespan_us = 0;
+  };
+  Result<StripeReadResult> StripeRead(uint32_t first_local_block, uint64_t bytes);
+
+ private:
+  NandPackageConfig config_;
+  SimClock* clock_;
+  std::vector<std::unique_ptr<NandDevice>> dies_;
+  std::vector<SimTimeUs> busy_until_;
+
+  // Accounts an op of `latency` on `die`, returning its completion time.
+  SimTimeUs Account(uint32_t die, SimTimeUs latency);
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_FLASH_NAND_PACKAGE_H_

@@ -1,0 +1,824 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/ftl/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/flash/error_model.h"
+
+namespace sos {
+
+Ftl::Ftl(const FtlConfig& config, SimClock* clock)
+    : config_(config), clock_(clock), nand_(config.nand, clock) {
+  assert(!config_.pools.empty());
+  double share_sum = 0.0;
+  for (const auto& pc : config_.pools) {
+    share_sum += pc.share;
+  }
+  assert(share_sum > 0.0);
+
+  // Partition the physical blocks across pools by share.
+  const uint32_t total_blocks = config_.nand.num_blocks;
+  uint32_t next_block = 0;
+  for (size_t p = 0; p < config_.pools.size(); ++p) {
+    Pool pool;
+    pool.config = config_.pools[p];
+    assert(pool.config.parity_stripe != 1 && "stripe of 1 would be all parity");
+    const uint32_t pages = config_.nand.PagesPerBlock(pool.config.mode);
+    const uint32_t parity_slots =
+        pool.config.parity_stripe > 0 ? pages / pool.config.parity_stripe : 0;
+    pool.data_slots_per_block = pages - parity_slots;
+    pool.retire_rber = pool.config.retire_rber > 0.0
+                           ? pool.config.retire_rber
+                           : pool.config.ecc.MaxCorrectableRber(config_.nand.page_size_bytes);
+    assert(pool.retire_rber > 0.0 &&
+           "ECC-less pools must set an explicit retire_rber bound");
+    pool.active_host.stripe_xor.assign(config_.nand.page_size_bytes, 0);
+    pool.active_cold.stripe_xor.assign(config_.nand.page_size_bytes, 0);
+
+    uint32_t count = static_cast<uint32_t>(static_cast<double>(total_blocks) *
+                                           pool.config.share / share_sum);
+    if (p + 1 == config_.pools.size()) {
+      count = total_blocks - next_block;  // last pool absorbs rounding
+    }
+    for (uint32_t i = 0; i < count && next_block < total_blocks; ++i, ++next_block) {
+      Status s = nand_.SetBlockMode(next_block, pool.config.mode);
+      assert(s.ok());
+      (void)s;
+      FtlBlock blk;
+      blk.id = next_block;
+      blk.page_lba.assign(pages, kLbaInvalid);
+      pool.blocks.emplace(next_block, std::move(blk));
+      pool.free_blocks.push_back(next_block);
+    }
+    pools_.push_back(std::move(pool));
+  }
+
+  // Resolve resuscitation targets by name.
+  for (auto& pool : pools_) {
+    if (pool.config.resuscitate_into.has_value()) {
+      pool.resuscitate_pool = PoolIdByName(*pool.config.resuscitate_into);
+    }
+  }
+  last_exported_pages_ = ExportedPages();
+}
+
+uint32_t Ftl::PoolIdByName(const std::string& name) const {
+  for (size_t p = 0; p < pools_.size(); ++p) {
+    if (pools_[p].config.name == name) {
+      return static_cast<uint32_t>(p);
+    }
+  }
+  assert(false && "unknown pool name");
+  return 0;
+}
+
+bool Ftl::IsParitySlot(const Pool& pool, uint32_t page) const {
+  return pool.config.parity_stripe > 0 && (page + 1) % pool.config.parity_stripe == 0;
+}
+
+uint32_t Ftl::PagesPerBlock(const Pool& pool) const {
+  return config_.nand.PagesPerBlock(pool.config.mode);
+}
+
+std::optional<uint32_t> Ftl::AllocateBlock(Pool& pool) {
+  if (pool.free_blocks.empty()) {
+    return std::nullopt;
+  }
+  size_t pick = 0;
+  if (pool.config.wear_leveling) {
+    // Dynamic wear leveling: lowest-PEC free block first.
+    uint32_t best_pec = std::numeric_limits<uint32_t>::max();
+    for (size_t i = 0; i < pool.free_blocks.size(); ++i) {
+      const uint32_t pec = nand_.block_info(pool.free_blocks[i]).pec;
+      if (pec < best_pec) {
+        best_pec = pec;
+        pick = i;
+      }
+    }
+  }
+  const uint32_t id = pool.free_blocks[pick];
+  pool.free_blocks.erase(pool.free_blocks.begin() + static_cast<ptrdiff_t>(pick));
+  return id;
+}
+
+Ftl::ActiveSlot& Ftl::SlotFor(Pool& pool, bool cold) {
+  return cold && pool.config.hot_cold_separation ? pool.active_cold : pool.active_host;
+}
+
+bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc) {
+  Pool& pool = pools_[pool_id];
+  if (pool.blocks.size() < pool.config.min_live_blocks) {
+    return false;  // pool has worn down to a husk
+  }
+  // True while the slot's active block has a free page; clears a spent one.
+  auto active_usable = [&]() -> bool {
+    if (!slot.block.has_value()) {
+      return false;
+    }
+    const FtlBlock& blk = pool.blocks.at(*slot.block);
+    if (!blk.sealed && nand_.block_info(blk.id).next_page < PagesPerBlock(pool)) {
+      return true;
+    }
+    slot.block.reset();
+    return false;
+  };
+  if (active_usable()) {
+    return true;
+  }
+  // Keep a GC slack of free blocks. Loop: under heavy churn each collection
+  // may reclaim only a few net pages, so a single pass cannot keep up with
+  // demand. Stop when the threshold is restored or no victim remains.
+  if (allow_gc && !in_relocation_) {
+    int guard = 0;
+    while (pool.free_blocks.size() <= pool.config.gc_threshold_blocks &&
+           guard++ < static_cast<int>(config_.nand.num_blocks)) {
+      if (!CollectGarbage(pool_id)) {
+        break;
+      }
+    }
+    // GC may have installed (and partially filled) a block into this slot --
+    // keep appending to it rather than leaking it half-programmed.
+    if (active_usable()) {
+      return true;
+    }
+  }
+  // Host writes must not raid the GC reserve; relocation writes may.
+  if (!in_relocation_ && pool.free_blocks.size() <= kGcReserveBlocks) {
+    return false;
+  }
+  std::optional<uint32_t> block = AllocateBlock(pool);
+  if (!block.has_value()) {
+    return false;
+  }
+  slot.block = *block;
+  FtlBlock& blk = pool.blocks.at(*block);
+  blk.page_lba.assign(PagesPerBlock(pool), kLbaInvalid);
+  blk.valid = 0;
+  blk.sealed = false;
+  // A fresh stripe starts with a fresh block.
+  std::fill(slot.stripe_xor.begin(), slot.stripe_xor.end(), 0);
+  slot.stripe_fill = 0;
+  return true;
+}
+
+Status Ftl::WriteParityPage(uint32_t pool_id, ActiveSlot& slot) {
+  Pool& pool = pools_[pool_id];
+  assert(slot.block.has_value());
+  FtlBlock& blk = pool.blocks.at(*slot.block);
+  const uint32_t page = nand_.block_info(blk.id).next_page;
+  assert(IsParitySlot(pool, page));
+  std::span<const uint8_t> payload;
+  if (config_.nand.store_payloads) {
+    payload = slot.stripe_xor;
+  }
+  if (Status s = nand_.Program({blk.id, page}, payload); !s.ok()) {
+    return s;
+  }
+  blk.page_lba[page] = kLbaParity;
+  blk.last_write = clock_->now();
+  ++stats_.parity_writes;
+  ++stats_.nand_writes;
+  std::fill(slot.stripe_xor.begin(), slot.stripe_xor.end(), 0);
+  slot.stripe_fill = 0;
+  if (nand_.block_info(blk.id).next_page >= PagesPerBlock(pool)) {
+    blk.sealed = true;
+    slot.block.reset();
+  }
+  return Status::Ok();
+}
+
+Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
+                                     std::span<const uint8_t> data, bool allow_gc, bool cold) {
+  Pool& pool = pools_[pool_id];
+  ActiveSlot& slot = SlotFor(pool, cold);
+  for (int attempts = 0; attempts < 3; ++attempts) {
+    if (!EnsureWritable(pool_id, slot, allow_gc)) {
+      return Status(StatusCode::kOutOfSpace,
+                    "pool '" + pool.config.name + "' has no writable blocks");
+    }
+    FtlBlock& blk = pool.blocks.at(*slot.block);
+    uint32_t page = nand_.block_info(blk.id).next_page;
+    // Flush parity pages until the cursor rests on a data slot (a stripe
+    // boundary may seal the block, hence the outer retry loop).
+    bool resealed = false;
+    while (IsParitySlot(pool, page)) {
+      if (Status s = WriteParityPage(pool_id, slot); !s.ok()) {
+        return s;
+      }
+      if (!slot.block.has_value()) {
+        resealed = true;
+        break;
+      }
+      page = nand_.block_info(blk.id).next_page;
+    }
+    if (resealed) {
+      continue;  // block sealed by parity flush; pick a new one
+    }
+    if (Status s = nand_.Program({blk.id, page}, data); !s.ok()) {
+      return s;
+    }
+    blk.page_lba[page] = lba;
+    ++blk.valid;
+    ++pool.valid_pages;
+    blk.last_write = clock_->now();
+    ++stats_.nand_writes;
+    if (pool.config.parity_stripe > 0 && config_.nand.store_payloads) {
+      for (size_t i = 0; i < data.size() && i < slot.stripe_xor.size(); ++i) {
+        slot.stripe_xor[i] = static_cast<uint8_t>(slot.stripe_xor[i] ^ data[i]);
+      }
+      ++slot.stripe_fill;
+    }
+    if (nand_.block_info(blk.id).next_page >= PagesPerBlock(pool)) {
+      blk.sealed = true;
+      slot.block.reset();
+    }
+    return PhysLoc{pool_id, blk.id, page};
+  }
+  return Status(StatusCode::kOutOfSpace, "append retry budget exhausted");
+}
+
+void Ftl::InvalidateLoc(const PhysLoc& loc) {
+  Pool& pool = pools_[loc.pool];
+  auto it = pool.blocks.find(loc.block);
+  if (it == pool.blocks.end()) {
+    return;  // block was retired out from under the mapping
+  }
+  FtlBlock& blk = it->second;
+  if (loc.page < blk.page_lba.size() && blk.page_lba[loc.page] != kLbaInvalid &&
+      blk.page_lba[loc.page] != kLbaParity) {
+    blk.page_lba[loc.page] = kLbaInvalid;
+    assert(blk.valid > 0);
+    --blk.valid;
+    assert(pool.valid_pages > 0);
+    --pool.valid_pages;
+  }
+}
+
+Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id) {
+  if (pool_id >= pools_.size()) {
+    return Status(StatusCode::kInvalidArgument, "bad pool id");
+  }
+  if (data.size() > config_.nand.page_size_bytes) {
+    return Status(StatusCode::kInvalidArgument, "payload exceeds page size");
+  }
+  auto loc = AppendPage(pool_id, lba, data, /*allow_gc=*/true, /*cold=*/false);
+  if (!loc.ok()) {
+    return loc.status();
+  }
+  auto old = map_.find(lba);
+  if (old != map_.end()) {
+    InvalidateLoc(old->second);
+    old->second = loc.value();
+    old->second.tainted = false;  // fresh host data supersedes any corruption
+  } else {
+    map_.emplace(lba, loc.value());
+  }
+  ++stats_.host_writes;
+  return Status::Ok();
+}
+
+Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
+  auto it = map_.find(lba);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "unmapped LBA");
+  }
+  const PhysLoc loc = it->second;
+  Pool& pool = pools_[loc.pool];
+  auto read = nand_.Read({loc.block, loc.page});
+  if (!read.ok()) {
+    return read.status();
+  }
+  FtlReadResult result;
+  result.raw_rber = read.value().rber;
+  result.pool_id = loc.pool;
+  result.tainted = loc.tainted;
+
+  const uint64_t decode_seed =
+      DeriveSeed({config_.nand.seed, loc.block, loc.page, read.value().bit_errors});
+  const DecodeOutcome outcome = DecodePage(pool.config.ecc, config_.nand.page_size_bytes,
+                                           read.value().bit_errors, decode_seed);
+  if (outcome.corrected) {
+    auto clean = nand_.PeekClean({loc.block, loc.page});
+    if (clean.ok()) {
+      result.data = std::move(clean.value());
+    }
+    return result;
+  }
+
+  if (count_stats) {
+    ++stats_.ecc_failures;
+  }
+
+  // READ RETRY (paper §2.1 mechanics; see voltage_model.h): re-read with
+  // drift-tracking references. Each attempt is an independent, lower-RBER
+  // analog measurement; the first one that decodes wins.
+  for (int retry = 1; retry <= static_cast<int>(pool.config.read_retries); ++retry) {
+    auto reread = nand_.Read({loc.block, loc.page}, retry);
+    if (!reread.ok()) {
+      break;
+    }
+    const uint64_t retry_seed = DeriveSeed(
+        {config_.nand.seed, loc.block, loc.page, reread.value().bit_errors,
+         static_cast<uint64_t>(retry)});
+    if (DecodePage(pool.config.ecc, config_.nand.page_size_bytes,
+                   reread.value().bit_errors, retry_seed)
+            .corrected) {
+      auto clean = nand_.PeekClean({loc.block, loc.page});
+      if (clean.ok()) {
+        result.data = std::move(clean.value());
+      }
+      if (count_stats) {
+        ++stats_.retry_recoveries;
+      }
+      return result;
+    }
+  }
+
+  // Parity rescue: possible when the page sits in a completed stripe and
+  // every other stripe member (including the parity page) decodes.
+  if (pool.config.parity_stripe > 0) {
+    const uint32_t stripe = pool.config.parity_stripe;
+    const uint32_t start = loc.page / stripe * stripe;
+    const uint32_t parity_page = start + stripe - 1;
+    auto blk_it = pool.blocks.find(loc.block);
+    const bool stripe_complete =
+        blk_it != pool.blocks.end() && parity_page < blk_it->second.page_lba.size() &&
+        blk_it->second.page_lba[parity_page] == kLbaParity;
+    if (stripe_complete) {
+      bool rescue_ok = true;
+      for (uint32_t p = start; p < start + stripe && rescue_ok; ++p) {
+        if (p == loc.page) {
+          continue;
+        }
+        auto member = nand_.Read({loc.block, p});
+        if (!member.ok()) {
+          rescue_ok = false;
+          break;
+        }
+        const uint64_t member_seed =
+            DeriveSeed({config_.nand.seed, loc.block, p, member.value().bit_errors});
+        rescue_ok = DecodePage(pool.config.ecc, config_.nand.page_size_bytes,
+                               member.value().bit_errors, member_seed)
+                        .corrected;
+      }
+      if (rescue_ok) {
+        auto clean = nand_.PeekClean({loc.block, loc.page});
+        if (clean.ok()) {
+          result.data = std::move(clean.value());
+        }
+        result.parity_rescued = true;
+        if (count_stats) {
+          ++stats_.parity_rescues;
+        }
+        return result;
+      }
+    }
+  }
+
+  // Unrescued: deliver the raw (corrupted) bytes -- approximate storage.
+  result.data = std::move(read.value().data);
+  result.residual_bit_errors = outcome.residual_errors;
+  result.degraded = true;
+  if (count_stats) {
+    ++stats_.degraded_reads;
+  }
+  return result;
+}
+
+Result<FtlReadResult> Ftl::Read(uint64_t lba) { return ReadInternal(lba, /*count_stats=*/true); }
+
+Status Ftl::Trim(uint64_t lba) {
+  auto it = map_.find(lba);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "unmapped LBA");
+  }
+  InvalidateLoc(it->second);
+  map_.erase(it);
+  return Status::Ok();
+}
+
+Status Ftl::Migrate(uint64_t lba, uint32_t target_pool) {
+  if (target_pool >= pools_.size()) {
+    return Status(StatusCode::kInvalidArgument, "bad pool id");
+  }
+  auto it = map_.find(lba);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "unmapped LBA");
+  }
+  if (it->second.pool == target_pool) {
+    return Status::Ok();
+  }
+  auto read = ReadInternal(lba, /*count_stats=*/false);
+  if (!read.ok()) {
+    return read.status();
+  }
+  auto loc = AppendPage(target_pool, lba, read.value().data, /*allow_gc=*/true,
+                        /*cold=*/false);
+  if (!loc.ok()) {
+    return loc.status();
+  }
+  const bool tainted = it->second.tainted || read.value().degraded;
+  InvalidateLoc(it->second);
+  it->second = loc.value();
+  it->second.tainted = tainted;
+  ++stats_.migrations;
+  return Status::Ok();
+}
+
+Status Ftl::Refresh(uint64_t lba) {
+  auto it = map_.find(lba);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "unmapped LBA");
+  }
+  const uint32_t pool_id = it->second.pool;
+  auto read = ReadInternal(lba, /*count_stats=*/false);
+  if (!read.ok()) {
+    return read.status();
+  }
+  auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/true, /*cold=*/true);
+  if (!loc.ok()) {
+    return loc.status();
+  }
+  const bool tainted = it->second.tainted || read.value().degraded;
+  InvalidateLoc(it->second);
+  it->second = loc.value();
+  it->second.tainted = tainted;
+  ++stats_.refreshes;
+  return Status::Ok();
+}
+
+uint32_t Ftl::BackgroundCollect(uint32_t max_blocks_per_pool) {
+  uint32_t collected = 0;
+  for (uint32_t pool_id = 0; pool_id < pools_.size(); ++pool_id) {
+    Pool& pool = pools_[pool_id];
+    uint32_t budget = max_blocks_per_pool;
+    while (budget > 0 &&
+           pool.free_blocks.size() <= 2 * pool.config.gc_threshold_blocks) {
+      if (!CollectGarbage(pool_id)) {
+        break;
+      }
+      --budget;
+      ++collected;
+      ++stats_.background_collections;
+    }
+  }
+  return collected;
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection, wear leveling, retirement.
+// ---------------------------------------------------------------------------
+
+std::optional<uint32_t> Ftl::PickGcVictim(const Pool& pool) const {
+  std::optional<uint32_t> best;
+  double best_score = -1.0;
+  for (const auto& [id, blk] : pool.blocks) {
+    if (!blk.sealed || pool.IsActive(id)) {
+      continue;
+    }
+    const double slots = static_cast<double>(pool.data_slots_per_block);
+    const double u = slots > 0.0 ? static_cast<double>(blk.valid) / slots : 1.0;
+    if (u >= 1.0) {
+      continue;  // nothing reclaimable
+    }
+    double score = 0.0;
+    if (config_.gc_policy == GcPolicy::kGreedy) {
+      score = 1.0 - u;
+    } else {
+      const double age_us = static_cast<double>(
+          clock_->now() >= blk.last_write ? clock_->now() - blk.last_write : 0);
+      score = (1.0 - u) / (1.0 + u) * (1.0 + age_us / static_cast<double>(kUsPerDay));
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = id;
+    }
+  }
+  return best;
+}
+
+bool Ftl::CollectGarbage(uint32_t pool_id) {
+  Pool& pool = pools_[pool_id];
+  const auto victim = PickGcVictim(pool);
+  if (!victim.has_value()) {
+    return false;
+  }
+  if (!EvacuateAndRecycle(pool_id, *victim, /*count_as_wl=*/false).ok()) {
+    return false;
+  }
+  MaybeStaticWearLevel(pool_id);
+  return true;
+}
+
+Status Ftl::EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_as_wl) {
+  Pool& pool = pools_[pool_id];
+  auto blk_it = pool.blocks.find(block_id);
+  if (blk_it == pool.blocks.end()) {
+    return Status(StatusCode::kNotFound, "block not owned by pool");
+  }
+  assert(!in_relocation_ && "nested relocation");
+  in_relocation_ = true;
+  Status status = Status::Ok();
+  FtlBlock& blk = blk_it->second;
+  for (uint32_t p = 0; p < blk.page_lba.size(); ++p) {
+    const uint64_t lba = blk.page_lba[p];
+    if (lba == kLbaInvalid || lba == kLbaParity) {
+      continue;
+    }
+    auto map_it = map_.find(lba);
+    if (map_it == map_.end() || map_it->second.block != block_id ||
+        map_it->second.pool != pool_id || map_it->second.page != p) {
+      continue;  // stale reverse entry
+    }
+    auto read = ReadInternal(lba, /*count_stats=*/false);
+    if (!read.ok()) {
+      status = read.status();
+      break;
+    }
+    auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/false,
+                          /*cold=*/true);
+    if (!loc.ok()) {
+      status = loc.status();
+      break;
+    }
+    // Invalidate the old copy (decrements this block's counters).
+    const bool tainted = map_it->second.tainted || read.value().degraded;
+    InvalidateLoc(map_it->second);
+    map_it->second = loc.value();
+    map_it->second.tainted = tainted;
+    if (count_as_wl) {
+      ++stats_.wl_relocations;
+    } else {
+      ++stats_.gc_relocations;
+    }
+  }
+  in_relocation_ = false;
+  if (!status.ok()) {
+    return status;
+  }
+  RecycleBlock(pool_id, block_id);
+  return Status::Ok();
+}
+
+void Ftl::MaybeStaticWearLevel(uint32_t pool_id) {
+  Pool& pool = pools_[pool_id];
+  if (!pool.config.wear_leveling || pool.blocks.empty()) {
+    return;
+  }
+  uint32_t min_pec = std::numeric_limits<uint32_t>::max();
+  uint32_t max_pec = 0;
+  std::optional<uint32_t> coldest;
+  for (const auto& [id, blk] : pool.blocks) {
+    const uint32_t pec = nand_.block_info(id).pec;
+    max_pec = std::max(max_pec, pec);
+    if (pec < min_pec && blk.sealed && blk.valid > 0 && !pool.IsActive(id)) {
+      min_pec = pec;
+      coldest = id;
+    }
+  }
+  const double endurance =
+      static_cast<double>(GetCellTechInfo(pool.config.mode).rated_endurance_pec);
+  if (coldest.has_value() &&
+      static_cast<double>(max_pec - min_pec) > config_.static_wl_spread * endurance) {
+    (void)EvacuateAndRecycle(pool_id, *coldest, /*count_as_wl=*/true);
+  }
+}
+
+bool Ftl::ShouldRetire(const Pool& pool, uint32_t block_id) const {
+  PageErrorState state;
+  state.mode = pool.config.mode;
+  state.endurance_pec = nand_.EffectiveEndurance(block_id);
+  state.pec_at_program = nand_.block_info(block_id).pec;
+  state.retention_years = pool.config.nominal_retention_years;
+  state.reads_since_program = 0;
+  return ErrorModel::Rber(state) > pool.retire_rber;
+}
+
+void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
+  Pool& pool = pools_[pool_id];
+  Status s = nand_.EraseBlock(block_id);
+  assert(s.ok());
+  (void)s;
+  ++stats_.gc_erases;
+
+  // Retirement is postponed while the free list is at or below the GC
+  // reserve: retiring now would consume the relocation slack GC itself needs
+  // and could wedge the pool. The worn block stays in service (approximate
+  // pools tolerate it) and retires on a later cycle once slack recovers.
+  const bool may_retire = pool.free_blocks.size() >= kGcReserveBlocks;
+  if (!may_retire || !ShouldRetire(pool, block_id)) {
+    FtlBlock& blk = pool.blocks.at(block_id);
+    blk.page_lba.assign(PagesPerBlock(pool), kLbaInvalid);
+    blk.valid = 0;
+    blk.sealed = false;
+    pool.free_blocks.push_back(block_id);
+    return;
+  }
+
+  // Retired from this pool.
+  pool.blocks.erase(block_id);
+  ++pool.retired;
+  ++stats_.retired_blocks;
+
+  if (pool.resuscitate_pool.has_value()) {
+    Pool& target = pools_[*pool.resuscitate_pool];
+    Status mode_status = nand_.SetBlockMode(block_id, target.config.mode);
+    if (mode_status.ok() && !ShouldRetire(target, block_id)) {
+      FtlBlock blk;
+      blk.id = block_id;
+      blk.page_lba.assign(PagesPerBlock(target), kLbaInvalid);
+      target.blocks.emplace(block_id, std::move(blk));
+      target.free_blocks.push_back(block_id);
+      ++stats_.resuscitated_blocks;
+    }
+  }
+  NotifyCapacity();
+}
+
+// ---------------------------------------------------------------------------
+// Capacity and introspection.
+// ---------------------------------------------------------------------------
+
+uint64_t Ftl::ExportedPages() const {
+  uint64_t exported = 0;
+  for (const auto& pool : pools_) {
+    const uint64_t usable_blocks =
+        pool.blocks.size() > kGcReserveBlocks ? pool.blocks.size() - kGcReserveBlocks : 0;
+    const uint64_t raw = usable_blocks * pool.data_slots_per_block;
+    exported += static_cast<uint64_t>(static_cast<double>(raw) *
+                                      (1.0 - pool.config.op_fraction));
+  }
+  return exported;
+}
+
+void Ftl::NotifyCapacity() {
+  const uint64_t exported = ExportedPages();
+  if (exported < last_exported_pages_) {
+    last_exported_pages_ = exported;
+    if (capacity_listener_) {
+      capacity_listener_(exported);
+    }
+  }
+}
+
+PoolSnapshot Ftl::Snapshot(uint32_t pool_id) const {
+  const Pool& pool = pools_[pool_id];
+  PoolSnapshot snap;
+  snap.name = pool.config.name;
+  snap.mode = pool.config.mode;
+  snap.total_blocks = static_cast<uint32_t>(pool.blocks.size());
+  snap.free_blocks = static_cast<uint32_t>(pool.free_blocks.size());
+  snap.retired_blocks = pool.retired;
+  const uint64_t usable_blocks =
+      pool.blocks.size() > kGcReserveBlocks ? pool.blocks.size() - kGcReserveBlocks : 0;
+  const uint64_t raw = usable_blocks * pool.data_slots_per_block;
+  snap.exported_pages =
+      static_cast<uint64_t>(static_cast<double>(raw) * (1.0 - pool.config.op_fraction));
+  snap.valid_pages = pool.valid_pages;
+  uint64_t pec_sum = 0;
+  for (const auto& [id, blk] : pool.blocks) {
+    const uint32_t pec = nand_.block_info(id).pec;
+    pec_sum += pec;
+    snap.max_pec = std::max(snap.max_pec, pec);
+    if (blk.sealed) {
+      ++snap.sealed_blocks;
+      if (blk.valid < pool.data_slots_per_block) {
+        ++snap.gc_candidates;
+      }
+    } else if (nand_.block_info(id).programmed_pages > 0) {
+      ++snap.unsealed_blocks;
+    }
+  }
+  snap.mean_pec = pool.blocks.empty()
+                      ? 0.0
+                      : static_cast<double>(pec_sum) / static_cast<double>(pool.blocks.size());
+  snap.free_page_fraction =
+      snap.exported_pages > 0
+          ? static_cast<double>(snap.exported_pages -
+                                std::min(snap.valid_pages, snap.exported_pages)) /
+                static_cast<double>(snap.exported_pages)
+          : 0.0;
+  return snap;
+}
+
+bool Ftl::IsTainted(uint64_t lba) const {
+  auto it = map_.find(lba);
+  return it != map_.end() && it->second.tainted;
+}
+
+uint32_t Ftl::PoolOf(uint64_t lba) const {
+  auto it = map_.find(lba);
+  assert(it != map_.end());
+  return it->second.pool;
+}
+
+Result<double> Ftl::PredictLbaRber(uint64_t lba, double ahead_years) const {
+  auto it = map_.find(lba);
+  if (it == map_.end()) {
+    return Status(StatusCode::kNotFound, "unmapped LBA");
+  }
+  return nand_.PredictRber({it->second.block, it->second.page}, ahead_years);
+}
+
+Status Ftl::CheckInvariants() const {
+  auto fail = [](const std::string& what) {
+    return Status(StatusCode::kFailedPrecondition, "invariant violated: " + what);
+  };
+
+  // Block ownership is disjoint, and every owned block is in range.
+  std::unordered_map<uint32_t, uint32_t> owner;  // block -> pool
+  for (uint32_t p = 0; p < pools_.size(); ++p) {
+    for (const auto& [id, blk] : pools_[p].blocks) {
+      if (id >= config_.nand.num_blocks) {
+        return fail("pool owns out-of-range block " + std::to_string(id));
+      }
+      if (!owner.emplace(id, p).second) {
+        return fail("block " + std::to_string(id) + " owned by two pools");
+      }
+    }
+  }
+
+  // Forward map agrees with reverse maps.
+  for (const auto& [lba, loc] : map_) {
+    if (loc.pool >= pools_.size()) {
+      return fail("mapping with bad pool id");
+    }
+    const Pool& pool = pools_[loc.pool];
+    auto blk_it = pool.blocks.find(loc.block);
+    if (blk_it == pool.blocks.end()) {
+      return fail("LBA " + std::to_string(lba) + " maps to unowned block");
+    }
+    if (loc.page >= blk_it->second.page_lba.size() ||
+        blk_it->second.page_lba[loc.page] != lba) {
+      return fail("LBA " + std::to_string(lba) + " reverse entry mismatch");
+    }
+  }
+
+  // Per-block and per-pool counters, and free-list hygiene.
+  for (uint32_t p = 0; p < pools_.size(); ++p) {
+    const Pool& pool = pools_[p];
+    uint64_t pool_valid = 0;
+    for (const auto& [id, blk] : pool.blocks) {
+      uint32_t live = 0;
+      for (uint32_t page = 0; page < blk.page_lba.size(); ++page) {
+        const uint64_t lba = blk.page_lba[page];
+        if (lba == kLbaInvalid || lba == kLbaParity) {
+          continue;
+        }
+        auto map_it = map_.find(lba);
+        if (map_it == map_.end() || map_it->second.pool != p ||
+            map_it->second.block != id || map_it->second.page != page) {
+          // A stale reverse entry is only legal when the LBA now lives
+          // elsewhere (overwrite left the old copy behind until GC).
+          if (map_it == map_.end()) {
+            continue;  // trimmed; stale reverse entry awaits GC
+          }
+          continue;
+        }
+        ++live;
+      }
+      if (live != blk.valid) {
+        return fail("block " + std::to_string(id) + " valid=" + std::to_string(blk.valid) +
+                    " but live reverse entries=" + std::to_string(live));
+      }
+      pool_valid += blk.valid;
+    }
+    if (pool_valid != pool.valid_pages) {
+      return fail("pool '" + pool.config.name + "' valid_pages=" +
+                  std::to_string(pool.valid_pages) + " but sum=" + std::to_string(pool_valid));
+    }
+    for (uint32_t id : pool.free_blocks) {
+      auto blk_it = pool.blocks.find(id);
+      if (blk_it == pool.blocks.end()) {
+        return fail("free list references unowned block");
+      }
+      if (blk_it->second.valid != 0) {
+        return fail("free block " + std::to_string(id) + " holds valid data");
+      }
+      if (nand_.block_info(id).programmed_pages != 0) {
+        return fail("free block " + std::to_string(id) + " is programmed");
+      }
+      if (pool.IsActive(id)) {
+        return fail("active block is also on the free list");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint64_t> Ftl::LbasInPool(uint32_t pool_id) const {
+  std::vector<uint64_t> lbas;
+  for (const auto& [lba, loc] : map_) {
+    if (loc.pool == pool_id) {
+      lbas.push_back(lba);
+    }
+  }
+  std::sort(lbas.begin(), lbas.end());  // deterministic iteration for scrubs
+  return lbas;
+}
+
+}  // namespace sos

@@ -1,0 +1,346 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Pool-based, page-mapped flash translation layer.
+//
+// The FTL manages one NAND die as a set of *pools*, each with its own
+// programming mode, ECC strength, parity policy, and wear-leveling setting.
+// This is the device half of SOS's Figure 2: the SYS pool runs pseudo-QLC
+// with strong ECC plus intra-block XOR parity stripes; the SPARE pool runs
+// native PLC with weak/no ECC and wear leveling disabled (paper §4.2-4.3).
+// Pure single-pool configurations give the TLC/QLC baselines of E12.
+//
+// Policies implemented:
+//   - Garbage collection: greedy (max invalid pages) or cost-benefit
+//     ((1-u)/(1+u) * age, Rosenblum-style), per-pool trigger thresholds.
+//   - Dynamic wear leveling: when enabled, new blocks are allocated
+//     lowest-PEC-first; when disabled, FIFO. Static wear leveling: when the
+//     pool's PEC spread exceeds a threshold, cold data is moved off the
+//     least-worn block so it re-enters rotation. The paper disables all of
+//     this on SPARE ([73]: "wear leveling considered harmful").
+//   - Intra-block parity (RAIN-style): every `parity_stripe`-th page of a
+//     block stores the XOR of the preceding stripe; a page whose ECC fails
+//     is rebuilt iff every other stripe member decodes.
+//   - Retirement: a block is retired when its predicted RBER at the pool's
+//     nominal retention exceeds what the pool's ECC can correct (or an
+//     explicit RBER bound for ECC-less pools). Retired blocks may be
+//     *resuscitated* into a sparser-mode pool (worn PLC reborn as
+//     pseudo-TLC, paper §4.3 / FlexFS [76]); otherwise capacity shrinks and
+//     listeners are notified (capacity variance, [74]).
+//
+// Degradation semantics: a read whose ECC fails and cannot be rescued
+// returns the *corrupted* payload with `degraded=true` rather than an
+// error -- approximate storage delivers bits, not failures. Relocations
+// (GC/migration) re-encode whatever the read path produced, so corruption
+// accumulated on an approximate pool survives moves, exactly as it would
+// through a real controller that cannot correct it.
+
+#ifndef SOS_SRC_FTL_FTL_H_
+#define SOS_SRC_FTL_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ecc/ecc_scheme.h"
+#include "src/flash/nand_device.h"
+
+namespace sos {
+
+enum class GcPolicy : uint8_t {
+  kGreedy,       // victim = most invalid pages
+  kCostBenefit,  // victim = max (1-u)/(1+u) * age
+};
+
+struct FtlPoolConfig {
+  std::string name = "pool";
+  CellTech mode = CellTech::kQlc;
+  EccScheme ecc = EccScheme::FromPreset(EccPreset::kBch);
+  double share = 1.0;            // fraction of physical blocks at format time
+  bool wear_leveling = true;     // dynamic + static WL toggle
+  uint32_t parity_stripe = 0;    // every Nth page is XOR parity; 0 = none
+  double op_fraction = 0.07;     // over-provisioned fraction of pool capacity
+  double nominal_retention_years = 1.0;  // retirement look-ahead
+  // Explicit retirement RBER bound; 0 derives it from the ECC scheme. Pools
+  // with EccPreset::kNone must set this (there is no ECC limit to derive).
+  double retire_rber = 0.0;
+  // When set, retired blocks change mode and join the pool with this name.
+  std::optional<std::string> resuscitate_into;
+  uint32_t gc_threshold_blocks = 3;  // GC when free blocks <= this
+  uint32_t min_live_blocks = 4;      // below this the pool is dead (no writes)
+  // READ-RETRY attempts after an ECC failure: each re-reads the page with
+  // reference voltages tracking the retention drift (lower RBER, +tR
+  // latency). Real controllers use several; pointless without ECC.
+  uint32_t read_retries = 0;
+  // Hot/cold stream separation: relocated (GC/WL/refresh) data is appended
+  // to a dedicated "cold" active block instead of mixing with fresh host
+  // writes. Cold data clusters with cold data, so future GC victims are
+  // either mostly-hot (cheap: mostly invalid) or mostly-cold (skipped),
+  // cutting write amplification under skewed workloads.
+  bool hot_cold_separation = true;
+};
+
+struct FtlConfig {
+  NandConfig nand;
+  std::vector<FtlPoolConfig> pools;
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  // Static WL kicks in when (max PEC - min PEC) exceeds this fraction of the
+  // mode's endurance.
+  double static_wl_spread = 0.10;
+};
+
+struct FtlReadResult {
+  std::vector<uint8_t> data;        // empty in metadata-only simulations
+  uint64_t residual_bit_errors = 0; // post-ECC errors in `data`
+  bool degraded = false;            // ECC failed and parity could not rescue
+  bool parity_rescued = false;
+  // True when the *stored* copy is known to have absorbed unrecoverable
+  // corruption at some earlier relocation (GC, migration, refresh): the
+  // controller re-encoded degraded bytes, so even an error-free read of the
+  // current physical page cannot return the original data. This is the
+  // signal SOS's cloud-repair path keys on (paper §4.3).
+  bool tainted = false;
+  double raw_rber = 0.0;
+  uint32_t pool_id = 0;
+};
+
+struct FtlStats {
+  uint64_t host_writes = 0;      // host data pages accepted
+  uint64_t nand_writes = 0;      // physical pages programmed (all causes)
+  uint64_t parity_writes = 0;
+  uint64_t gc_relocations = 0;
+  uint64_t wl_relocations = 0;
+  uint64_t migrations = 0;       // cross-pool moves
+  uint64_t refreshes = 0;        // in-place scrub rewrites
+  uint64_t gc_erases = 0;
+  uint64_t background_collections = 0;  // victims collected during idle GC
+  uint64_t retired_blocks = 0;
+  uint64_t resuscitated_blocks = 0;
+  uint64_t ecc_failures = 0;     // pages whose ECC decode failed
+  uint64_t retry_recoveries = 0; // failures recovered by read-retry
+  uint64_t parity_rescues = 0;
+  uint64_t degraded_reads = 0;   // reads returned with residual errors
+
+  double WriteAmplification() const {
+    return host_writes > 0
+               ? static_cast<double>(nand_writes) / static_cast<double>(host_writes)
+               : 0.0;
+  }
+};
+
+// Point-in-time view of one pool, for benches and the SOS daemons.
+struct PoolSnapshot {
+  std::string name;
+  CellTech mode = CellTech::kQlc;
+  uint32_t total_blocks = 0;     // currently owned (live, incl. free)
+  uint32_t free_blocks = 0;
+  uint32_t retired_blocks = 0;   // retired while owned by this pool
+  uint64_t exported_pages = 0;   // host-visible capacity in pages
+  uint64_t valid_pages = 0;      // live host data
+  double mean_pec = 0.0;
+  uint32_t max_pec = 0;
+  double free_page_fraction = 0.0;  // (exported - valid) / exported
+  // Block-state breakdown (diagnostics; sums to total_blocks):
+  uint32_t sealed_blocks = 0;       // fully programmed
+  uint32_t gc_candidates = 0;       // sealed with at least one invalid page
+  uint32_t unsealed_blocks = 0;     // partially programmed (active block + 0)
+};
+
+class Ftl {
+ public:
+  // `clock` must outlive the FTL.
+  Ftl(const FtlConfig& config, SimClock* clock);
+
+  Ftl(const Ftl&) = delete;
+  Ftl& operator=(const Ftl&) = delete;
+
+  // --- Host interface ------------------------------------------------------
+
+  // Writes one logical page into `pool_id`. Overwrites relocate the LBA into
+  // that pool regardless of where it lived before.
+  Status Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id);
+
+  // Reads a logical page through the owning pool's ECC/parity path.
+  Result<FtlReadResult> Read(uint64_t lba);
+
+  // Invalidates a logical page.
+  Status Trim(uint64_t lba);
+
+  // Moves a logical page to another pool (classification change). Reads
+  // through the normal path, so undetected corruption travels along.
+  Status Migrate(uint64_t lba, uint32_t target_pool);
+
+  // Rewrites a logical page in place (same pool, fresh physical page),
+  // resetting its retention clock. The scrubber's preemptive rescue of
+  // dangerously degraded data (paper §4.3).
+  Status Refresh(uint64_t lba);
+
+  // Opportunistic idle-time garbage collection: tops every pool's free list
+  // up to twice its GC threshold, collecting at most `max_blocks_per_pool`
+  // victims each. Work done here is work foreground writes will not stall
+  // on. Returns the number of blocks collected.
+  uint32_t BackgroundCollect(uint32_t max_blocks_per_pool = 2);
+
+  // --- Capacity ------------------------------------------------------------
+
+  // Host-visible capacity across pools, in pages.
+  uint64_t ExportedPages() const;
+
+  // Fired with the new ExportedPages() whenever retirement shrinks capacity.
+  using CapacityListener = std::function<void(uint64_t exported_pages)>;
+  void SetCapacityListener(CapacityListener listener) { capacity_listener_ = std::move(listener); }
+
+  // --- Introspection (SOS daemons, benches, tests) -------------------------
+
+  uint32_t PoolIdByName(const std::string& name) const;
+  PoolSnapshot Snapshot(uint32_t pool_id) const;
+  const FtlStats& stats() const { return stats_; }
+  NandDevice& nand() { return nand_; }
+  const NandDevice& nand() const { return nand_; }
+
+  bool IsMapped(uint64_t lba) const { return map_.contains(lba); }
+  uint32_t PoolOf(uint64_t lba) const;
+
+  // True when the stored copy of `lba` has absorbed unrecoverable corruption
+  // during some past relocation (see FtlReadResult::tainted).
+  bool IsTainted(uint64_t lba) const;
+
+  // Predicted raw BER of the physical page backing `lba`, `ahead_years`
+  // from now. kNotFound for unmapped LBAs.
+  Result<double> PredictLbaRber(uint64_t lba, double ahead_years) const;
+
+  // All LBAs currently mapped into `pool_id` (scrub iteration).
+  std::vector<uint64_t> LbasInPool(uint32_t pool_id) const;
+
+  // Exhaustive internal consistency audit, used by stress tests:
+  //  - every mapping entry points at a page whose reverse entry names it,
+  //  - per-block valid counters equal the live reverse entries,
+  //  - per-pool valid_pages equals the sum over its blocks,
+  //  - free-listed blocks are erased and hold no valid data,
+  //  - block ownership is disjoint across pools.
+  // Returns kFailedPrecondition with a description on the first violation.
+  Status CheckInvariants() const;
+
+ private:
+  static constexpr uint64_t kLbaInvalid = ~0ull;
+  static constexpr uint64_t kLbaParity = ~0ull - 1;
+
+  // Free blocks withheld from host writes so garbage collection always has
+  // relocation targets. Without this reserve a burst of writes can consume
+  // the last free block and wedge the pool permanently (GC needs somewhere
+  // to move valid pages before it can erase a victim). The reserve is
+  // excluded from exported capacity.
+  static constexpr uint32_t kGcReserveBlocks = 2;
+
+  struct PhysLoc {
+    uint32_t pool = 0;
+    uint32_t block = 0;
+    uint32_t page = 0;
+    // Sticky corruption marker; travels with the mapping through
+    // relocations, cleared by a fresh host write.
+    bool tainted = false;
+  };
+
+  struct FtlBlock {
+    uint32_t id = 0;                  // NAND block id
+    std::vector<uint64_t> page_lba;   // reverse map
+    uint32_t valid = 0;
+    SimTimeUs last_write = 0;
+    bool sealed = false;              // fully programmed
+  };
+
+  // An append point: a partially-programmed block plus its open parity
+  // stripe. Pools keep two -- one for host writes, one for relocated (cold)
+  // data -- when hot/cold separation is on.
+  struct ActiveSlot {
+    std::optional<uint32_t> block;
+    std::vector<uint8_t> stripe_xor;  // running parity of the open stripe
+    uint32_t stripe_fill = 0;         // data pages since last parity write
+  };
+
+  struct Pool {
+    FtlPoolConfig config;
+    uint32_t data_slots_per_block = 0;  // pages per block minus parity slots
+    double retire_rber = 0.0;           // resolved bound
+    std::unordered_map<uint32_t, FtlBlock> blocks;  // owned, by NAND block id
+    std::deque<uint32_t> free_blocks;
+    ActiveSlot active_host;
+    ActiveSlot active_cold;             // used iff config.hot_cold_separation
+    uint32_t retired = 0;
+    uint64_t valid_pages = 0;
+    std::optional<uint32_t> resuscitate_pool;  // resolved target pool id
+
+    bool IsActive(uint32_t id) const {
+      return (active_host.block.has_value() && *active_host.block == id) ||
+             (active_cold.block.has_value() && *active_cold.block == id);
+    }
+  };
+
+  bool IsParitySlot(const Pool& pool, uint32_t page) const;
+  uint32_t PagesPerBlock(const Pool& pool) const;
+
+  // Ensures `slot` has an active block with a free data slot; may run GC.
+  // Returns false when the pool is out of writable space.
+  bool EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc);
+
+  // Allocates the next block from the pool free list (respecting WL policy).
+  std::optional<uint32_t> AllocateBlock(Pool& pool);
+
+  // Picks the append slot for a write: relocated data goes to the cold slot
+  // when the pool separates streams.
+  ActiveSlot& SlotFor(Pool& pool, bool cold);
+
+  // Appends one data page to the chosen active slot. Handles parity slots.
+  // Returns the physical location written. Fails only on physical
+  // exhaustion.
+  Result<PhysLoc> AppendPage(uint32_t pool_id, uint64_t lba, std::span<const uint8_t> data,
+                             bool allow_gc, bool cold);
+
+  // Writes the parity page for the slot's open stripe. Called when the
+  // append cursor reaches a parity slot.
+  Status WriteParityPage(uint32_t pool_id, ActiveSlot& slot);
+
+  void InvalidateLoc(const PhysLoc& loc);
+
+  // Garbage collection: frees at least one block if possible.
+  bool CollectGarbage(uint32_t pool_id);
+  std::optional<uint32_t> PickGcVictim(const Pool& pool) const;
+  // Moves all valid pages off `block_id`, erases it, and returns it to the
+  // free list (or retires it).
+  Status EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_as_wl);
+
+  // Static wear leveling pass; no-op when disabled or spread is small.
+  void MaybeStaticWearLevel(uint32_t pool_id);
+
+  // Erases a block and either returns it to the pool, retires it into a
+  // resuscitation target, or drops it (capacity shrink).
+  void RecycleBlock(uint32_t pool_id, uint32_t block_id);
+
+  // True when the block has worn past the pool's retirement bound.
+  bool ShouldRetire(const Pool& pool, uint32_t block_id) const;
+
+  void NotifyCapacity();
+
+  // Internal read used by relocation: returns the bytes to rewrite plus
+  // degradation bookkeeping.
+  Result<FtlReadResult> ReadInternal(uint64_t lba, bool count_stats);
+
+  FtlConfig config_;
+  SimClock* clock_;
+  NandDevice nand_;
+  std::vector<Pool> pools_;
+  std::unordered_map<uint64_t, PhysLoc> map_;
+  FtlStats stats_;
+  CapacityListener capacity_listener_;
+  bool in_relocation_ = false;  // guards GC re-entry
+  uint64_t last_exported_pages_ = 0;
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_FTL_FTL_H_

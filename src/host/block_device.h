@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Host-visible block device interface.
+//
+// The SOS co-design keeps the host/device split of Figure 2: the host file
+// system issues logical block reads/writes plus a *stream hint* carrying the
+// classification of each written block (paper §4.3: "classification
+// information is sent to the storage device for each stored data block",
+// via multi-stream/zoned-style interfaces [77][78]). The device decides
+// physical placement, ECC strength, and migration.
+//
+// Capacity variance (paper §4.3, [74]): the device may retire worn blocks
+// and *shrink*; hosts poll capacity_blocks() and must tolerate it going
+// down. A CapacityListener receives shrink notifications.
+
+#ifndef SOS_SRC_HOST_BLOCK_DEVICE_H_
+#define SOS_SRC_HOST_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace sos {
+
+// Host classification hint attached to each write (the two sets of §4.2).
+enum class StreamClass : uint8_t {
+  kSys = 0,    // critical: reliable placement (pseudo-QLC + parity)
+  kSpare = 1,  // expendable: approximate placement (PLC, weak ECC)
+};
+
+inline const char* StreamClassName(StreamClass cls) {
+  return cls == StreamClass::kSys ? "SYS" : "SPARE";
+}
+
+// Result of a logical block read.
+struct BlockReadResult {
+  std::vector<uint8_t> data;
+  // Residual (post-ECC) bit errors present in `data`. Zero on the reliable
+  // path; possibly nonzero for approximately stored blocks.
+  uint64_t residual_bit_errors = 0;
+  // True when the device had to return degraded data (ECC failed and no
+  // redundancy could repair it).
+  bool degraded = false;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Logical block size in bytes (constant for the device's lifetime).
+  virtual uint32_t block_size() const = 0;
+
+  // Currently usable logical capacity in blocks. May decrease over time as
+  // the device retires worn flash (never increases).
+  virtual uint64_t capacity_blocks() const = 0;
+
+  // Writes one logical block. `data` must be at most block_size; shorter
+  // payloads are padded. The stream hint classifies the data.
+  virtual Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) = 0;
+
+  // Reads one logical block.
+  virtual Result<BlockReadResult> Read(uint64_t lba) = 0;
+
+  // Invalidates a logical block (TRIM).
+  virtual Status Trim(uint64_t lba) = 0;
+
+  // Re-classifies an already-written block; the device migrates physical
+  // placement accordingly (SOS's daemon uses this to demote data to SPARE).
+  virtual Status Reclassify(uint64_t lba, StreamClass hint) = 0;
+
+  // Registers a callback fired when usable capacity shrinks (new capacity in
+  // blocks). Default implementation ignores it (fixed-capacity devices).
+  using CapacityListener = std::function<void(uint64_t new_capacity_blocks)>;
+  virtual void SetCapacityListener(CapacityListener listener) { (void)listener; }
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_HOST_BLOCK_DEVICE_H_

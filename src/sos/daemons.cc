@@ -1,0 +1,234 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/sos/daemons.h"
+
+#include "src/flash/error_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sos {
+
+// ---------------------------------------------------------------------------
+// MigrationDaemon.
+// ---------------------------------------------------------------------------
+
+MigrationDaemon::MigrationDaemon(ExtentFileSystem* fs, const BinaryClassifier* model,
+                                 const MigrationDaemonConfig& config)
+    : fs_(fs), model_(model), config_(config) {
+  assert(fs_ != nullptr && model_ != nullptr);
+}
+
+MigrationDaemon::RunStats MigrationDaemon::RunOnce(SimTimeUs now) {
+  RunStats stats;
+  for (uint64_t id : fs_->FileIds()) {
+    const FileMeta* meta = fs_->Lookup(id);
+    if (meta == nullptr) {
+      continue;  // deleted between listing and scan
+    }
+    ++stats.scanned;
+    const double score =
+        std::clamp(model_->Score(*meta, now) +
+                       config_.type_score_bias[static_cast<size_t>(meta->type)],
+                   0.0, 1.0);
+    const StreamClass placement = fs_->PlacementOf(id);
+    if (placement == StreamClass::kSys && score >= config_.demote_threshold &&
+        now >= meta->created_us + config_.min_age_us) {
+      if (fs_->ReclassifyFile(id, StreamClass::kSpare).ok()) {
+        ++stats.demoted;
+      } else {
+        ++stats.demote_failures;
+      }
+    } else if (config_.allow_promotion && placement == StreamClass::kSpare &&
+               score <= config_.promote_threshold) {
+      if (fs_->ReclassifyFile(id, StreamClass::kSys).ok()) {
+        ++stats.promoted;
+      }
+    }
+  }
+  lifetime_.scanned += stats.scanned;
+  lifetime_.demoted += stats.demoted;
+  lifetime_.promoted += stats.promoted;
+  lifetime_.demote_failures += stats.demote_failures;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// DegradationMonitor.
+// ---------------------------------------------------------------------------
+
+DegradationMonitor::DegradationMonitor(ExtentFileSystem* fs, SosDevice* device,
+                                       const DegradationMonitorConfig& config, CloudBackup* cloud)
+    : fs_(fs), device_(device), config_(config), cloud_(cloud) {
+  assert(fs_ != nullptr && device_ != nullptr);
+}
+
+void DegradationMonitor::ScrubPool(uint32_t pool_id, RunStats& stats) {
+  Ftl& ftl = device_->ftl();
+  const double budget = device_->config().spare_retire_rber;
+  const double refresh_at = budget * config_.refresh_fraction;
+
+  // Futility guard: refreshing rewrites data onto another block of the same
+  // pool, which resets *retention* but not *wear*. Once the pool is worn
+  // enough that even a freshly-programmed page would sit above the refresh
+  // threshold, scrubbing would only burn more endurance chasing an
+  // unreachable target (a refresh death spiral). Leave such pools to
+  // retirement and the cloud-repair path.
+  {
+    const PoolSnapshot snap = ftl.Snapshot(pool_id);
+    PageErrorState fresh;
+    fresh.mode = snap.mode;
+    fresh.endurance_pec =
+        static_cast<double>(GetCellTechInfo(snap.mode).rated_endurance_pec);
+    fresh.pec_at_program = static_cast<uint32_t>(snap.mean_pec);
+    fresh.retention_years = 0.0;
+    if (ErrorModel::Rber(fresh) > refresh_at) {
+      return;
+    }
+  }
+
+  for (uint64_t lba : ftl.LbasInPool(pool_id)) {
+    ++stats.pages_scanned;
+    auto predicted = ftl.PredictLbaRber(lba, config_.lookahead_years);
+    if (!predicted.ok()) {
+      continue;  // trimmed mid-scan
+    }
+    if (predicted.value() > refresh_at) {
+      if (ftl.Refresh(lba).ok()) {
+        ++stats.pages_refreshed;
+      }
+    }
+  }
+}
+
+DegradationMonitor::RunStats DegradationMonitor::RunOnce(SimTimeUs /*now*/) {
+  RunStats stats;
+  ScrubPool(device_->spare_pool(), stats);
+  ScrubPool(device_->rescue_pool(), stats);
+
+  // File-level repair: the device's taint tracking identifies files whose
+  // *stored* bytes absorbed unrecoverable corruption during a relocation
+  // (FtlReadResult::tainted); those are the repair candidates. With a cloud
+  // copy the local data is restored; without one the file is counted as at
+  // risk ("SOS does not inherently rely on such redundant copies", §4.3).
+  if (config_.cloud_repair) {
+    Ftl& ftl = device_->ftl();
+    for (uint64_t id : fs_->FileIds()) {
+      if (fs_->PlacementOf(id) != StreamClass::kSpare) {
+        continue;
+      }
+      bool tainted = false;
+      for (const Extent& extent : fs_->ExtentsOf(id)) {
+        for (uint32_t i = 0; i < extent.blocks && !tainted; ++i) {
+          tainted = ftl.IsTainted(extent.lba + i);
+        }
+        if (tainted) {
+          break;
+        }
+      }
+      if (!tainted) {
+        continue;
+      }
+      if (cloud_ != nullptr && cloud_->Has(id)) {
+        const std::vector<uint8_t> pristine = cloud_->Fetch(id);
+        if (fs_->OverwriteFile(id, pristine).ok()) {
+          ++stats.files_repaired;
+        }
+      } else {
+        ++stats.files_at_risk;
+      }
+    }
+  }
+
+  lifetime_.pages_scanned += stats.pages_scanned;
+  lifetime_.pages_refreshed += stats.pages_refreshed;
+  lifetime_.files_repaired += stats.files_repaired;
+  lifetime_.files_at_risk += stats.files_at_risk;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// AutoDeleteManager.
+// ---------------------------------------------------------------------------
+
+AutoDeleteManager::AutoDeleteManager(ExtentFileSystem* fs, const BinaryClassifier* deletion_model,
+                                     const AutoDeleteConfig& config)
+    : fs_(fs), deletion_model_(deletion_model), config_(config) {
+  assert(fs_ != nullptr && deletion_model_ != nullptr);
+}
+
+double AutoDeleteManager::FreeFraction() const {
+  const FsStats stats = fs_->Stats();
+  if (stats.capacity_blocks == 0) {
+    return 0.0;
+  }
+  const uint64_t free_blocks =
+      stats.capacity_blocks > stats.used_blocks ? stats.capacity_blocks - stats.used_blocks : 0;
+  return static_cast<double>(free_blocks) / static_cast<double>(stats.capacity_blocks);
+}
+
+AutoDeleteManager::RunStats AutoDeleteManager::RunOnce(SimTimeUs now) {
+  RunStats stats;
+  if (FreeFraction() >= config_.low_water_free) {
+    return stats;
+  }
+  ++stats.activations;
+
+  // Rank SPARE-resident files by predicted deletion likelihood. SYS files
+  // are never auto-deleted (they are, by classification, critical).
+  struct Candidate {
+    uint64_t id;
+    double score;
+    uint64_t bytes;
+  };
+  std::vector<Candidate> candidates;
+  for (uint64_t id : fs_->FileIds()) {
+    if (fs_->PlacementOf(id) != StreamClass::kSpare) {
+      continue;
+    }
+    const FileMeta* meta = fs_->Lookup(id);
+    if (meta == nullptr) {
+      continue;
+    }
+    candidates.push_back({id, deletion_model_->Score(*meta, now), meta->size_bytes});
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    return a.score > b.score;
+  });
+
+  // First pass deletes only confident predictions; if that cannot restore
+  // the high-water mark, SOS "temporarily transforms its data degradation
+  // scheme to automatically delete data" (§4.5) -- the score gate is dropped
+  // and the remaining SPARE files go in predicted-deletion order.
+  for (const bool gated : {true, false}) {
+    for (const Candidate& c : candidates) {
+      if (FreeFraction() >= config_.high_water_free) {
+        break;
+      }
+      if (gated && c.score < config_.min_delete_score) {
+        break;  // candidates are sorted; the rest score lower
+      }
+      if (!gated && c.score >= config_.min_delete_score) {
+        continue;  // already handled by the gated pass
+      }
+      if (fs_->DeleteFile(c.id).ok()) {
+        ++stats.files_deleted;
+        stats.bytes_freed += c.bytes;
+      }
+    }
+    if (FreeFraction() >= config_.high_water_free) {
+      break;
+    }
+  }
+  if (FreeFraction() < config_.high_water_free) {
+    ++stats.exhausted;
+  }
+
+  lifetime_.activations += stats.activations;
+  lifetime_.files_deleted += stats.files_deleted;
+  lifetime_.bytes_freed += stats.bytes_freed;
+  lifetime_.exhausted += stats.exhausted;
+  return stats;
+}
+
+}  // namespace sos

@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/sos/health.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/table.h"
+#include "src/media/quality.h"
+
+namespace sos {
+
+DeviceHealthReport CollectHealth(const SosDevice& device, double elapsed_years,
+                                 uint64_t initial_exported_pages) {
+  DeviceHealthReport report;
+  const Ftl& ftl = device.ftl();
+  static const VideoQualityModel kVideoModel{VideoConfig{}};
+
+  std::vector<uint32_t> pool_ids = {device.sys_pool(), device.spare_pool(),
+                                    device.rescue_pool()};
+  if (device.stage_pool().has_value()) {
+    pool_ids.insert(pool_ids.begin(), *device.stage_pool());
+  }
+  double worst_wear = 0.0;
+  for (uint32_t pool_id : pool_ids) {
+    const PoolSnapshot snap = ftl.Snapshot(pool_id);
+    PoolHealth health;
+    health.name = snap.name;
+    health.mode = snap.mode;
+    health.live_blocks = snap.total_blocks;
+    health.retired_blocks = snap.retired_blocks;
+    health.mean_pec = snap.mean_pec;
+    health.max_pec = snap.max_pec;
+    const double endurance =
+        static_cast<double>(GetCellTechInfo(snap.mode).rated_endurance_pec);
+    health.wear_consumed = endurance > 0.0 ? snap.max_pec / endurance : 0.0;
+    worst_wear = std::max(worst_wear, health.wear_consumed);
+    health.valid_pages = snap.valid_pages;
+
+    double rber_sum = 0.0;
+    uint64_t pages = 0;
+    for (uint64_t lba : ftl.LbasInPool(pool_id)) {
+      if (ftl.IsTainted(lba)) {
+        ++health.tainted_pages;
+      }
+      auto rber = ftl.PredictLbaRber(lba, 0.0);
+      if (rber.ok()) {
+        health.worst_predicted_rber = std::max(health.worst_predicted_rber, rber.value());
+        rber_sum += rber.value();
+        ++pages;
+      }
+    }
+    if (pages > 0) {
+      health.est_media_quality =
+          kVideoModel.ExpectedScore(rber_sum / static_cast<double>(pages), 4 * kMiB);
+    }
+    report.pools.push_back(std::move(health));
+  }
+
+  report.exported_pages = ftl.ExportedPages();
+  report.initial_exported_pages = initial_exported_pages;
+  report.capacity_retained =
+      initial_exported_pages > 0
+          ? static_cast<double>(report.exported_pages) /
+                static_cast<double>(initial_exported_pages)
+          : 1.0;
+  report.host_writes = ftl.stats().host_writes;
+  report.write_amplification = ftl.stats().WriteAmplification();
+  report.projected_remaining_years =
+      worst_wear > 0.0 && elapsed_years > 0.0
+          ? elapsed_years * (1.0 - worst_wear) / worst_wear
+          : 1e6;
+  return report;
+}
+
+std::string RenderHealth(const DeviceHealthReport& report) {
+  std::string out;
+  char line[256];
+  out += "=== SOS device health ===\n";
+  for (const PoolHealth& pool : report.pools) {
+    std::snprintf(line, sizeof(line),
+                  "%-7s %-4s blocks=%3u(-%u) pec=%5.1f/%u wear=%5.1f%% valid=%6llu "
+                  "tainted=%4llu worst-rber=%.1e quality=%.3f\n",
+                  pool.name.c_str(), std::string(CellTechName(pool.mode)).c_str(),
+                  pool.live_blocks, pool.retired_blocks, pool.mean_pec, pool.max_pec,
+                  pool.wear_consumed * 100.0,
+                  static_cast<unsigned long long>(pool.valid_pages),
+                  static_cast<unsigned long long>(pool.tainted_pages),
+                  pool.worst_predicted_rber, pool.est_media_quality);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "capacity retained: %.1f%%   WA: %.2f   projected remaining life: %s\n",
+                report.capacity_retained * 100.0, report.write_amplification,
+                report.projected_remaining_years >= 1e5
+                    ? "unworn"
+                    : (FormatDouble(report.projected_remaining_years, 1) + " years").c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace sos

@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// SMART-style device health report for an SOS device.
+//
+// Real drives expose wear and reliability counters through SMART / UFS
+// health descriptors; SOS has more to tell because its partitions age on
+// purpose. The report aggregates, per pool: wear consumed, retirement and
+// resuscitation history, tainted (known-corrupted) pages, the predicted
+// media quality of approximate data, and an extrapolated remaining lifetime
+// under the observed write rate. The mobile_lifetime example prints it; the
+// degradation monitor's decisions are all derivable from it.
+
+#ifndef SOS_SRC_SOS_HEALTH_H_
+#define SOS_SRC_SOS_HEALTH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sos/sos_device.h"
+
+namespace sos {
+
+struct PoolHealth {
+  std::string name;
+  CellTech mode = CellTech::kQlc;
+  uint32_t live_blocks = 0;
+  uint32_t retired_blocks = 0;
+  double mean_pec = 0.0;
+  uint32_t max_pec = 0;
+  double wear_consumed = 0.0;     // max PEC / effective endurance of the mode
+  uint64_t valid_pages = 0;
+  uint64_t tainted_pages = 0;     // stored copies with baked-in corruption
+  double worst_predicted_rber = 0.0;  // over mapped pages, at current age
+  double est_media_quality = 1.0;     // video-model score at the mean RBER
+};
+
+struct DeviceHealthReport {
+  std::vector<PoolHealth> pools;
+  uint64_t exported_pages = 0;
+  uint64_t initial_exported_pages = 0;  // caller-supplied baseline (0 = unknown)
+  double capacity_retained = 1.0;
+  uint64_t host_writes = 0;
+  double write_amplification = 0.0;
+  // Remaining device life in "years at the observed write rate", from the
+  // worst pool's wear slope; infinity-ish when nothing has worn yet.
+  double projected_remaining_years = 0.0;
+};
+
+// Collects the report. `elapsed_years` is the device's service time so far
+// (for the lifetime extrapolation); `initial_exported_pages` may be 0.
+DeviceHealthReport CollectHealth(const SosDevice& device, double elapsed_years,
+                                 uint64_t initial_exported_pages = 0);
+
+// Renders the report as the ASCII block a `smartctl`-like tool would print.
+std::string RenderHealth(const DeviceHealthReport& report);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_SOS_HEALTH_H_

@@ -1,0 +1,315 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/sos/lifetime_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/classify/corpus.h"
+#include "src/common/rng.h"
+#include "src/media/quality.h"
+
+namespace sos {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kSos:
+      return "SOS (pQLC+PLC)";
+    case DeviceKind::kTlcBaseline:
+      return "TLC baseline";
+    case DeviceKind::kQlcBaseline:
+      return "QLC baseline";
+    case DeviceKind::kPlcNaive:
+      return "PLC naive";
+  }
+  return "???";
+}
+
+Ftl& FtlOf(SosDevice* sos_dev, BaselineDevice* baseline) {
+  assert(sos_dev != nullptr || baseline != nullptr);
+  return sos_dev != nullptr ? sos_dev->ftl() : baseline->ftl();
+}
+
+LifetimeSim::LifetimeSim(const LifetimeSimConfig& config) : config_(config) {
+  // Build the device.
+  NandConfig nand = config_.nand;
+  switch (config_.kind) {
+    case DeviceKind::kSos: {
+      SosDeviceConfig sos_config = config_.sos;
+      sos_config.nand = nand;
+      sos_device_ = std::make_unique<SosDevice>(sos_config, &clock_);
+      device_ = sos_device_.get();
+      break;
+    }
+    case DeviceKind::kTlcBaseline:
+      nand.tech = CellTech::kTlc;
+      baseline_device_ = std::make_unique<BaselineDevice>(nand, &clock_, EccPreset::kBch,
+                                                          GcPolicy::kGreedy);
+      device_ = baseline_device_.get();
+      break;
+    case DeviceKind::kQlcBaseline:
+      nand.tech = CellTech::kQlc;
+      baseline_device_ = std::make_unique<BaselineDevice>(nand, &clock_, EccPreset::kBch,
+                                                          GcPolicy::kGreedy);
+      device_ = baseline_device_.get();
+      break;
+    case DeviceKind::kPlcNaive:
+      nand.tech = CellTech::kPlc;
+      baseline_device_ = std::make_unique<BaselineDevice>(nand, &clock_, EccPreset::kLdpc,
+                                                          GcPolicy::kGreedy);
+      device_ = baseline_device_.get();
+      break;
+  }
+
+  fs_ = std::make_unique<ExtentFileSystem>(device_, &clock_);
+
+  MobileWorkloadConfig wl = config_.workload;
+  wl.seed = DeriveSeed({config_.seed, 0x776cull});
+  workload_ = std::make_unique<MobileWorkloadGenerator>(wl);
+
+  // Train classifiers offline on a synthetic "previously scanned" corpus.
+  CorpusConfig corpus_config;
+  corpus_config.num_files = config_.training_files;
+  corpus_config.seed = DeriveSeed({config_.seed, 0x747261696eull /* "train" */});
+  const std::vector<FileMeta> corpus = GenerateCorpus(corpus_config);
+  const auto pointers = AsPointers(corpus);
+  priority_model_ = std::make_unique<LogisticClassifier>(
+      LogisticClassifier::Train(pointers, &ExpendableLabel, corpus_config.device_age_us));
+  deletion_model_ = std::make_unique<LogisticClassifier>(
+      LogisticClassifier::Train(pointers, &DeletionLabel, corpus_config.device_age_us));
+
+  if (sos_device_ != nullptr) {
+    migration_ = std::make_unique<MigrationDaemon>(fs_.get(), priority_model_.get(),
+                                                   config_.migration);
+    if (config_.enable_cloud) {
+      cloud_ = std::make_unique<InMemoryCloud>();
+    }
+    monitor_ = std::make_unique<DegradationMonitor>(fs_.get(), sos_device_.get(),
+                                                    config_.monitor, cloud_.get());
+  }
+  if (config_.enable_autodelete) {
+    autodelete_ = std::make_unique<AutoDeleteManager>(fs_.get(), deletion_model_.get(),
+                                                      config_.autodelete);
+  }
+  result_.kind = config_.kind;
+}
+
+std::vector<uint8_t> LifetimeSim::ContentFor(uint64_t ref, uint64_t bytes) {
+  if (!config_.nand.store_payloads) {
+    return {};
+  }
+  std::vector<uint8_t> content(bytes);
+  Rng rng(DeriveSeed({config_.seed, 0x636f6e74656e74ull /* "content" */, ref}));
+  for (auto& b : content) {
+    b = static_cast<uint8_t>(rng.NextU64() & 0xff);
+  }
+  return content;
+}
+
+void LifetimeSim::ApplyEvent(const WorkloadEvent& event) {
+  if (event.at > clock_.now()) {
+    clock_.AdvanceTo(event.at);
+  }
+  switch (event.op) {
+    case WorkloadOp::kCreate: {
+      FileMeta meta = event.meta;
+      meta.size_bytes = std::min(meta.size_bytes, config_.file_size_cap);
+      const std::vector<uint8_t> content = ContentFor(event.file_ref, meta.size_bytes);
+      // New data always lands in SYS first (§4.4); the daemon demotes later.
+      // Baselines have a single domain, so the hint is inert there.
+      auto created = fs_->CreateFile(meta, content, StreamClass::kSys);
+      if (!created.ok() && autodelete_ != nullptr) {
+        // Emergency space reclamation, then retry once.
+        autodelete_->RunOnce(clock_.now());
+        created = fs_->CreateFile(meta, content, StreamClass::kSys);
+      }
+      if (!created.ok()) {
+        ++result_.create_failures;
+        workload_->DropRef(event.file_ref);
+        return;
+      }
+      ref_to_fsid_[event.file_ref] = created.value();
+      result_.host_bytes_written += meta.size_bytes;
+      if (cloud_ != nullptr && !content.empty()) {
+        cloud_->Store(created.value(), content);
+      }
+      break;
+    }
+    case WorkloadOp::kRead: {
+      auto it = ref_to_fsid_.find(event.file_ref);
+      if (it != ref_to_fsid_.end()) {
+        (void)fs_->ReadFile(it->second);
+      }
+      break;
+    }
+    case WorkloadOp::kUpdate: {
+      auto it = ref_to_fsid_.find(event.file_ref);
+      if (it == ref_to_fsid_.end()) {
+        return;
+      }
+      const FileMeta* meta = fs_->Lookup(it->second);
+      if (meta == nullptr) {
+        return;
+      }
+      const uint64_t bytes = std::min(meta->size_bytes, config_.file_size_cap);
+      const std::vector<uint8_t> content = ContentFor(event.file_ref, bytes);
+      if (fs_->OverwriteFile(it->second, content).ok()) {
+        result_.host_bytes_written += bytes;
+        if (cloud_ != nullptr && !content.empty()) {
+          cloud_->Store(it->second, content);
+        }
+      }
+      break;
+    }
+    case WorkloadOp::kDelete: {
+      auto it = ref_to_fsid_.find(event.file_ref);
+      if (it != ref_to_fsid_.end()) {
+        if (cloud_ != nullptr) {
+          cloud_->Forget(it->second);
+        }
+        (void)fs_->DeleteFile(it->second);
+        ref_to_fsid_.erase(it);
+      }
+      break;
+    }
+  }
+}
+
+void LifetimeSim::RunDaemons(uint32_t day) {
+  if (sos_device_ != nullptr && sos_device_->staging_enabled()) {
+    // Nightly idle flush of the pseudo-SLC stage (§4.4 extension).
+    (void)sos_device_->FlushStage();
+  }
+  if (sos_device_ != nullptr) {
+    // Overnight idle housekeeping: pre-pay GC so daytime writes don't stall.
+    (void)sos_device_->ftl().BackgroundCollect();
+  }
+  if (sos_device_ != nullptr && config_.retrain_period_days > 0 && day > 0 &&
+      day % config_.retrain_period_days == 0) {
+    // Refit on the live file population: preferences drift and the device's
+    // own mix diverges from the offline corpus over time (§4.4).
+    const std::vector<const FileMeta*> files = fs_->ScanFiles();
+    if (files.size() >= 200) {
+      *priority_model_ = LogisticClassifier::Train(files, &ExpendableLabel, clock_.now());
+      *deletion_model_ = LogisticClassifier::Train(files, &DeletionLabel, clock_.now());
+      ++result_.retrainings;
+    }
+  }
+  if (migration_ != nullptr && config_.classify_period_days > 0 &&
+      day % config_.classify_period_days == 0) {
+    migration_->RunOnce(clock_.now());
+  }
+  if (monitor_ != nullptr && config_.scrub_period_days > 0 &&
+      day % config_.scrub_period_days == 0 && day > 0) {
+    monitor_->RunOnce(clock_.now());
+  }
+  if (autodelete_ != nullptr) {
+    autodelete_->RunOnce(clock_.now());
+  }
+}
+
+double LifetimeSim::EstimateSpareQuality(uint64_t* pages_out) const {
+  if (sos_device_ == nullptr) {
+    if (pages_out != nullptr) {
+      *pages_out = 0;
+    }
+    return 1.0;
+  }
+  static const VideoQualityModel kVideoModel{VideoConfig{}};
+  const Ftl& ftl = sos_device_->ftl();
+  double quality_sum = 0.0;
+  uint64_t pages = 0;
+  for (uint32_t pool : {sos_device_->spare_pool(), sos_device_->rescue_pool()}) {
+    for (uint64_t lba : ftl.LbasInPool(pool)) {
+      auto rber = ftl.PredictLbaRber(lba, 0.0);
+      if (!rber.ok()) {
+        continue;
+      }
+      // ECC-less pool: user-visible BER equals raw BER. Score it with the
+      // video model over a nominal media-file span.
+      quality_sum += kVideoModel.ExpectedScore(rber.value(), 4 * kMiB);
+      ++pages;
+    }
+  }
+  if (pages_out != nullptr) {
+    *pages_out = pages;
+  }
+  return pages > 0 ? quality_sum / static_cast<double>(pages) : 1.0;
+}
+
+DaySample LifetimeSim::Sample(uint32_t day) const {
+  DaySample sample;
+  sample.day = day;
+  const Ftl& ftl = sos_device_ != nullptr ? sos_device_->ftl() : baseline_device_->ftl();
+  sample.max_wear_ratio = ftl.nand().MaxWearRatio();
+  sample.mean_pec = ftl.nand().MeanPec();
+  sample.exported_pages = ftl.ExportedPages();
+  const FsStats fs_stats = fs_->Stats();
+  sample.fs_free_fraction =
+      fs_stats.capacity_blocks > 0
+          ? static_cast<double>(fs_stats.capacity_blocks -
+                                std::min(fs_stats.used_blocks, fs_stats.capacity_blocks)) /
+                static_cast<double>(fs_stats.capacity_blocks)
+          : 0.0;
+  sample.live_files = fs_stats.files;
+  sample.retired_blocks = ftl.stats().retired_blocks;
+  sample.spare_quality = EstimateSpareQuality(&sample.spare_pages);
+  return sample;
+}
+
+LifetimeResult LifetimeSim::Run() {
+  result_.initial_exported_pages =
+      (sos_device_ != nullptr ? sos_device_->ftl() : baseline_device_->ftl()).ExportedPages();
+
+  for (uint32_t day = 0; day < config_.days; ++day) {
+    const SimTimeUs day_start = static_cast<SimTimeUs>(day) * kUsPerDay;
+    if (day_start > clock_.now()) {
+      clock_.AdvanceTo(day_start);
+    }
+    for (const WorkloadEvent& event : workload_->Day(day)) {
+      ApplyEvent(event);
+    }
+    RunDaemons(day);
+    if (config_.sample_period_days > 0 && day % config_.sample_period_days == 0) {
+      result_.samples.push_back(Sample(day));
+    }
+  }
+
+  const Ftl& ftl = sos_device_ != nullptr ? sos_device_->ftl() : baseline_device_->ftl();
+  result_.ftl = ftl.stats();
+  result_.final_max_wear_ratio = ftl.nand().MaxWearRatio();
+  // Mean wear ratio across the die: mean PEC over the *native-mode* rated
+  // endurance is not meaningful for mixed-mode dies, so use max-wear pool
+  // snapshots instead. Approximate with max ratio scaled by mean/max PEC.
+  const double mean_pec = ftl.nand().MeanPec();
+  result_.final_mean_wear_ratio =
+      result_.final_max_wear_ratio > 0.0 && mean_pec > 0.0
+          ? result_.final_max_wear_ratio * mean_pec /
+                std::max(1.0, static_cast<double>([&] {
+                           uint32_t max_pec = 0;
+                           for (uint32_t b = 0; b < ftl.nand().config().num_blocks; ++b) {
+                             max_pec = std::max(max_pec, ftl.nand().block_info(b).pec);
+                           }
+                           return max_pec;
+                         }()))
+          : 0.0;
+  result_.final_exported_pages = ftl.ExportedPages();
+  result_.final_spare_quality = EstimateSpareQuality(nullptr);
+  if (migration_ != nullptr) {
+    result_.migration = migration_->lifetime_stats();
+  }
+  if (autodelete_ != nullptr) {
+    result_.autodelete = autodelete_->lifetime_stats();
+  }
+  if (monitor_ != nullptr) {
+    result_.monitor = monitor_->lifetime_stats();
+  }
+  result_.files_alive = fs_->Stats().files;
+
+  const double years = static_cast<double>(config_.days) / 365.0;
+  result_.projected_lifetime_years =
+      result_.final_max_wear_ratio > 0.0 ? years / result_.final_max_wear_ratio : 1e6;
+  return result_;
+}
+
+}  // namespace sos

@@ -1,0 +1,164 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// End-to-end device-lifetime simulation: Figure 2 running for years.
+//
+// Wires the whole stack together -- workload generator -> file system ->
+// (SOS or baseline) device -> NAND -- and runs it for a configurable number
+// of simulated days with the SOS daemons on their schedules:
+//   daily    migration daemon (classification review, §4.4)
+//   monthly  degradation monitor (scrub + cloud repair, §4.3)
+//   daily    auto-delete check (§4.5)
+//
+// The simulation runs at reduced geometry: a ~hundreds-of-MiB die stands in
+// for a 128 GB phone, with file sizes and daily write volume scaled by the
+// same factor, so wear *ratios* (bytes written / capacity / endurance) match
+// the full-size device. Payload storage is off by default (error counts are
+// still exact; content bytes are not retained), letting multi-year runs
+// finish in seconds; tests and the quickstart run small payload-on configs.
+
+#ifndef SOS_SRC_SOS_LIFETIME_SIM_H_
+#define SOS_SRC_SOS_LIFETIME_SIM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/classify/logistic.h"
+#include "src/host/workload.h"
+#include "src/sos/daemons.h"
+#include "src/sos/sos_device.h"
+
+namespace sos {
+
+enum class DeviceKind : uint8_t {
+  kSos,          // split pseudo-QLC / PLC with daemons (the paper's design)
+  kTlcBaseline,  // conventional TLC device, uniform strong ECC
+  kQlcBaseline,  // conventional QLC device, uniform strong ECC
+  kPlcNaive,     // PLC everywhere with strong ECC but no SOS management
+};
+
+const char* DeviceKindName(DeviceKind kind);
+
+struct LifetimeSimConfig {
+  DeviceKind kind = DeviceKind::kSos;
+  uint64_t seed = 1;
+  uint32_t days = 365 * 3;  // typical phone service life (§2.3.2)
+
+  // Scaled-down geometry (see file comment). ~320 MiB of PLC cells.
+  NandConfig nand;
+
+  MobileWorkloadConfig workload;
+  uint64_t file_size_cap = 256 * kKiB;  // clamp synthesized file sizes
+
+  // Daemon scheduling.
+  uint32_t classify_period_days = 1;
+  uint32_t scrub_period_days = 30;
+  bool enable_autodelete = true;
+  bool enable_cloud = false;  // cloud repair needs payloads on
+
+  MigrationDaemonConfig migration;
+  AutoDeleteConfig autodelete;
+  DegradationMonitorConfig monitor;
+  SosDeviceConfig sos;  // nand is overwritten from `nand`
+
+  // Classifier training corpus size (trained before the sim starts).
+  size_t training_files = 6000;
+
+  // Periodic on-device retraining (paper §4.4: "periodically re-evaluate
+  // user preferences as these tend to change over time"): every N days the
+  // classifiers are refit on the device's current file population (whose
+  // ground-truth labels stand in for collected user feedback). 0 = off.
+  uint32_t retrain_period_days = 0;
+
+  // Record a DaySample every this many days.
+  uint32_t sample_period_days = 30;
+
+  LifetimeSimConfig() {
+    nand.num_blocks = 256;
+    nand.wordlines_per_block = 64;
+    nand.page_size_bytes = 4096;
+    nand.tech = CellTech::kPlc;
+    nand.store_payloads = false;
+    workload.photos_per_day = 8.0;
+    workload.cache_files_per_day = 30.0;
+    workload.reads_per_day = 200.0;
+  }
+};
+
+struct DaySample {
+  uint32_t day = 0;
+  double max_wear_ratio = 0.0;      // worst block PEC / effective endurance
+  double mean_pec = 0.0;            // die-wide
+  uint64_t exported_pages = 0;      // capacity variance over time
+  double fs_free_fraction = 0.0;
+  uint64_t live_files = 0;
+  uint64_t retired_blocks = 0;
+  // Estimated media quality of SPARE data (1.0 for baselines, which store
+  // everything reliably). Mean over mapped SPARE pages of the video-model
+  // quality at each page's current predicted RBER.
+  double spare_quality = 1.0;
+  uint64_t spare_pages = 0;
+};
+
+struct LifetimeResult {
+  DeviceKind kind = DeviceKind::kSos;
+  std::vector<DaySample> samples;
+  FtlStats ftl;
+  uint64_t host_bytes_written = 0;
+  uint64_t create_failures = 0;   // files rejected even after auto-delete
+  double final_max_wear_ratio = 0.0;
+  double final_mean_wear_ratio = 0.0;
+  uint64_t final_exported_pages = 0;
+  uint64_t initial_exported_pages = 0;
+  double final_spare_quality = 1.0;
+  MigrationDaemon::RunStats migration;
+  AutoDeleteManager::RunStats autodelete;
+  DegradationMonitor::RunStats monitor;
+  uint64_t files_alive = 0;
+  uint64_t retrainings = 0;
+
+  // Years of identical use until the worst block reaches its endurance,
+  // extrapolated from the final wear slope. The paper's order-of-magnitude
+  // wear-gap claim (§2.3.2) reads directly off this.
+  double projected_lifetime_years = 0.0;
+};
+
+class LifetimeSim {
+ public:
+  explicit LifetimeSim(const LifetimeSimConfig& config);
+
+  // Runs the configured number of days and returns the result. Can be called
+  // once per instance.
+  LifetimeResult Run();
+
+ private:
+  void ApplyEvent(const WorkloadEvent& event);
+  void RunDaemons(uint32_t day);
+  DaySample Sample(uint32_t day) const;
+  double EstimateSpareQuality(uint64_t* pages_out) const;
+  std::vector<uint8_t> ContentFor(uint64_t ref, uint64_t bytes);
+
+  LifetimeSimConfig config_;
+  SimClock clock_;
+  std::unique_ptr<SosDevice> sos_device_;
+  std::unique_ptr<BaselineDevice> baseline_device_;
+  BlockDevice* device_ = nullptr;  // whichever of the above is active
+  std::unique_ptr<ExtentFileSystem> fs_;
+  std::unique_ptr<MobileWorkloadGenerator> workload_;
+  std::unique_ptr<LogisticClassifier> priority_model_;
+  std::unique_ptr<LogisticClassifier> deletion_model_;
+  std::unique_ptr<MigrationDaemon> migration_;
+  std::unique_ptr<DegradationMonitor> monitor_;
+  std::unique_ptr<AutoDeleteManager> autodelete_;
+  std::unique_ptr<InMemoryCloud> cloud_;
+  std::unordered_map<uint64_t, uint64_t> ref_to_fsid_;
+  LifetimeResult result_;
+};
+
+// The FTL behind whichever device kind is active (bench helper).
+Ftl& FtlOf(SosDevice* sos_dev, BaselineDevice* baseline);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_SOS_LIFETIME_SIM_H_

@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Umbrella header: the public API of Sustainability-Oriented Storage.
+//
+// Include this to get the whole stack; the individual headers remain the
+// canonical documentation for each piece.
+//
+//   SosDevice            the split pseudo-QLC / PLC device   (sos_device.h)
+//   ExtentFileSystem     host file system with placement     (host/file_system.h)
+//   MigrationDaemon      nightly classify-and-demote         (daemons.h)
+//   DegradationMonitor   predictive scrub + cloud repair     (daemons.h)
+//   AutoDeleteManager    the 3%-free fallback                (daemons.h)
+//   LifetimeSim          years-of-usage driver               (lifetime_sim.h)
+//   CollectHealth        SMART-style reporting               (health.h)
+//   UfsView              UFS LUN rendering                   (ufs.h)
+//   classifiers          NB / logistic / boosted stumps      (classify/*.h)
+//   FlashCarbonModel     embodied-carbon arithmetic          (carbon/embodied.h)
+//
+// Minimal use:
+//
+//   sos::SimClock clock;
+//   sos::SosDevice device(sos::SosDeviceConfig{}, &clock);
+//   sos::ExtentFileSystem fs(&device, &clock);
+//   auto id = fs.CreateFile(meta, content, sos::StreamClass::kSys);
+
+#ifndef SOS_SRC_SOS_SOS_H_
+#define SOS_SRC_SOS_SOS_H_
+
+#include "src/carbon/embodied.h"
+#include "src/carbon/market.h"
+#include "src/carbon/projection.h"
+#include "src/classify/boosted_stumps.h"
+#include "src/classify/corpus.h"
+#include "src/classify/eval.h"
+#include "src/classify/logistic.h"
+#include "src/classify/naive_bayes.h"
+#include "src/host/compression.h"
+#include "src/host/file_system.h"
+#include "src/host/workload.h"
+#include "src/media/quality.h"
+#include "src/sos/daemons.h"
+#include "src/sos/health.h"
+#include "src/sos/lifetime_sim.h"
+#include "src/sos/sos_device.h"
+#include "src/sos/ufs.h"
+
+#endif  // SOS_SRC_SOS_SOS_H_

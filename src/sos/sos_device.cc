@@ -1,0 +1,260 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/sos/sos_device.h"
+
+#include <array>
+#include <cassert>
+#include <optional>
+
+namespace sos {
+namespace {
+
+FtlConfig BuildSosFtlConfig(const SosDeviceConfig& config) {
+  FtlConfig ftl;
+  ftl.nand = config.nand;
+  ftl.gc_policy = config.gc_policy;
+
+  FtlPoolConfig sys;
+  sys.name = "SYS";
+  sys.mode = CellTech::kQlc;  // pseudo-QLC on the PLC die
+  sys.ecc = EccScheme::FromPreset(config.sys_ecc);
+  sys.share = config.enable_slc_staging ? config.sys_share - config.stage_share
+                                        : config.sys_share;
+  assert(sys.share > 0.0);
+  sys.wear_leveling = true;
+  sys.parity_stripe = config.sys_parity_stripe;
+  sys.op_fraction = config.op_fraction;
+  sys.nominal_retention_years = 1.0;
+  sys.read_retries = 2;
+
+  FtlPoolConfig spare;
+  spare.name = "SPARE";
+  spare.mode = config.nand.tech;  // native density (PLC)
+  spare.ecc = EccScheme::FromPreset(config.spare_ecc);
+  spare.share = 1.0 - config.sys_share;
+  spare.wear_leveling = false;  // paper §4.3 / [73]
+  spare.op_fraction = config.op_fraction;
+  spare.nominal_retention_years = 1.0;
+  spare.retire_rber = config.spare_retire_rber;
+  spare.resuscitate_into = "RESCUE";
+
+  FtlPoolConfig rescue;
+  rescue.name = "RESCUE";
+  rescue.mode = CellTech::kTlc;  // pseudo-TLC rebirth of worn PLC blocks
+  rescue.ecc = EccScheme::FromPreset(config.spare_ecc);
+  rescue.share = 0.0;  // populated only by resuscitation
+  rescue.wear_leveling = false;
+  rescue.op_fraction = config.op_fraction;
+  rescue.nominal_retention_years = 1.0;
+  rescue.retire_rber = config.spare_retire_rber;
+  rescue.min_live_blocks = 1;
+
+  // SPARE is listed last so it absorbs block-count rounding (RESCUE must
+  // start empty: it is populated only by resuscitated blocks).
+  ftl.pools = {sys, rescue, spare};
+
+  if (config.enable_slc_staging) {
+    FtlPoolConfig stage;
+    stage.name = "STAGE";
+    stage.mode = CellTech::kSlc;  // pseudo-SLC: fast, near-indestructible
+    stage.ecc = EccScheme::FromPreset(EccPreset::kWeakBch);
+    stage.share = config.stage_share;
+    stage.wear_leveling = true;
+    stage.op_fraction = config.op_fraction;
+    stage.min_live_blocks = 2;
+    ftl.pools.insert(ftl.pools.begin(), stage);
+  }
+  return ftl;
+}
+
+}  // namespace
+
+SosDevice::SosDevice(const SosDeviceConfig& config, SimClock* clock) : config_(config) {
+  ftl_ = std::make_unique<Ftl>(BuildSosFtlConfig(config_), clock);
+  sys_pool_ = ftl_->PoolIdByName("SYS");
+  spare_pool_ = ftl_->PoolIdByName("SPARE");
+  rescue_pool_ = ftl_->PoolIdByName("RESCUE");
+  if (config_.enable_slc_staging) {
+    stage_pool_ = ftl_->PoolIdByName("STAGE");
+  }
+}
+
+uint64_t SosDevice::FlushStage() {
+  if (!stage_pool_.has_value()) {
+    return 0;
+  }
+  uint64_t flushed = 0;
+  const PoolSnapshot before = ftl_->Snapshot(*stage_pool_);
+  if (before.exported_pages == 0) {
+    return 0;
+  }
+  const uint64_t target_valid = static_cast<uint64_t>(
+      static_cast<double>(before.exported_pages) * config_.stage_flush_low);
+  for (uint64_t lba : ftl_->LbasInPool(*stage_pool_)) {
+    if (ftl_->Snapshot(*stage_pool_).valid_pages <= target_valid) {
+      break;
+    }
+    if (ftl_->Migrate(lba, sys_pool_).ok()) {
+      ++flushed;
+    } else {
+      break;  // SYS out of space: leave the rest staged
+    }
+  }
+  return flushed;
+}
+
+uint32_t SosDevice::block_size() const { return config_.nand.page_size_bytes; }
+
+uint64_t SosDevice::capacity_blocks() const { return ftl_->ExportedPages(); }
+
+Status SosDevice::WriteSpare(uint64_t lba, std::span<const uint8_t> data) {
+  Status s = ftl_->Write(lba, data, spare_pool_);
+  if (s.code() == StatusCode::kOutOfSpace) {
+    return ftl_->Write(lba, data, rescue_pool_);
+  }
+  return s;
+}
+
+Status SosDevice::Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) {
+  // SYS-class writes land in the pseudo-SLC stage first when staging is on
+  // ("new file data will first be written to high-endurance memory", §4.4);
+  // the stage flushes to pseudo-QLC once it passes its high-water mark.
+  if (hint == StreamClass::kSys && stage_pool_.has_value()) {
+    const PoolSnapshot stage = ftl_->Snapshot(*stage_pool_);
+    if (stage.exported_pages > 0 &&
+        static_cast<double>(stage.valid_pages) >
+            static_cast<double>(stage.exported_pages) * config_.stage_flush_high) {
+      (void)FlushStage();
+    }
+    Status staged = ftl_->Write(lba, data, *stage_pool_);
+    if (staged.code() != StatusCode::kOutOfSpace) {
+      return staged;
+    }
+    // Stage exhausted even after the flush attempt: fall through to SYS.
+  }
+  // The device exports a single LBA space, so a write must not fail while
+  // *any* pool has room: each class overflows into the others in preference
+  // order (critical data prefers the most reliable fallback first, and the
+  // migration daemon re-sorts misplacements later).
+  const std::array<uint32_t, 3> order =
+      hint == StreamClass::kSpare
+          ? std::array<uint32_t, 3>{spare_pool_, rescue_pool_, sys_pool_}
+          : std::array<uint32_t, 3>{sys_pool_, rescue_pool_, spare_pool_};
+  Status last = Status(StatusCode::kOutOfSpace, "no pools");
+  for (uint32_t pool : order) {
+    last = ftl_->Write(lba, data, pool);
+    if (last.code() != StatusCode::kOutOfSpace) {
+      return last;
+    }
+  }
+  return last;
+}
+
+Result<BlockReadResult> SosDevice::Read(uint64_t lba) {
+  auto read = ftl_->Read(lba);
+  if (!read.ok()) {
+    return read.status();
+  }
+  BlockReadResult result;
+  result.data = std::move(read.value().data);
+  result.residual_bit_errors = read.value().residual_bit_errors;
+  result.degraded = read.value().degraded;
+  return result;
+}
+
+Status SosDevice::Trim(uint64_t lba) { return ftl_->Trim(lba); }
+
+Status SosDevice::Reclassify(uint64_t lba, StreamClass hint) {
+  if (!ftl_->IsMapped(lba)) {
+    return Status(StatusCode::kNotFound, "unmapped LBA");
+  }
+  if (hint == StreamClass::kSys) {
+    return ftl_->Migrate(lba, sys_pool_);
+  }
+  // Demotion: SPARE first, overflow into RESCUE.
+  Status s = ftl_->Migrate(lba, spare_pool_);
+  if (s.code() == StatusCode::kOutOfSpace) {
+    return ftl_->Migrate(lba, rescue_pool_);
+  }
+  return s;
+}
+
+void SosDevice::SetCapacityListener(CapacityListener listener) {
+  ftl_->SetCapacityListener(std::move(listener));
+}
+
+double SosDevice::FreeFraction() const {
+  uint64_t exported = 0;
+  uint64_t valid = 0;
+  std::vector<uint32_t> pools = {sys_pool_, spare_pool_, rescue_pool_};
+  if (stage_pool_.has_value()) {
+    pools.push_back(*stage_pool_);
+  }
+  for (uint32_t pool : pools) {
+    const PoolSnapshot snap = ftl_->Snapshot(pool);
+    exported += snap.exported_pages;
+    valid += snap.valid_pages;
+  }
+  if (exported == 0) {
+    return 0.0;
+  }
+  const uint64_t free_pages = exported > valid ? exported - valid : 0;
+  return static_cast<double>(free_pages) / static_cast<double>(exported);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline device.
+// ---------------------------------------------------------------------------
+
+BaselineDevice::BaselineDevice(const NandConfig& nand, SimClock* clock, EccPreset ecc,
+                               GcPolicy gc) {
+  FtlConfig config;
+  config.nand = nand;
+  config.gc_policy = gc;
+  FtlPoolConfig pool;
+  pool.name = "MAIN";
+  pool.mode = nand.tech;
+  pool.ecc = EccScheme::FromPreset(ecc);
+  pool.share = 1.0;
+  pool.wear_leveling = true;
+  pool.read_retries = 2;
+  config.pools = {pool};
+  ftl_ = std::make_unique<Ftl>(config, clock);
+}
+
+uint32_t BaselineDevice::block_size() const { return ftl_->nand().config().page_size_bytes; }
+
+uint64_t BaselineDevice::capacity_blocks() const { return ftl_->ExportedPages(); }
+
+Status BaselineDevice::Write(uint64_t lba, std::span<const uint8_t> data, StreamClass /*hint*/) {
+  return ftl_->Write(lba, data, 0);
+}
+
+Result<BlockReadResult> BaselineDevice::Read(uint64_t lba) {
+  auto read = ftl_->Read(lba);
+  if (!read.ok()) {
+    return read.status();
+  }
+  BlockReadResult result;
+  result.data = std::move(read.value().data);
+  result.residual_bit_errors = read.value().residual_bit_errors;
+  result.degraded = read.value().degraded;
+  return result;
+}
+
+Status BaselineDevice::Trim(uint64_t lba) { return ftl_->Trim(lba); }
+
+Status BaselineDevice::Reclassify(uint64_t /*lba*/, StreamClass /*hint*/) {
+  return Status::Ok();  // single reliability domain: nothing to move
+}
+
+void BaselineDevice::SetCapacityListener(CapacityListener listener) {
+  ftl_->SetCapacityListener(std::move(listener));
+}
+
+std::unique_ptr<BlockDevice> MakeBaselineDevice(const NandConfig& nand, SimClock* clock,
+                                                EccPreset ecc, GcPolicy gc) {
+  return std::make_unique<BaselineDevice>(nand, clock, ecc, gc);
+}
+
+}  // namespace sos

@@ -1,0 +1,144 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// SosDevice: the paper's storage device (Figure 2), as a BlockDevice.
+//
+// A PLC die partitioned into three FTL pools:
+//   SYS    -- pseudo-QLC, LDPC-grade ECC, intra-block parity stripes, wear
+//             leveling on. Holds everything the host labels critical. New
+//             data always lands here first (paper §4.4: "new file data will
+//             first be written to high-endurance pseudo-QLC memory").
+//   SPARE  -- native PLC, weak/no ECC, wear leveling off ([73]). Holds data
+//             the classifier demoted; reads may return degraded bytes.
+//   RESCUE -- pseudo-TLC pool that adopts PLC blocks retired out of SPARE
+//             (flexible resuscitation, §4.3/[76]). Also approximate.
+//
+// Host hints arrive per write as StreamClass; Reclassify() migrates a block
+// between the reliability domains. Capacity variance propagates from block
+// retirement up through the BlockDevice capacity listener.
+//
+// Baseline devices for the E12 comparison (pure TLC / pure QLC, uniform
+// strong ECC) are built with MakeBaselineDevice().
+
+#ifndef SOS_SRC_SOS_SOS_DEVICE_H_
+#define SOS_SRC_SOS_SOS_DEVICE_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/ftl/ftl.h"
+#include "src/host/block_device.h"
+
+namespace sos {
+
+struct SosDeviceConfig {
+  NandConfig nand;               // tech should be kPlc for the real design
+  double sys_share = 0.5;        // fraction of physical blocks for SYS
+  EccPreset sys_ecc = EccPreset::kLdpc;
+  uint32_t sys_parity_stripe = 16;  // every 16th SYS page is XOR parity
+  EccPreset spare_ecc = EccPreset::kNone;  // approximate storage
+  // Retirement RBER bound for the ECC-less pools: the block leaves service
+  // when one year of retention would exceed this raw error rate. 2e-3 keeps
+  // video quality above ~0.8 (see media quality model).
+  double spare_retire_rber = 2e-3;
+  GcPolicy gc_policy = GcPolicy::kGreedy;
+  double op_fraction = 0.07;
+
+  // Optional pseudo-SLC write staging (paper §4.4 extension: "new file data
+  // will first be written to high-endurance memory"). A small pool of blocks
+  // programmed at 1 bit/cell absorbs incoming SYS writes at SLC speed and
+  // endurance; a background flush migrates staged data into pseudo-QLC.
+  bool enable_slc_staging = false;
+  double stage_share = 0.06;          // fraction of blocks, carved out of SYS
+  double stage_flush_high = 0.70;     // flush when stage fills past this...
+  double stage_flush_low = 0.30;      // ...down to this utilization
+
+  SosDeviceConfig() { nand.tech = CellTech::kPlc; }
+};
+
+class SosDevice final : public BlockDevice {
+ public:
+  // `clock` must outlive the device.
+  SosDevice(const SosDeviceConfig& config, SimClock* clock);
+
+  // --- BlockDevice ---------------------------------------------------------
+
+  uint32_t block_size() const override;
+  uint64_t capacity_blocks() const override;
+  Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
+  Result<BlockReadResult> Read(uint64_t lba) override;
+  Status Trim(uint64_t lba) override;
+  Status Reclassify(uint64_t lba, StreamClass hint) override;
+  void SetCapacityListener(CapacityListener listener) override;
+
+  // --- SOS introspection ---------------------------------------------------
+
+  Ftl& ftl() { return *ftl_; }
+  const Ftl& ftl() const { return *ftl_; }
+
+  uint32_t sys_pool() const { return sys_pool_; }
+  uint32_t spare_pool() const { return spare_pool_; }
+  uint32_t rescue_pool() const { return rescue_pool_; }
+  std::optional<uint32_t> stage_pool() const { return stage_pool_; }
+
+  PoolSnapshot SysSnapshot() const { return ftl_->Snapshot(sys_pool_); }
+  PoolSnapshot SpareSnapshot() const { return ftl_->Snapshot(spare_pool_); }
+  PoolSnapshot RescueSnapshot() const { return ftl_->Snapshot(rescue_pool_); }
+
+  // --- Pseudo-SLC staging (only with enable_slc_staging) -------------------
+
+  bool staging_enabled() const { return stage_pool_.has_value(); }
+  PoolSnapshot StageSnapshot() const { return ftl_->Snapshot(*stage_pool_); }
+
+  // Migrates staged data into SYS until stage utilization reaches
+  // `stage_flush_low` (or the stage empties). Returns pages flushed. Called
+  // automatically when the stage passes its high-water mark; hosts may also
+  // call it during idle periods (the background flush of §4.4).
+  uint64_t FlushStage();
+
+  // Overall free fraction of exported capacity (drives auto-delete).
+  double FreeFraction() const;
+
+  const SosDeviceConfig& config() const { return config_; }
+
+ private:
+  // Picks the pool for a spare-class write: SPARE first, RESCUE overflow.
+  Status WriteSpare(uint64_t lba, std::span<const uint8_t> data);
+
+  SosDeviceConfig config_;
+  std::unique_ptr<Ftl> ftl_;
+  uint32_t sys_pool_ = 0;
+  uint32_t spare_pool_ = 0;
+  uint32_t rescue_pool_ = 0;
+  std::optional<uint32_t> stage_pool_;
+};
+
+// A conventional single-pool device of the given technology with uniform
+// strong ECC and wear leveling -- the TLC/QLC baselines of experiment E12.
+// Geometry (blocks/wordlines/page size) is taken from `nand`.
+std::unique_ptr<BlockDevice> MakeBaselineDevice(const NandConfig& nand, SimClock* clock,
+                                                EccPreset ecc = EccPreset::kBch,
+                                                GcPolicy gc = GcPolicy::kGreedy);
+
+// Baseline implementation exposed for benches that need FTL stats access.
+class BaselineDevice final : public BlockDevice {
+ public:
+  BaselineDevice(const NandConfig& nand, SimClock* clock, EccPreset ecc, GcPolicy gc);
+
+  uint32_t block_size() const override;
+  uint64_t capacity_blocks() const override;
+  Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
+  Result<BlockReadResult> Read(uint64_t lba) override;
+  Status Trim(uint64_t lba) override;
+  Status Reclassify(uint64_t lba, StreamClass hint) override;
+  void SetCapacityListener(CapacityListener listener) override;
+
+  Ftl& ftl() { return *ftl_; }
+  const Ftl& ftl() const { return *ftl_; }
+
+ private:
+  std::unique_ptr<Ftl> ftl_;
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_SOS_SOS_DEVICE_H_

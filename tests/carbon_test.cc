@@ -1,0 +1,172 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Tests for the carbon model: every quantitative claim in paper §2.3/§3/§4
+// is checked here against the model that the benches print.
+
+#include <gtest/gtest.h>
+
+#include "src/carbon/embodied.h"
+#include "src/carbon/market.h"
+#include "src/carbon/projection.h"
+#include "src/common/units.h"
+
+namespace sos {
+namespace {
+
+// --- Embodied carbon -------------------------------------------------------
+
+TEST(EmbodiedTest, TlcAnchor) {
+  const FlashCarbonModel model;
+  EXPECT_DOUBLE_EQ(model.KgPerGb(CellTech::kTlc), 0.16);
+}
+
+TEST(EmbodiedTest, CarbonScalesInverselyWithDensity) {
+  const FlashCarbonModel model;
+  EXPECT_GT(model.KgPerGb(CellTech::kSlc), model.KgPerGb(CellTech::kTlc));
+  EXPECT_LT(model.KgPerGb(CellTech::kQlc), model.KgPerGb(CellTech::kTlc));
+  EXPECT_LT(model.KgPerGb(CellTech::kPlc), model.KgPerGb(CellTech::kQlc));
+  EXPECT_NEAR(model.KgPerGb(CellTech::kPlc), 0.16 * 3.0 / 5.0, 1e-12);
+}
+
+TEST(EmbodiedTest, SplitSchemeEffectiveBits) {
+  // 50/50 pseudo-QLC + PLC: 1 / (0.5/4 + 0.5/5) = 4.444... bits/cell.
+  EXPECT_NEAR(FlashCarbonModel::EffectiveBitsPerCell(CellTech::kQlc, CellTech::kPlc, 0.5),
+              40.0 / 9.0, 1e-9);
+}
+
+TEST(EmbodiedTest, PaperCapacityGains) {
+  // Paper §4.2: "50% and 10% capacity gain over using TLC or QLC memory".
+  const double vs_tlc =
+      FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc, 0.5, CellTech::kTlc);
+  const double vs_qlc =
+      FlashCarbonModel::SplitDensityGain(CellTech::kQlc, CellTech::kPlc, 0.5, CellTech::kQlc);
+  EXPECT_NEAR(vs_tlc, 1.48, 0.02);   // ~ +50%
+  EXPECT_NEAR(vs_qlc, 1.11, 0.02);   // ~ +10%
+}
+
+TEST(EmbodiedTest, SplitCarbonBelowTlc) {
+  const FlashCarbonModel model;
+  const double split = model.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, 0.5);
+  EXPECT_LT(split, model.KgPerGb(CellTech::kTlc));
+  // The carbon saving equals the density gain: ~1/3 less carbon per GB.
+  EXPECT_NEAR(model.KgPerGb(CellTech::kTlc) / split, 1.48, 0.02);
+}
+
+TEST(EmbodiedTest, DeviceFootprint) {
+  const FlashCarbonModel model;
+  // A 128 GB TLC phone: 128 * 0.16 = 20.5 kg CO2e of flash.
+  EXPECT_NEAR(model.DeviceKg(128 * kGB, CellTech::kTlc), 20.48, 0.01);
+}
+
+TEST(EmbodiedTest, PeopleEquivalentAnchor) {
+  // Paper §1: 122 Mt CO2 ~ annual emissions of 28M people.
+  EXPECT_NEAR(PeopleEquivalent(122.4), 28.0e6, 1e5);
+}
+
+// --- Market (Figure 1) -----------------------------------------------------
+
+TEST(MarketTest, SharesSumToOne) {
+  double total = 0.0;
+  for (const auto& seg : FlashMarketSegments()) {
+    total += seg.bit_share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MarketTest, FigureOneAnchors) {
+  // The labeled shares of Figure 1.
+  for (const auto& seg : FlashMarketSegments()) {
+    if (seg.name == "smartphone") {
+      EXPECT_DOUBLE_EQ(seg.bit_share, 0.38);
+    } else if (seg.name == "ssd") {
+      EXPECT_DOUBLE_EQ(seg.bit_share, 0.32);
+    } else if (seg.name == "memory card") {
+      EXPECT_DOUBLE_EQ(seg.bit_share, 0.08);
+    }
+  }
+}
+
+TEST(MarketTest, PersonalShareIsAboutHalf) {
+  // Paper §2.3.2: personal devices take "approximately half" of flash bits.
+  EXPECT_NEAR(PersonalBitShare(), 0.5, 0.1);
+  EXPECT_GT(PersonalBitShare(), 0.5);  // "over half ... will be discarded"
+}
+
+TEST(MarketTest, ThreeReplacementsPerDecade) {
+  // Paper §2.3.2: personal flash "replaced over three times in the coming
+  // decade".
+  const double replacements = PersonalReplacementsOver(10.0);
+  EXPECT_GT(replacements, 3.0);
+  EXPECT_LT(replacements, 5.0);
+}
+
+TEST(MarketTest, WearUtilizationAboutFivePercent) {
+  // Paper §2.3.2 / [38]: users wear out ~5% of rated endurance.
+  EXPECT_NEAR(PersonalWearUtilization(), 0.05, 0.03);
+}
+
+// --- Projection (§3) -------------------------------------------------------
+
+TEST(ProjectionTest, BaseYearEmissions) {
+  const CarbonProjection projection{ProjectionParams{}};
+  const YearProjection base = projection.ForYear(2021);
+  EXPECT_DOUBLE_EQ(base.production_eb, 765.0);
+  // 765 EB * 0.16 kg/GB = 122.4 Mt.
+  EXPECT_NEAR(base.emissions_mt, 122.4, 0.1);
+  EXPECT_NEAR(base.people_equivalent, 28.0e6, 1e5);
+}
+
+TEST(ProjectionTest, EmissionsGrowDespiteDensityGains) {
+  // Paper §3: demand growth outpaces density improvement, so production
+  // emissions keep rising through 2030.
+  const CarbonProjection projection{ProjectionParams{}};
+  double prev = 0.0;
+  for (const auto& year : projection.Range(2021, 2030)) {
+    EXPECT_GT(year.emissions_mt, prev);
+    prev = year.emissions_mt;
+  }
+}
+
+TEST(ProjectionTest, By2030Exceeds150MPeople) {
+  // Paper §1: "by 2030 ... the equivalent of over 150M people".
+  const CarbonProjection projection{ProjectionParams{}};
+  EXPECT_GT(projection.ForYear(2030).people_equivalent, 150.0e6);
+}
+
+TEST(ProjectionTest, CarbonIntensityFallsSlowerThanDensity) {
+  const CarbonProjection projection{ProjectionParams{}};
+  const double start = projection.ForYear(2021).kg_per_gb;
+  const double end = projection.ForYear(2030).kg_per_gb;
+  EXPECT_LT(end, start);
+  // Density quadruples over the decade ([24]) but per-wafer emissions grow
+  // with layer count ([50][8]), so carbon intensity only halves (~2.1x).
+  EXPECT_NEAR(start / end, 2.1, 0.3);
+}
+
+// --- Carbon credits (§3) ---------------------------------------------------
+
+TEST(CreditTest, EuCreditIsFortyPercentOfQlcPrice) {
+  // Paper §3: at $111/t and 0.16 kg/GB, EU credits ~ 40% of a $45/TB QLC SSD.
+  const CarbonCredit eu{"EU ETS", 111.0};
+  EXPECT_NEAR(eu.CostPerTb(0.16), 17.76, 0.01);
+  EXPECT_NEAR(eu.PriceIncreaseFraction(kQlcUsdPerTb2023, 0.16), 0.40, 0.01);
+}
+
+TEST(CreditTest, RepresentativeSchemesOrdered) {
+  const auto schemes = RepresentativeCreditSchemes();
+  ASSERT_EQ(schemes.size(), 3u);
+  // The EU scheme dominates the East-Asian ones (the paper's "nascent,
+  // cheaper carbon credit schemes").
+  EXPECT_GT(schemes[0].usd_per_tonne, 5.0 * schemes[1].usd_per_tonne);
+  EXPECT_GT(schemes[1].usd_per_tonne, schemes[2].usd_per_tonne);
+}
+
+TEST(CreditTest, DenserFlashPaysLessCarbon) {
+  const FlashCarbonModel model;
+  const CarbonCredit eu{"EU ETS", 111.0};
+  EXPECT_LT(eu.CostPerTb(model.KgPerGb(CellTech::kPlc)),
+            eu.CostPerTb(model.KgPerGb(CellTech::kTlc)));
+}
+
+}  // namespace
+}  // namespace sos

@@ -1,0 +1,322 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Tests for the classification stack: features, synthetic corpus
+// distributions, both learned models vs the rule baseline, the evaluation
+// machinery, and the paper's ~79% auto-delete accuracy anchor.
+
+#include <gtest/gtest.h>
+
+#include "src/classify/classifier.h"
+#include "src/classify/corpus.h"
+#include "src/classify/eval.h"
+#include "src/classify/features.h"
+#include "src/classify/boosted_stumps.h"
+#include "src/classify/logistic.h"
+#include "src/classify/naive_bayes.h"
+#include "src/common/rng.h"
+
+namespace sos {
+namespace {
+
+CorpusConfig TestCorpusConfig() {
+  CorpusConfig config;
+  config.num_files = 6000;
+  config.seed = 77;
+  return config;
+}
+
+// --- Features --------------------------------------------------------------
+
+TEST(FeaturesTest, DimensionsAndOneHot) {
+  FileMeta meta;
+  meta.type = FileType::kPhoto;
+  meta.path = "dcim/camera/img_1.jpg";
+  meta.size_bytes = 1024;
+  const FeatureVector f = ExtractFeatures(meta, kUsPerYear);
+  EXPECT_EQ(f.size(), kFeatureDim);
+  // Exactly one type slot is hot.
+  int hot = 0;
+  for (size_t i = kNumericFeatures; i < kNumericFeatures + kNumFileTypes; ++i) {
+    hot += f[i] > 0.0 ? 1 : 0;
+  }
+  EXPECT_EQ(hot, 1);
+  EXPECT_GT(f[kNumericFeatures + static_cast<size_t>(FileType::kPhoto)], 0.0);
+}
+
+TEST(FeaturesTest, PathTokensHashDeterministically) {
+  FileMeta a;
+  a.path = "dcim/camera/img.jpg";
+  FileMeta b = a;
+  const FeatureVector fa = ExtractFeatures(a, 0);
+  const FeatureVector fb = ExtractFeatures(b, 0);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(FeaturesTest, AgeFeatureGrowsWithTime) {
+  FileMeta meta;
+  meta.created_us = 0;
+  const FeatureVector young = ExtractFeatures(meta, kUsPerDay);
+  const FeatureVector old = ExtractFeatures(meta, 100 * kUsPerDay);
+  EXPECT_GT(old[1], young[1]);  // log_age is feature index 1
+}
+
+TEST(FeaturesTest, NamesAreStable) {
+  EXPECT_STREQ(FeatureName(0), "log_size");
+  EXPECT_STREQ(FeatureName(6), "personal");
+  EXPECT_STREQ(FeatureName(kNumericFeatures), "system");
+}
+
+// --- Corpus ----------------------------------------------------------------
+
+TEST(CorpusTest, DeterministicForSeed) {
+  const auto a = GenerateCorpus(TestCorpusConfig());
+  const auto b = GenerateCorpus(TestCorpusConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 500) {
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].size_bytes, b[i].size_bytes);
+    EXPECT_EQ(a[i].true_priority, b[i].true_priority);
+  }
+}
+
+TEST(CorpusTest, MediaDominatesBytes) {
+  // Paper §4.2 / [66-68]: media files comprise over half of mobile data.
+  const auto corpus = GenerateCorpus(TestCorpusConfig());
+  const CorpusStats stats = ComputeCorpusStats(corpus);
+  EXPECT_GT(static_cast<double>(stats.media_bytes) / static_cast<double>(stats.total_bytes),
+            0.5);
+}
+
+TEST(CorpusTest, MostBytesAreExpendable) {
+  // The premise that makes SOS worthwhile: most capacity can degrade.
+  const auto corpus = GenerateCorpus(TestCorpusConfig());
+  const CorpusStats stats = ComputeCorpusStats(corpus);
+  EXPECT_GT(static_cast<double>(stats.expendable_bytes) /
+                static_cast<double>(stats.total_bytes),
+            0.5);
+}
+
+TEST(CorpusTest, SystemFilesAreCritical) {
+  const auto corpus = GenerateCorpus(TestCorpusConfig());
+  uint64_t system_total = 0;
+  uint64_t system_critical = 0;
+  for (const auto& meta : corpus) {
+    if (meta.type == FileType::kSystem) {
+      ++system_total;
+      system_critical += meta.true_priority == Priority::kCritical ? 1 : 0;
+    }
+  }
+  ASSERT_GT(system_total, 0u);
+  // Only label noise can make a system file expendable.
+  EXPECT_GT(static_cast<double>(system_critical) / static_cast<double>(system_total), 0.85);
+}
+
+TEST(CorpusTest, SynthesizeFileHonorsType) {
+  Rng rng(3);
+  const FileMeta meta = SynthesizeFile(FileType::kVideo, kUsPerDay, 0.0, rng);
+  EXPECT_EQ(meta.type, FileType::kVideo);
+  EXPECT_EQ(meta.created_us, kUsPerDay);
+  EXPECT_GT(meta.size_bytes, 512u);
+  EXPECT_NE(meta.path.find(".mp4"), std::string::npos);
+}
+
+TEST(CorpusTest, TypeMixRoughlyMatchesProfile) {
+  Rng rng(4);
+  std::array<int, kNumFileTypes> counts{};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[static_cast<size_t>(SampleFileType(rng))];
+  }
+  // Photos ~32% of file count.
+  EXPECT_NEAR(counts[static_cast<size_t>(FileType::kPhoto)] / 20000.0, 0.32, 0.03);
+  EXPECT_NEAR(counts[static_cast<size_t>(FileType::kAppData)] / 20000.0, 0.20, 0.03);
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(MetricsTest, ConfusionMath) {
+  ConfusionMatrix cm;
+  cm.true_positive = 40;
+  cm.false_positive = 10;
+  cm.true_negative = 45;
+  cm.false_negative = 5;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.85);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.8);
+  EXPECT_NEAR(cm.recall(), 40.0 / 45.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.false_discovery_rate(), 0.2);
+  EXPECT_GT(cm.f1(), 0.8);
+}
+
+TEST(MetricsTest, EmptyMatrixIsZero) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.precision(), 0.0);
+  EXPECT_EQ(cm.recall(), 0.0);
+  EXPECT_EQ(cm.f1(), 0.0);
+}
+
+TEST(MetricsTest, SplitIsDisjointAndComplete) {
+  const auto corpus = GenerateCorpus(TestCorpusConfig());
+  const CorpusSplit split = SplitCorpus(corpus, 5);
+  EXPECT_EQ(split.train.size() + split.test.size(), corpus.size());
+  EXPECT_NEAR(static_cast<double>(split.test.size()) / static_cast<double>(corpus.size()),
+              0.2, 0.01);
+}
+
+// --- Models ----------------------------------------------------------------
+
+struct TrainedModels {
+  std::vector<FileMeta> corpus;
+  CorpusSplit split;
+  SimTimeUs now;
+  NaiveBayesClassifier nb;
+  LogisticClassifier logistic;
+  RuleBasedClassifier rules;
+
+  static TrainedModels Make() {
+    const CorpusConfig config = TestCorpusConfig();
+    std::vector<FileMeta> corpus = GenerateCorpus(config);
+    CorpusSplit split = SplitCorpus(corpus, 5);
+    const SimTimeUs now = config.device_age_us;
+    NaiveBayesClassifier nb = NaiveBayesClassifier::Train(split.train, &ExpendableLabel, now);
+    LogisticClassifier logistic =
+        LogisticClassifier::Train(split.train, &ExpendableLabel, now);
+    return TrainedModels{std::move(corpus), std::move(split), now, std::move(nb),
+                         std::move(logistic), RuleBasedClassifier{}};
+  }
+};
+
+TEST(ModelsTest, LearnedModelsBeatChance) {
+  const auto m = TrainedModels::Make();
+  const double nb_acc =
+      EvaluateClassifier(m.nb, m.split.test, &ExpendableLabel, m.now).accuracy();
+  const double lr_acc =
+      EvaluateClassifier(m.logistic, m.split.test, &ExpendableLabel, m.now).accuracy();
+  EXPECT_GT(nb_acc, 0.75);
+  EXPECT_GT(lr_acc, 0.75);
+}
+
+TEST(ModelsTest, LearnedModelsBeatTypeRules) {
+  // Paper §4.2: type-only classification is insufficient; the learned models
+  // must beat it because they see the personal-significance signal.
+  const auto m = TrainedModels::Make();
+  const double rule_acc =
+      EvaluateClassifier(m.rules, m.split.test, &ExpendableLabel, m.now).accuracy();
+  const double lr_acc =
+      EvaluateClassifier(m.logistic, m.split.test, &ExpendableLabel, m.now).accuracy();
+  EXPECT_GT(lr_acc, rule_acc);
+}
+
+TEST(ModelsTest, ScoresAreProbabilities) {
+  const auto m = TrainedModels::Make();
+  for (size_t i = 0; i < m.split.test.size(); i += 7) {
+    const double nb = m.nb.Score(*m.split.test[i], m.now);
+    const double lr = m.logistic.Score(*m.split.test[i], m.now);
+    EXPECT_GE(nb, 0.0);
+    EXPECT_LE(nb, 1.0);
+    EXPECT_GE(lr, 0.0);
+    EXPECT_LE(lr, 1.0);
+  }
+}
+
+TEST(ModelsTest, HigherThresholdIsMoreConservative) {
+  // Raising the demotion threshold must not increase the number of files
+  // declared expendable (monotone predictions).
+  const auto m = TrainedModels::Make();
+  uint64_t prev_positives = ~0ull;
+  for (const auto& point :
+       SweepThreshold(m.logistic, m.split.test, &ExpendableLabel, m.now, 9)) {
+    const uint64_t positives = point.matrix.true_positive + point.matrix.false_positive;
+    EXPECT_LE(positives, prev_positives);
+    prev_positives = positives;
+  }
+}
+
+TEST(ModelsTest, DeletionPredictorNearPaperAccuracy) {
+  // Paper §4.3/[68]: deletion prediction at ~79% accuracy. The synthetic
+  // corpus noise level is tuned so a learned model lands in that band
+  // rather than at an unrealistic 99%.
+  const auto m = TrainedModels::Make();
+  const LogisticClassifier deleter =
+      LogisticClassifier::Train(m.split.train, &DeletionLabel, m.now);
+  const double acc =
+      EvaluateClassifier(deleter, m.split.test, &DeletionLabel, m.now).accuracy();
+  EXPECT_GT(acc, 0.70);
+  EXPECT_LT(acc, 0.97);
+}
+
+TEST(ModelsTest, PersonalSignalProtectsPreciousMedia) {
+  // Two identical photos, one with a strong personal signal: the model must
+  // score the precious one as less expendable.
+  const auto m = TrainedModels::Make();
+  Rng rng(5);
+  FileMeta plain = SynthesizeFile(FileType::kPhoto, kUsPerDay, 0.0, rng);
+  FileMeta precious = plain;
+  plain.personal_signal = 0.02;
+  precious.personal_signal = 0.98;
+  EXPECT_LT(m.logistic.Score(precious, m.now), m.logistic.Score(plain, m.now));
+}
+
+TEST(ModelsTest, TrainingIsDeterministic) {
+  const auto corpus = GenerateCorpus(TestCorpusConfig());
+  const auto pointers = AsPointers(corpus);
+  const LogisticClassifier a = LogisticClassifier::Train(pointers, &ExpendableLabel, kUsPerYear);
+  const LogisticClassifier b = LogisticClassifier::Train(pointers, &ExpendableLabel, kUsPerYear);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+TEST(ModelsTest, BoostedStumpsCompetitive) {
+  const auto m = TrainedModels::Make();
+  const BoostedStumpsClassifier stumps =
+      BoostedStumpsClassifier::Train(m.split.train, &ExpendableLabel, m.now);
+  EXPECT_GT(stumps.num_stumps(), 10u);
+  const double acc =
+      EvaluateClassifier(stumps, m.split.test, &ExpendableLabel, m.now).accuracy();
+  const double lr_acc =
+      EvaluateClassifier(m.logistic, m.split.test, &ExpendableLabel, m.now).accuracy();
+  // Within two points of the logistic model (usually ahead: it captures
+  // threshold structure).
+  EXPECT_GT(acc, lr_acc - 0.02);
+  EXPECT_GT(acc, 0.75);
+}
+
+TEST(ModelsTest, BoostedStumpsScoresAreProbabilities) {
+  const auto m = TrainedModels::Make();
+  const BoostedStumpsClassifier stumps =
+      BoostedStumpsClassifier::Train(m.split.train, &ExpendableLabel, m.now);
+  for (size_t i = 0; i < m.split.test.size(); i += 13) {
+    const double score = stumps.Score(*m.split.test[i], m.now);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(ModelsTest, BoostedStumpsDeterministic) {
+  const auto m = TrainedModels::Make();
+  const BoostedStumpsClassifier a =
+      BoostedStumpsClassifier::Train(m.split.train, &ExpendableLabel, m.now);
+  const BoostedStumpsClassifier b =
+      BoostedStumpsClassifier::Train(m.split.train, &ExpendableLabel, m.now);
+  for (size_t i = 0; i < m.split.test.size(); i += 29) {
+    EXPECT_DOUBLE_EQ(a.Score(*m.split.test[i], m.now), b.Score(*m.split.test[i], m.now));
+  }
+}
+
+TEST(ModelsTest, BoostedStumpsEmptyCorpus) {
+  const BoostedStumpsClassifier empty = BoostedStumpsClassifier::Train({}, &ExpendableLabel, 0);
+  EXPECT_EQ(empty.num_stumps(), 0u);
+  FileMeta meta;
+  EXPECT_GE(empty.Score(meta, 0), 0.0);
+}
+
+TEST(ModelsTest, NaiveBayesFeatureIntrospection) {
+  const auto m = TrainedModels::Make();
+  Rng rng(6);
+  const FileMeta photo = SynthesizeFile(FileType::kPhoto, kUsPerDay, 0.0, rng);
+  const auto odds = m.nb.FeatureLogOdds(photo, m.now);
+  // The photo one-hot must push toward expendable (positive log-odds).
+  EXPECT_GT(odds[kNumericFeatures + static_cast<size_t>(FileType::kPhoto)], 0.0);
+}
+
+}  // namespace
+}  // namespace sos

@@ -1,0 +1,229 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Tests for the ECC layer: capability-model math, page decode, the bit-exact
+// Hamming(72,64) codec, XOR parity, and CRC32.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ecc/ecc_scheme.h"
+#include "src/ecc/hamming.h"
+#include "src/ecc/parity.h"
+
+namespace sos {
+namespace {
+
+// --- EccScheme model -------------------------------------------------------
+
+TEST(EccSchemeTest, PresetsResolve) {
+  EXPECT_EQ(EccScheme::FromPreset(EccPreset::kNone).correctable_bits, 0u);
+  EXPECT_EQ(EccScheme::FromPreset(EccPreset::kWeakBch).correctable_bits, 8u);
+  EXPECT_EQ(EccScheme::FromPreset(EccPreset::kBch).correctable_bits, 40u);
+  EXPECT_EQ(EccScheme::FromPreset(EccPreset::kLdpc).correctable_bits, 72u);
+  EXPECT_LT(EccScheme::FromPreset(EccPreset::kWeakBch).parity_overhead,
+            EccScheme::FromPreset(EccPreset::kLdpc).parity_overhead);
+}
+
+TEST(EccSchemeTest, CodewordsPerPage) {
+  const EccScheme scheme = EccScheme::FromPreset(EccPreset::kBch);
+  EXPECT_EQ(scheme.CodewordsPerPage(4096), 4u);
+  EXPECT_EQ(scheme.CodewordsPerPage(4097), 5u);
+  EXPECT_EQ(scheme.CodewordsPerPage(100), 1u);
+}
+
+TEST(EccSchemeTest, FailureProbMonotonicInRber) {
+  const EccScheme scheme = EccScheme::FromPreset(EccPreset::kBch);
+  double prev = -1.0;
+  for (double rber : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2}) {
+    const double p = scheme.CodewordFailureProb(rber);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(EccSchemeTest, StrongerCodeFailsLess) {
+  const double rber = 3e-3;
+  EXPECT_LT(EccScheme::FromPreset(EccPreset::kLdpc).CodewordFailureProb(rber),
+            EccScheme::FromPreset(EccPreset::kBch).CodewordFailureProb(rber));
+  EXPECT_LT(EccScheme::FromPreset(EccPreset::kBch).CodewordFailureProb(rber),
+            EccScheme::FromPreset(EccPreset::kWeakBch).CodewordFailureProb(rber));
+}
+
+TEST(EccSchemeTest, ZeroRberNeverFails) {
+  const EccScheme scheme = EccScheme::FromPreset(EccPreset::kBch);
+  EXPECT_EQ(scheme.CodewordFailureProb(0.0), 0.0);
+  EXPECT_EQ(scheme.PageFailureProb(0.0, 4096), 0.0);
+  EXPECT_EQ(scheme.Uber(0.0), 0.0);
+}
+
+TEST(EccSchemeTest, SaturatedRberAlwaysFails) {
+  const EccScheme scheme = EccScheme::FromPreset(EccPreset::kBch);
+  EXPECT_NEAR(scheme.CodewordFailureProb(0.4), 1.0, 1e-9);
+}
+
+TEST(EccSchemeTest, PageFailureAtLeastCodewordFailure) {
+  const EccScheme scheme = EccScheme::FromPreset(EccPreset::kBch);
+  for (double rber : {1e-4, 1e-3}) {
+    EXPECT_GE(scheme.PageFailureProb(rber, 4096), scheme.CodewordFailureProb(rber));
+  }
+}
+
+TEST(EccSchemeTest, NoEccUberEqualsRber) {
+  const EccScheme none = EccScheme::FromPreset(EccPreset::kNone);
+  EXPECT_DOUBLE_EQ(none.Uber(1e-4), 1e-4);
+}
+
+TEST(EccSchemeTest, MaxCorrectableRberConsistent) {
+  const EccScheme scheme = EccScheme::FromPreset(EccPreset::kBch);
+  const double limit = scheme.MaxCorrectableRber(4096, 1e-6);
+  EXPECT_GT(limit, 0.0);
+  EXPECT_LE(scheme.PageFailureProb(limit, 4096), 1e-6 * 1.1);
+  EXPECT_GT(scheme.PageFailureProb(limit * 2.0, 4096), 1e-6);
+  // A stronger code sustains a higher RBER.
+  EXPECT_GT(EccScheme::FromPreset(EccPreset::kLdpc).MaxCorrectableRber(4096, 1e-6), limit);
+}
+
+TEST(EccSchemeTest, NoEccHasZeroLimit) {
+  EXPECT_EQ(EccScheme::FromPreset(EccPreset::kNone).MaxCorrectableRber(4096), 0.0);
+}
+
+// --- DecodePage ------------------------------------------------------------
+
+TEST(DecodePageTest, ZeroErrorsAlwaysCorrected) {
+  for (EccPreset preset : {EccPreset::kNone, EccPreset::kWeakBch, EccPreset::kBch}) {
+    const DecodeOutcome out = DecodePage(EccScheme::FromPreset(preset), 4096, 0, 1);
+    EXPECT_TRUE(out.corrected);
+    EXPECT_EQ(out.residual_errors, 0u);
+  }
+}
+
+TEST(DecodePageTest, NoEccLeaksEverything) {
+  const DecodeOutcome out = DecodePage(EccScheme::FromPreset(EccPreset::kNone), 4096, 17, 1);
+  EXPECT_FALSE(out.corrected);
+  EXPECT_EQ(out.residual_errors, 17u);
+}
+
+TEST(DecodePageTest, FewErrorsCorrected) {
+  // 4 codewords * t=40: 20 errors can never exceed any single codeword.
+  const DecodeOutcome out = DecodePage(EccScheme::FromPreset(EccPreset::kBch), 4096, 20, 42);
+  EXPECT_TRUE(out.corrected);
+}
+
+TEST(DecodePageTest, ManyErrorsFail) {
+  // 4 codewords * t=40 = 160 correctable in the best case; 400 must fail.
+  const DecodeOutcome out = DecodePage(EccScheme::FromPreset(EccPreset::kBch), 4096, 400, 42);
+  EXPECT_FALSE(out.corrected);
+  EXPECT_GT(out.residual_errors, 0u);
+  EXPECT_GT(out.failed_codewords, 0u);
+}
+
+TEST(DecodePageTest, DeterministicPerSeed) {
+  const EccScheme scheme = EccScheme::FromPreset(EccPreset::kWeakBch);
+  // 40 errors over 4 codewords of t=8: borderline, scatter decides.
+  const DecodeOutcome a = DecodePage(scheme, 4096, 40, 7);
+  const DecodeOutcome b = DecodePage(scheme, 4096, 40, 7);
+  EXPECT_EQ(a.corrected, b.corrected);
+  EXPECT_EQ(a.residual_errors, b.residual_errors);
+  EXPECT_EQ(a.failed_codewords, b.failed_codewords);
+}
+
+// --- Hamming(72,64) --------------------------------------------------------
+
+TEST(HammingTest, CleanRoundtrip) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t data = rng.NextU64();
+    HammingCodeword cw = HammingEncode(data);
+    EXPECT_EQ(HammingDecode(cw), HammingResult::kClean);
+    EXPECT_EQ(cw.data, data);
+  }
+}
+
+TEST(HammingTest, CorrectsEverySingleDataBit) {
+  Rng rng(6);
+  const uint64_t data = rng.NextU64();
+  for (int bit = 0; bit < 64; ++bit) {
+    HammingCodeword cw = HammingEncode(data);
+    cw.data ^= (1ull << bit);
+    EXPECT_EQ(HammingDecode(cw), HammingResult::kCorrected) << "data bit " << bit;
+    EXPECT_EQ(cw.data, data) << "data bit " << bit;
+  }
+}
+
+TEST(HammingTest, CorrectsEverySingleCheckBit) {
+  Rng rng(7);
+  const uint64_t data = rng.NextU64();
+  for (int bit = 0; bit < 8; ++bit) {
+    HammingCodeword cw = HammingEncode(data);
+    cw.check = static_cast<uint8_t>(cw.check ^ (1u << bit));
+    EXPECT_EQ(HammingDecode(cw), HammingResult::kCorrected) << "check bit " << bit;
+    EXPECT_EQ(cw.data, data) << "check bit " << bit;
+  }
+}
+
+TEST(HammingTest, DetectsDoubleErrors) {
+  Rng rng(8);
+  int detected = 0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    const uint64_t data = rng.NextU64();
+    HammingCodeword cw = HammingEncode(data);
+    const int b1 = static_cast<int>(rng.NextBounded(64));
+    int b2 = static_cast<int>(rng.NextBounded(64));
+    while (b2 == b1) {
+      b2 = static_cast<int>(rng.NextBounded(64));
+    }
+    cw.data ^= (1ull << b1);
+    cw.data ^= (1ull << b2);
+    if (HammingDecode(cw) == HammingResult::kDetectedOnly) {
+      ++detected;
+    }
+  }
+  // SEC-DED guarantees detection of all double errors.
+  EXPECT_EQ(detected, trials);
+}
+
+// --- Parity ----------------------------------------------------------------
+
+TEST(ParityTest, ReconstructsAnyLostPage) {
+  Rng rng(9);
+  std::vector<std::vector<uint8_t>> stripe(5, std::vector<uint8_t>(64));
+  for (auto& page : stripe) {
+    for (auto& b : page) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+  }
+  const std::vector<uint8_t> parity = ComputeParityPage(stripe);
+  for (size_t lost = 0; lost < stripe.size(); ++lost) {
+    EXPECT_EQ(ReconstructFromParity(stripe, parity, lost), stripe[lost]) << "lost " << lost;
+  }
+}
+
+TEST(ParityTest, SinglePageStripe) {
+  std::vector<std::vector<uint8_t>> stripe{{1, 2, 3}};
+  const std::vector<uint8_t> parity = ComputeParityPage(stripe);
+  EXPECT_EQ(parity, stripe[0]);
+  EXPECT_EQ(ReconstructFromParity(stripe, parity, 0), stripe[0]);
+}
+
+// --- CRC32 -----------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32({reinterpret_cast<const uint8_t*>(s.data()), s.size()}), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32({}), 0u); }
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(128, 0x42);
+  const uint32_t crc = Crc32(data);
+  data[37] ^= 0x04;
+  EXPECT_NE(Crc32(data), crc);
+}
+
+}  // namespace
+}  // namespace sos

@@ -1,0 +1,196 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Randomized stress tests: long adversarial op sequences against the FTL and
+// the full SOS device, auditing internal consistency after every batch and
+// verifying that data that should be intact stays intact.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/classify/corpus.h"
+#include "src/common/rng.h"
+#include "src/ftl/ftl.h"
+#include "src/host/file_system.h"
+#include "src/sos/sos_device.h"
+
+namespace sos {
+namespace {
+
+// --- FTL stress -------------------------------------------------------------
+
+FtlConfig StressFtlConfig(uint64_t seed, bool parity, CellTech mode) {
+  FtlConfig config;
+  config.nand.num_blocks = 24;
+  config.nand.wordlines_per_block = 8;
+  config.nand.page_size_bytes = 512;
+  config.nand.tech = CellTech::kPlc;
+  config.nand.seed = seed;
+  config.nand.store_payloads = true;
+  FtlPoolConfig a;
+  a.name = "A";
+  a.mode = mode;
+  a.ecc = EccScheme::FromPreset(EccPreset::kLdpc);
+  a.share = 0.6;
+  a.parity_stripe = parity ? 4 : 0;
+  FtlPoolConfig b;
+  b.name = "B";
+  b.mode = CellTech::kPlc;
+  b.ecc = EccScheme::FromPreset(EccPreset::kNone);
+  b.retire_rber = 5e-3;
+  b.share = 0.4;
+  b.wear_leveling = false;
+  config.pools = {a, b};
+  return config;
+}
+
+class FtlStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FtlStressTest, RandomOpsPreserveInvariants) {
+  const uint64_t seed = GetParam();
+  SimClock clock;
+  Ftl ftl(StressFtlConfig(seed, seed % 2 == 0, seed % 3 == 0 ? CellTech::kQlc : CellTech::kTlc),
+          &clock);
+  Rng rng(DeriveSeed({seed, 0x7374726573ull /* "stres" */}));
+
+  const uint64_t lba_space = ftl.ExportedPages() * 8 / 10;
+  std::map<uint64_t, uint8_t> oracle;  // lba -> expected fill byte
+
+  auto fill_of = [](uint64_t lba, uint32_t version) {
+    return static_cast<uint8_t>(lba * 37 + version * 101 + 1);
+  };
+  std::map<uint64_t, uint32_t> version;
+
+  for (int batch = 0; batch < 30; ++batch) {
+    for (int op = 0; op < 200; ++op) {
+      const uint64_t lba = rng.NextBounded(lba_space);
+      switch (rng.NextBounded(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: {  // write / overwrite
+          const uint8_t fill = fill_of(lba, ++version[lba]);
+          const std::vector<uint8_t> data(512, fill);
+          if (ftl.Write(lba, data, static_cast<uint32_t>(rng.NextBounded(2))).ok()) {
+            oracle[lba] = fill;
+          }
+          break;
+        }
+        case 4: {  // trim
+          if (oracle.erase(lba) > 0) {
+            EXPECT_TRUE(ftl.Trim(lba).ok());
+          } else {
+            EXPECT_EQ(ftl.Trim(lba).code(), StatusCode::kNotFound);
+          }
+          break;
+        }
+        case 5: {  // migrate
+          if (oracle.contains(lba)) {
+            (void)ftl.Migrate(lba, static_cast<uint32_t>(rng.NextBounded(2)));
+          }
+          break;
+        }
+        case 6: {  // refresh
+          if (oracle.contains(lba)) {
+            (void)ftl.Refresh(lba);
+          }
+          break;
+        }
+        case 7: {  // time passes
+          clock.Advance(rng.NextBounded(30) * kUsPerDay);
+          break;
+        }
+        default: {  // read and verify against the oracle
+          auto read = ftl.Read(lba);
+          if (oracle.contains(lba)) {
+            ASSERT_TRUE(read.ok());
+            // Pool A is LDPC-protected and young: reads must be exact.
+            // Pool B is approximate; only undegraded reads are checked.
+            if (!read.value().degraded && !read.value().tainted) {
+              EXPECT_EQ(read.value().data, std::vector<uint8_t>(512, oracle[lba]))
+                  << "lba " << lba << " batch " << batch;
+            }
+          } else {
+            EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+          }
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(ftl.CheckInvariants().ok())
+        << ftl.CheckInvariants().ToString() << " at batch " << batch;
+  }
+
+  // Final sweep: every oracle entry is mapped; every unmapped LBA reads as
+  // not-found.
+  for (const auto& [lba, fill] : oracle) {
+    EXPECT_TRUE(ftl.IsMapped(lba));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlStressTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Full-device stress -------------------------------------------------------
+
+class SosStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SosStressTest, FileSystemChurnKeepsDeviceConsistent) {
+  const uint64_t seed = GetParam();
+  SimClock clock;
+  SosDeviceConfig config;
+  config.nand.num_blocks = 48;
+  config.nand.wordlines_per_block = 8;
+  config.nand.page_size_bytes = 512;
+  config.nand.seed = seed;
+  config.nand.store_payloads = true;
+  config.spare_ecc = EccPreset::kWeakBch;  // checkable reads
+  SosDevice device(config, &clock);
+  ExtentFileSystem fs(&device, &clock);
+  Rng rng(DeriveSeed({seed, 0x66737374ull /* "fsst" */}));
+
+  std::vector<uint64_t> live;
+  for (int round = 0; round < 400; ++round) {
+    const uint64_t pick = rng.NextBounded(10);
+    if (pick < 4 || live.empty()) {
+      FileMeta meta = SynthesizeFile(SampleFileType(rng), clock.now(), 0.0, rng);
+      meta.size_bytes = 512 + rng.NextBounded(4096);
+      std::vector<uint8_t> content(meta.size_bytes);
+      for (auto& c : content) {
+        c = static_cast<uint8_t>(rng.NextU64());
+      }
+      auto id = fs.CreateFile(meta, content,
+                              rng.NextBool(0.5) ? StreamClass::kSys : StreamClass::kSpare);
+      if (id.ok()) {
+        live.push_back(id.value());
+      }
+    } else if (pick < 6) {
+      const uint64_t id = live[rng.NextBounded(live.size())];
+      auto read = fs.ReadFile(id);
+      ASSERT_TRUE(read.ok());
+    } else if (pick < 8) {
+      const size_t idx = static_cast<size_t>(rng.NextBounded(live.size()));
+      ASSERT_TRUE(fs.DeleteFile(live[idx]).ok());
+      live[idx] = live.back();
+      live.pop_back();
+    } else if (pick == 8) {
+      const uint64_t id = live[rng.NextBounded(live.size())];
+      (void)fs.ReclassifyFile(id, rng.NextBool(0.5) ? StreamClass::kSys : StreamClass::kSpare);
+    } else {
+      clock.Advance(rng.NextBounded(10) * kUsPerDay);
+    }
+    if (round % 50 == 0) {
+      ASSERT_TRUE(device.ftl().CheckInvariants().ok())
+          << device.ftl().CheckInvariants().ToString() << " at round " << round;
+    }
+  }
+  ASSERT_TRUE(device.ftl().CheckInvariants().ok());
+  // Every surviving file still reads end to end.
+  for (uint64_t id : live) {
+    EXPECT_TRUE(fs.ReadFile(id).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SosStressTest, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace sos
