@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autodelete.dir/bench_autodelete.cc.o"
+  "CMakeFiles/bench_autodelete.dir/bench_autodelete.cc.o.d"
+  "bench_autodelete"
+  "bench_autodelete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autodelete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_gain.dir/bench_capacity_gain.cc.o"
+  "CMakeFiles/bench_capacity_gain.dir/bench_capacity_gain.cc.o.d"
+  "bench_capacity_gain"
+  "bench_capacity_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

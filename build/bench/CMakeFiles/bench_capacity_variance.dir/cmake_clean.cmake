@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capacity_variance.dir/bench_capacity_variance.cc.o"
+  "CMakeFiles/bench_capacity_variance.dir/bench_capacity_variance.cc.o.d"
+  "bench_capacity_variance"
+  "bench_capacity_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capacity_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

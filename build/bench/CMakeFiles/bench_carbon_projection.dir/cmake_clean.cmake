@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_carbon_projection.dir/bench_carbon_projection.cc.o"
+  "CMakeFiles/bench_carbon_projection.dir/bench_carbon_projection.cc.o.d"
+  "bench_carbon_projection"
+  "bench_carbon_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_carbon_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

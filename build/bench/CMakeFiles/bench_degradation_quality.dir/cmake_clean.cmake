@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degradation_quality.dir/bench_degradation_quality.cc.o"
+  "CMakeFiles/bench_degradation_quality.dir/bench_degradation_quality.cc.o.d"
+  "bench_degradation_quality"
+  "bench_degradation_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degradation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

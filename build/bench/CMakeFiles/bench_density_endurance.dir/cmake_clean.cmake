@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_density_endurance.dir/bench_density_endurance.cc.o"
+  "CMakeFiles/bench_density_endurance.dir/bench_density_endurance.cc.o.d"
+  "bench_density_endurance"
+  "bench_density_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_density_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_market.cc" "bench/CMakeFiles/bench_fig1_market.dir/bench_fig1_market.cc.o" "gcc" "bench/CMakeFiles/bench_fig1_market.dir/bench_fig1_market.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sos/CMakeFiles/sos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/sos_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/sos_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/sos_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/sos_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/sos_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/sos_carbon.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/sos_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_market.dir/bench_fig1_market.cc.o"
+  "CMakeFiles/bench_fig1_market.dir/bench_fig1_market.cc.o.d"
+  "bench_fig1_market"
+  "bench_fig1_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ftl_ablation.dir/bench_ftl_ablation.cc.o"
+  "CMakeFiles/bench_ftl_ablation.dir/bench_ftl_ablation.cc.o.d"
+  "bench_ftl_ablation"
+  "bench_ftl_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ftl_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

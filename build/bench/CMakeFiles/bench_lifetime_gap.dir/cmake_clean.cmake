@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lifetime_gap.dir/bench_lifetime_gap.cc.o"
+  "CMakeFiles/bench_lifetime_gap.dir/bench_lifetime_gap.cc.o.d"
+  "bench_lifetime_gap"
+  "bench_lifetime_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lifetime_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slc_staging.dir/bench_slc_staging.cc.o"
+  "CMakeFiles/bench_slc_staging.dir/bench_slc_staging.cc.o.d"
+  "bench_slc_staging"
+  "bench_slc_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slc_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

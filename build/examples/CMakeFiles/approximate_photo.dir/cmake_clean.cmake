@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_photo.dir/approximate_photo.cpp.o"
+  "CMakeFiles/approximate_photo.dir/approximate_photo.cpp.o.d"
+  "approximate_photo"
+  "approximate_photo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_photo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

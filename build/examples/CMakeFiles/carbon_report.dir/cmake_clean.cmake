@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_report.dir/carbon_report.cpp.o"
+  "CMakeFiles/carbon_report.dir/carbon_report.cpp.o.d"
+  "carbon_report"
+  "carbon_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

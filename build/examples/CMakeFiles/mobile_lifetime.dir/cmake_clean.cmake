@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_lifetime.dir/mobile_lifetime.cpp.o"
+  "CMakeFiles/mobile_lifetime.dir/mobile_lifetime.cpp.o.d"
+  "mobile_lifetime"
+  "mobile_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_carbon.dir/embodied.cc.o"
+  "CMakeFiles/sos_carbon.dir/embodied.cc.o.d"
+  "CMakeFiles/sos_carbon.dir/market.cc.o"
+  "CMakeFiles/sos_carbon.dir/market.cc.o.d"
+  "CMakeFiles/sos_carbon.dir/projection.cc.o"
+  "CMakeFiles/sos_carbon.dir/projection.cc.o.d"
+  "libsos_carbon.a"
+  "libsos_carbon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_carbon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

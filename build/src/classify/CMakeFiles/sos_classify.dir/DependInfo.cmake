@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/boosted_stumps.cc" "src/classify/CMakeFiles/sos_classify.dir/boosted_stumps.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/boosted_stumps.cc.o.d"
+  "/root/repo/src/classify/classifier.cc" "src/classify/CMakeFiles/sos_classify.dir/classifier.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/classifier.cc.o.d"
+  "/root/repo/src/classify/corpus.cc" "src/classify/CMakeFiles/sos_classify.dir/corpus.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/corpus.cc.o.d"
+  "/root/repo/src/classify/eval.cc" "src/classify/CMakeFiles/sos_classify.dir/eval.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/eval.cc.o.d"
+  "/root/repo/src/classify/features.cc" "src/classify/CMakeFiles/sos_classify.dir/features.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/features.cc.o.d"
+  "/root/repo/src/classify/file_meta.cc" "src/classify/CMakeFiles/sos_classify.dir/file_meta.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/file_meta.cc.o.d"
+  "/root/repo/src/classify/logistic.cc" "src/classify/CMakeFiles/sos_classify.dir/logistic.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/logistic.cc.o.d"
+  "/root/repo/src/classify/naive_bayes.cc" "src/classify/CMakeFiles/sos_classify.dir/naive_bayes.cc.o" "gcc" "src/classify/CMakeFiles/sos_classify.dir/naive_bayes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/sos_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

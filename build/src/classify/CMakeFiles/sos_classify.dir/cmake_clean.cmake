@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_classify.dir/boosted_stumps.cc.o"
+  "CMakeFiles/sos_classify.dir/boosted_stumps.cc.o.d"
+  "CMakeFiles/sos_classify.dir/classifier.cc.o"
+  "CMakeFiles/sos_classify.dir/classifier.cc.o.d"
+  "CMakeFiles/sos_classify.dir/corpus.cc.o"
+  "CMakeFiles/sos_classify.dir/corpus.cc.o.d"
+  "CMakeFiles/sos_classify.dir/eval.cc.o"
+  "CMakeFiles/sos_classify.dir/eval.cc.o.d"
+  "CMakeFiles/sos_classify.dir/features.cc.o"
+  "CMakeFiles/sos_classify.dir/features.cc.o.d"
+  "CMakeFiles/sos_classify.dir/file_meta.cc.o"
+  "CMakeFiles/sos_classify.dir/file_meta.cc.o.d"
+  "CMakeFiles/sos_classify.dir/logistic.cc.o"
+  "CMakeFiles/sos_classify.dir/logistic.cc.o.d"
+  "CMakeFiles/sos_classify.dir/naive_bayes.cc.o"
+  "CMakeFiles/sos_classify.dir/naive_bayes.cc.o.d"
+  "libsos_classify.a"
+  "libsos_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

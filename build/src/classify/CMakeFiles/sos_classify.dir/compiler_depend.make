@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sos_classify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_common.dir/rng.cc.o"
+  "CMakeFiles/sos_common.dir/rng.cc.o.d"
+  "CMakeFiles/sos_common.dir/stats.cc.o"
+  "CMakeFiles/sos_common.dir/stats.cc.o.d"
+  "CMakeFiles/sos_common.dir/status.cc.o"
+  "CMakeFiles/sos_common.dir/status.cc.o.d"
+  "CMakeFiles/sos_common.dir/table.cc.o"
+  "CMakeFiles/sos_common.dir/table.cc.o.d"
+  "libsos_common.a"
+  "libsos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

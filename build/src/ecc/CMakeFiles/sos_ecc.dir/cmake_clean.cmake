@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_ecc.dir/bch.cc.o"
+  "CMakeFiles/sos_ecc.dir/bch.cc.o.d"
+  "CMakeFiles/sos_ecc.dir/ecc_scheme.cc.o"
+  "CMakeFiles/sos_ecc.dir/ecc_scheme.cc.o.d"
+  "CMakeFiles/sos_ecc.dir/hamming.cc.o"
+  "CMakeFiles/sos_ecc.dir/hamming.cc.o.d"
+  "CMakeFiles/sos_ecc.dir/parity.cc.o"
+  "CMakeFiles/sos_ecc.dir/parity.cc.o.d"
+  "libsos_ecc.a"
+  "libsos_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

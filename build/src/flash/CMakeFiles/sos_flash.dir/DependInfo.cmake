@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/cell_tech.cc" "src/flash/CMakeFiles/sos_flash.dir/cell_tech.cc.o" "gcc" "src/flash/CMakeFiles/sos_flash.dir/cell_tech.cc.o.d"
+  "/root/repo/src/flash/error_model.cc" "src/flash/CMakeFiles/sos_flash.dir/error_model.cc.o" "gcc" "src/flash/CMakeFiles/sos_flash.dir/error_model.cc.o.d"
+  "/root/repo/src/flash/nand_device.cc" "src/flash/CMakeFiles/sos_flash.dir/nand_device.cc.o" "gcc" "src/flash/CMakeFiles/sos_flash.dir/nand_device.cc.o.d"
+  "/root/repo/src/flash/nand_package.cc" "src/flash/CMakeFiles/sos_flash.dir/nand_package.cc.o" "gcc" "src/flash/CMakeFiles/sos_flash.dir/nand_package.cc.o.d"
+  "/root/repo/src/flash/voltage_model.cc" "src/flash/CMakeFiles/sos_flash.dir/voltage_model.cc.o" "gcc" "src/flash/CMakeFiles/sos_flash.dir/voltage_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_flash.dir/cell_tech.cc.o"
+  "CMakeFiles/sos_flash.dir/cell_tech.cc.o.d"
+  "CMakeFiles/sos_flash.dir/error_model.cc.o"
+  "CMakeFiles/sos_flash.dir/error_model.cc.o.d"
+  "CMakeFiles/sos_flash.dir/nand_device.cc.o"
+  "CMakeFiles/sos_flash.dir/nand_device.cc.o.d"
+  "CMakeFiles/sos_flash.dir/nand_package.cc.o"
+  "CMakeFiles/sos_flash.dir/nand_package.cc.o.d"
+  "CMakeFiles/sos_flash.dir/voltage_model.cc.o"
+  "CMakeFiles/sos_flash.dir/voltage_model.cc.o.d"
+  "libsos_flash.a"
+  "libsos_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_ftl.dir/ftl.cc.o"
+  "CMakeFiles/sos_ftl.dir/ftl.cc.o.d"
+  "libsos_ftl.a"
+  "libsos_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

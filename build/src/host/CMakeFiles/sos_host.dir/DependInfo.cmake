@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/compression.cc" "src/host/CMakeFiles/sos_host.dir/compression.cc.o" "gcc" "src/host/CMakeFiles/sos_host.dir/compression.cc.o.d"
+  "/root/repo/src/host/file_system.cc" "src/host/CMakeFiles/sos_host.dir/file_system.cc.o" "gcc" "src/host/CMakeFiles/sos_host.dir/file_system.cc.o.d"
+  "/root/repo/src/host/workload.cc" "src/host/CMakeFiles/sos_host.dir/workload.cc.o" "gcc" "src/host/CMakeFiles/sos_host.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/sos_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/sos_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/sos_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_host.dir/compression.cc.o"
+  "CMakeFiles/sos_host.dir/compression.cc.o.d"
+  "CMakeFiles/sos_host.dir/file_system.cc.o"
+  "CMakeFiles/sos_host.dir/file_system.cc.o.d"
+  "CMakeFiles/sos_host.dir/workload.cc.o"
+  "CMakeFiles/sos_host.dir/workload.cc.o.d"
+  "libsos_host.a"
+  "libsos_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_media.dir/quality.cc.o"
+  "CMakeFiles/sos_media.dir/quality.cc.o.d"
+  "libsos_media.a"
+  "libsos_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sos/daemons.cc" "src/sos/CMakeFiles/sos_core.dir/daemons.cc.o" "gcc" "src/sos/CMakeFiles/sos_core.dir/daemons.cc.o.d"
+  "/root/repo/src/sos/health.cc" "src/sos/CMakeFiles/sos_core.dir/health.cc.o" "gcc" "src/sos/CMakeFiles/sos_core.dir/health.cc.o.d"
+  "/root/repo/src/sos/lifetime_sim.cc" "src/sos/CMakeFiles/sos_core.dir/lifetime_sim.cc.o" "gcc" "src/sos/CMakeFiles/sos_core.dir/lifetime_sim.cc.o.d"
+  "/root/repo/src/sos/sos_device.cc" "src/sos/CMakeFiles/sos_core.dir/sos_device.cc.o" "gcc" "src/sos/CMakeFiles/sos_core.dir/sos_device.cc.o.d"
+  "/root/repo/src/sos/ufs.cc" "src/sos/CMakeFiles/sos_core.dir/ufs.cc.o" "gcc" "src/sos/CMakeFiles/sos_core.dir/ufs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/sos_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/sos_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/sos_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/sos_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/sos_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/sos_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/carbon/CMakeFiles/sos_carbon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

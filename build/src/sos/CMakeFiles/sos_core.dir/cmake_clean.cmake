@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sos_core.dir/daemons.cc.o"
+  "CMakeFiles/sos_core.dir/daemons.cc.o.d"
+  "CMakeFiles/sos_core.dir/health.cc.o"
+  "CMakeFiles/sos_core.dir/health.cc.o.d"
+  "CMakeFiles/sos_core.dir/lifetime_sim.cc.o"
+  "CMakeFiles/sos_core.dir/lifetime_sim.cc.o.d"
+  "CMakeFiles/sos_core.dir/sos_device.cc.o"
+  "CMakeFiles/sos_core.dir/sos_device.cc.o.d"
+  "CMakeFiles/sos_core.dir/ufs.cc.o"
+  "CMakeFiles/sos_core.dir/ufs.cc.o.d"
+  "libsos_core.a"
+  "libsos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

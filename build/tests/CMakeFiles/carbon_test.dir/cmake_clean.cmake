@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carbon_test.dir/carbon_test.cc.o"
+  "CMakeFiles/carbon_test.dir/carbon_test.cc.o.d"
+  "carbon_test"
+  "carbon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carbon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

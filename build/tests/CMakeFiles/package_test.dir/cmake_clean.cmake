@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_test.dir/package_test.cc.o"
+  "CMakeFiles/package_test.dir/package_test.cc.o.d"
+  "package_test"
+  "package_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

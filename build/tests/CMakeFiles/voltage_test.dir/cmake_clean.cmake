@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_test.dir/voltage_test.cc.o"
+  "CMakeFiles/voltage_test.dir/voltage_test.cc.o.d"
+  "voltage_test"
+  "voltage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
