@@ -4,10 +4,15 @@
 // over-provisioning sweep -> write amplification, plus the parity-stripe
 // overhead/rescue tradeoff for the SYS partition. These are the design
 // choices DESIGN.md calls out for the device substrate.
+//
+// Each churn run owns its own Ftl + clock (share-nothing), so the sweeps
+// fan out through the experiment driver's deterministic Map; --jobs=N
+// leaves stdout byte-identical.
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/ftl/ftl.h"
+#include "src/sos/experiment.h"
 
 namespace sos {
 namespace {
@@ -65,28 +70,84 @@ ChurnOutcome Churn(const FtlConfig& config, double utilization, uint64_t writes)
   return out;
 }
 
-void Run() {
+struct HotColdOutcome {
+  double write_amp = 0.0;
+  uint64_t gc_erases = 0;
+  uint64_t retired = 0;
+};
+
+// Skewed-overwrite run against a PLC pool with its real retirement bound;
+// `separation` toggles hot/cold stream separation.
+HotColdOutcome HotColdChurn(bool separation) {
+  FtlConfig config;
+  config.nand.num_blocks = 32;
+  config.nand.wordlines_per_block = 4;
+  config.nand.page_size_bytes = 512;
+  config.nand.tech = CellTech::kPlc;
+  config.nand.seed = 5;
+  config.nand.store_payloads = false;
+  FtlPoolConfig pool;
+  pool.name = "MAIN";
+  pool.mode = CellTech::kPlc;
+  pool.ecc = EccScheme::FromPreset(EccPreset::kBch);
+  pool.hot_cold_separation = separation;
+  config.pools = {pool};
+  SimClock clock;
+  Ftl ftl(config, &clock);
+  const uint64_t space = ftl.ExportedPages() * 88 / 100;
+  for (uint64_t lba = 0; lba < space; ++lba) {
+    (void)ftl.Write(lba, {}, 0);
+  }
+  Rng rng(21);
+  const uint64_t hot = space / 10;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t lba = rng.NextBool(0.8) ? rng.NextBounded(hot) : rng.NextBounded(space);
+    if (!ftl.Write(lba, {}, 0).ok()) {
+      break;
+    }
+  }
+  return {ftl.stats().WriteAmplification(), ftl.stats().gc_erases,
+          ftl.stats().retired_blocks};
+}
+
+void Run(const BenchOptions& options) {
   PrintBanner("E14", "FTL ablations: GC policy, over-provisioning, parity stripes",
               "DESIGN.md design-choice index");
 
+  ExperimentDriver driver(options.jobs);
+  WallTimer timer;
+  size_t total_runs = 0;
+
   PrintSection("GC policy x utilization -> write amplification (40k overwrites)");
+  const std::vector<double> utils = {0.5, 0.7, 0.85, 0.95};
+  // Job 2i is greedy, 2i+1 cost-benefit at utils[i].
+  const std::vector<ChurnOutcome> gc_runs =
+      driver.Map(utils.size() * 2, [&utils](size_t i) {
+        const GcPolicy policy = i % 2 == 0 ? GcPolicy::kGreedy : GcPolicy::kCostBenefit;
+        return Churn(MakeConfig(policy, 0.07, 0), utils[i / 2], 40000);
+      });
+  total_runs += gc_runs.size();
   TextTable gc_table({"utilization", "greedy WA", "cost-benefit WA", "greedy relocs",
                       "cost-benefit relocs"});
-  for (double util : {0.5, 0.7, 0.85, 0.95}) {
-    const ChurnOutcome greedy = Churn(MakeConfig(GcPolicy::kGreedy, 0.07, 0), util, 40000);
-    const ChurnOutcome cb = Churn(MakeConfig(GcPolicy::kCostBenefit, 0.07, 0), util, 40000);
-    gc_table.AddRow({FormatPercent(util, 0), FormatDouble(greedy.write_amp, 2),
+  for (size_t i = 0; i < utils.size(); ++i) {
+    const ChurnOutcome& greedy = gc_runs[2 * i];
+    const ChurnOutcome& cb = gc_runs[2 * i + 1];
+    gc_table.AddRow({FormatPercent(utils[i], 0), FormatDouble(greedy.write_amp, 2),
                      FormatDouble(cb.write_amp, 2), FormatCount(greedy.relocations),
                      FormatCount(cb.relocations)});
   }
   PrintTable(gc_table);
 
   PrintSection("Over-provisioning sweep (greedy GC, 85% utilization of exported)");
+  const std::vector<double> ops = {0.02, 0.07, 0.15, 0.25};
+  const std::vector<ChurnOutcome> op_runs = driver.Map(ops.size(), [&ops](size_t i) {
+    return Churn(MakeConfig(GcPolicy::kGreedy, ops[i], 0), 0.85, 40000);
+  });
+  total_runs += op_runs.size();
   TextTable op_table({"OP fraction", "exported pages", "write amp", "gc erases"});
-  for (double op : {0.02, 0.07, 0.15, 0.25}) {
-    const ChurnOutcome out = Churn(MakeConfig(GcPolicy::kGreedy, op, 0), 0.85, 40000);
-    op_table.AddRow({FormatPercent(op, 0), FormatCount(out.exported),
-                     FormatDouble(out.write_amp, 2), FormatCount(out.gc_erases)});
+  for (size_t i = 0; i < ops.size(); ++i) {
+    op_table.AddRow({FormatPercent(ops[i], 0), FormatCount(op_runs[i].exported),
+                     FormatDouble(op_runs[i].write_amp, 2), FormatCount(op_runs[i].gc_erases)});
   }
   PrintTable(op_table);
   std::printf(
@@ -99,59 +160,43 @@ void Run() {
   // retirement feedback loop (erases -> retirement -> higher utilization ->
   // more erases). Same skewed workload, PLC pool with its real retirement
   // bound, 100k overwrites.
+  const std::vector<HotColdOutcome> hotcold_runs =
+      driver.Map(2, [](size_t i) { return HotColdChurn(i == 0); });
+  total_runs += hotcold_runs.size();
   TextTable hotcold({"separation", "write amp", "gc erases", "retired blocks"});
-  for (const bool separation : {true, false}) {
-    FtlConfig config;
-    config.nand.num_blocks = 32;
-    config.nand.wordlines_per_block = 4;
-    config.nand.page_size_bytes = 512;
-    config.nand.tech = CellTech::kPlc;
-    config.nand.seed = 5;
-    config.nand.store_payloads = false;
-    FtlPoolConfig pool;
-    pool.name = "MAIN";
-    pool.mode = CellTech::kPlc;
-    pool.ecc = EccScheme::FromPreset(EccPreset::kBch);
-    pool.hot_cold_separation = separation;
-    config.pools = {pool};
-    SimClock clock;
-    Ftl ftl(config, &clock);
-    const uint64_t space = ftl.ExportedPages() * 88 / 100;
-    for (uint64_t lba = 0; lba < space; ++lba) {
-      (void)ftl.Write(lba, {}, 0);
-    }
-    Rng rng(21);
-    const uint64_t hot = space / 10;
-    for (int i = 0; i < 100000; ++i) {
-      const uint64_t lba = rng.NextBool(0.8) ? rng.NextBounded(hot) : rng.NextBounded(space);
-      if (!ftl.Write(lba, {}, 0).ok()) {
-        break;
-      }
-    }
-    hotcold.AddRow({separation ? "on" : "off", FormatDouble(ftl.stats().WriteAmplification(), 2),
-                    FormatCount(ftl.stats().gc_erases),
-                    FormatCount(ftl.stats().retired_blocks)});
+  for (size_t i = 0; i < hotcold_runs.size(); ++i) {
+    hotcold.AddRow({i == 0 ? "on" : "off", FormatDouble(hotcold_runs[i].write_amp, 2),
+                    FormatCount(hotcold_runs[i].gc_erases),
+                    FormatCount(hotcold_runs[i].retired)});
   }
   PrintTable(hotcold);
 
   PrintSection("SYS parity-stripe sweep (capacity cost of the redundancy, §4.2)");
+  const std::vector<uint32_t> stripes = {0u, 8u, 16u, 32u};
+  const std::vector<ChurnOutcome> parity_runs = driver.Map(stripes.size(), [&stripes](size_t i) {
+    return Churn(MakeConfig(GcPolicy::kGreedy, 0.07, stripes[i]), 0.7, 20000);
+  });
+  total_runs += parity_runs.size();
   TextTable parity_table({"stripe (pages)", "parity overhead", "exported pages", "write amp"});
-  for (uint32_t stripe : {0u, 8u, 16u, 32u}) {
-    const ChurnOutcome out = Churn(MakeConfig(GcPolicy::kGreedy, 0.07, stripe), 0.7, 20000);
+  for (size_t i = 0; i < stripes.size(); ++i) {
+    const uint32_t stripe = stripes[i];
     parity_table.AddRow({stripe == 0 ? "none" : std::to_string(stripe),
                          stripe == 0 ? "0.0%" : FormatPercent(1.0 / stripe),
-                         FormatCount(out.exported), FormatDouble(out.write_amp, 2)});
+                         FormatCount(parity_runs[i].exported),
+                         FormatDouble(parity_runs[i].write_amp, 2)});
   }
   PrintTable(parity_table);
   std::printf(
       "\nSOS's SYS pool uses 16-page stripes: 6.3%% of pages buy single-page rescue\n"
       "on top of LDPC, the \"additional redundancy\" of §4.2.\n");
+
+  PrintJobsSummary(driver.jobs(), total_runs, timer.Seconds());
 }
 
 }  // namespace
 }  // namespace sos
 
-int main() {
-  sos::Run();
+int main(int argc, char** argv) {
+  sos::Run(sos::ParseBenchArgs(argc, argv));
   return 0;
 }

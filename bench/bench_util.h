@@ -7,12 +7,59 @@
 #ifndef SOS_BENCH_BENCH_UTIL_H_
 #define SOS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/common/table.h"
 
 namespace sos {
+
+// Command-line options shared by the sweep benches. --jobs=N fans a bench's
+// independent simulations across N pool workers (see src/sos/experiment.h);
+// the report tables on stdout are byte-identical for every N -- only wall
+// clock changes.
+struct BenchOptions {
+  size_t jobs = 1;
+};
+
+// Parses --jobs=N / --jobs N (N == 0 means hardware concurrency). Unknown
+// arguments are ignored so benches keep their own positional flags.
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      options.jobs = static_cast<size_t>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  return options;
+}
+
+// Wall-clock timer for speedup reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Prints the parallel-run summary to *stderr*: timing is machine-dependent,
+// and keeping it off stdout is what lets `bench --jobs=4 > a` and
+// `bench --jobs=1 > b` diff clean (the determinism contract).
+inline void PrintJobsSummary(size_t jobs, size_t sims, double wall_seconds) {
+  std::fprintf(stderr, "[bench] %zu simulation(s), --jobs=%zu, wall %.2fs (%.2f sims/s)\n",
+               sims, jobs, wall_seconds,
+               wall_seconds > 0.0 ? static_cast<double>(sims) / wall_seconds : 0.0);
+}
 
 // Prints the standard experiment banner.
 inline void PrintBanner(const char* experiment_id, const char* title, const char* paper_ref) {

@@ -6,9 +6,14 @@
 // SPARE-like pool with WL on vs off under the read-dominant, rarely-updated
 // workload SPARE actually sees, and under a hostile skewed-write workload.
 
+// The four (workload, WL on/off) arms are independent share-nothing FTL
+// runs; they fan out through the experiment driver's deterministic Map.
+// Run with --jobs=N; stdout stays byte-identical.
+
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/ftl/ftl.h"
+#include "src/sos/experiment.h"
 
 namespace sos {
 namespace {
@@ -80,25 +85,41 @@ WlOutcome RunPool(bool wear_leveling, uint64_t writes, double hot_fraction, uint
   return out;
 }
 
-void AddComparison(TextTable& table, const char* workload, uint64_t writes, double hot) {
-  const WlOutcome on = RunPool(true, writes, hot, 11);
-  const WlOutcome off = RunPool(false, writes, hot, 11);
-  table.AddRow({workload, "on", FormatCount(on.nand_writes), FormatCount(on.wl_relocations),
-                FormatCount(on.max_pec), FormatCount(on.pec_spread),
-                FormatDouble(on.mean_pec, 1), FormatCount(on.retired)});
-  table.AddRow({workload, "off", FormatCount(off.nand_writes), FormatCount(off.wl_relocations),
-                FormatCount(off.max_pec), FormatCount(off.pec_spread),
-                FormatDouble(off.mean_pec, 1), FormatCount(off.retired)});
+struct WlArm {
+  const char* workload;
+  bool wear_leveling;
+  uint64_t writes;
+  double hot_fraction;
+};
+
+void AddRow(TextTable& table, const WlArm& arm, const WlOutcome& out) {
+  table.AddRow({arm.workload, arm.wear_leveling ? "on" : "off", FormatCount(out.nand_writes),
+                FormatCount(out.wl_relocations), FormatCount(out.max_pec),
+                FormatCount(out.pec_spread), FormatDouble(out.mean_pec, 1),
+                FormatCount(out.retired)});
 }
 
-void Run() {
+void Run(const BenchOptions& options) {
   PrintBanner("E9", "Wear leveling considered harmful on SPARE", "§4.3, [73]");
+
+  const std::vector<WlArm> arms = {
+      {"read-dominant (SPARE-like)", true, 8000, 0.05},
+      {"read-dominant (SPARE-like)", false, 8000, 0.05},
+      {"update-heavy skewed", true, 40000, 0.05},
+      {"update-heavy skewed", false, 40000, 0.05},
+  };
+  ExperimentDriver driver(options.jobs);
+  WallTimer timer;
+  const std::vector<WlOutcome> outcomes = driver.Map(arms.size(), [&arms](size_t i) {
+    return RunPool(arms[i].wear_leveling, arms[i].writes, arms[i].hot_fraction, 11);
+  });
 
   PrintSection("SPARE-like PLC pool, WL on vs off");
   TextTable table({"workload", "WL", "nand writes", "WL moves", "max PEC", "PEC spread",
                    "mean PEC", "retired"});
-  AddComparison(table, "read-dominant (SPARE-like)", 8000, 0.05);
-  AddComparison(table, "update-heavy skewed", 40000, 0.05);
+  for (size_t i = 0; i < arms.size(); ++i) {
+    AddRow(table, arms[i], outcomes[i]);
+  }
   PrintTable(table);
 
   std::printf(
@@ -107,12 +128,14 @@ void Run() {
       "partition -- read-dominant, rarely updated, error-tolerant -- the spread is\n"
       "harmless (a hot block degrading early is refreshed or retired gracefully),\n"
       "so SOS keeps leveling off and banks the endurance ([73]).\n");
+
+  PrintJobsSummary(driver.jobs(), arms.size(), timer.Seconds());
 }
 
 }  // namespace
 }  // namespace sos
 
-int main() {
-  sos::Run();
+int main(int argc, char** argv) {
+  sos::Run(sos::ParseBenchArgs(argc, argv));
   return 0;
 }

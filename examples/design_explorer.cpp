@@ -9,22 +9,36 @@
 // model. The default 50/50 split and 0.6 threshold sit where the paper's
 // qualitative argument puts them: most of the density win at modest risk.
 //
-// Usage: design_explorer [capacity_gb=128]
+// Usage: design_explorer [capacity_gb=128] [--jobs=N]
+//
+// --jobs=N evaluates the threshold sweep's cuts on N pool workers; the
+// trained model is read-only during the sweep and output order is fixed,
+// so the report is identical for every N.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/carbon/embodied.h"
 #include "src/classify/corpus.h"
 #include "src/classify/eval.h"
 #include "src/classify/logistic.h"
 #include "src/common/table.h"
+#include "src/sos/experiment.h"
 #include "src/sos/sos_device.h"
 
 using namespace sos;
 
 int main(int argc, char** argv) {
-  const double capacity_gb = argc > 1 ? std::atof(argv[1]) : 128.0;
+  double capacity_gb = 128.0;
+  size_t jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<size_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    } else {
+      capacity_gb = std::atof(argv[i]);
+    }
+  }
   const FlashCarbonModel carbon;
   const double tlc_kg = carbon.KgPerGb(CellTech::kTlc) * capacity_gb;
 
@@ -59,29 +73,41 @@ int main(int argc, char** argv) {
       LogisticClassifier::Train(split_set.train, &ExpendableLabel, corpus_config.device_age_us);
   TextTable threshold({"threshold", "bytes demoted to SPARE", "critical bytes at risk",
                        "expendable bytes left on SYS"});
-  for (double cut : {0.3, 0.5, 0.6, 0.7, 0.9}) {
+  const std::vector<double> cuts = {0.3, 0.5, 0.6, 0.7, 0.9};
+  struct CutOutcome {
     uint64_t demoted_bytes = 0;
     uint64_t at_risk_bytes = 0;
     uint64_t stranded_bytes = 0;
     uint64_t total_bytes = 0;
-    for (const FileMeta* meta : split_set.test) {
-      total_bytes += meta->size_bytes;
-      const bool demote = model.Predict(*meta, corpus_config.device_age_us, cut);
-      const bool expendable = meta->true_priority == Priority::kExpendable;
-      if (demote) {
-        demoted_bytes += meta->size_bytes;
-        if (!expendable) {
-          at_risk_bytes += meta->size_bytes;
+  };
+  // Each cut only *reads* the trained model and the test split, so the
+  // sweep fans out cleanly; results come back in cut order.
+  ExperimentDriver driver(jobs);
+  const std::vector<CutOutcome> outcomes =
+      driver.Map(cuts.size(), [&](size_t i) {
+        CutOutcome out;
+        for (const FileMeta* meta : split_set.test) {
+          out.total_bytes += meta->size_bytes;
+          const bool demote = model.Predict(*meta, corpus_config.device_age_us, cuts[i]);
+          const bool expendable = meta->true_priority == Priority::kExpendable;
+          if (demote) {
+            out.demoted_bytes += meta->size_bytes;
+            if (!expendable) {
+              out.at_risk_bytes += meta->size_bytes;
+            }
+          } else if (expendable) {
+            out.stranded_bytes += meta->size_bytes;
+          }
         }
-      } else if (expendable) {
-        stranded_bytes += meta->size_bytes;
-      }
-    }
+        return out;
+      });
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    const CutOutcome& out = outcomes[i];
     auto pct = [&](uint64_t v) {
-      return FormatPercent(static_cast<double>(v) / static_cast<double>(total_bytes));
+      return FormatPercent(static_cast<double>(v) / static_cast<double>(out.total_bytes));
     };
-    threshold.AddRow({FormatDouble(cut, 1), pct(demoted_bytes), pct(at_risk_bytes),
-                      pct(stranded_bytes)});
+    threshold.AddRow({FormatDouble(cuts[i], 1), pct(out.demoted_bytes), pct(out.at_risk_bytes),
+                      pct(out.stranded_bytes)});
   }
   std::printf("%s\n", threshold.Render().c_str());
   std::printf(

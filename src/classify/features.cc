@@ -74,7 +74,8 @@ const char* FeatureName(size_t i) {
   if (i < kNumericFeatures + kNumFileTypes) {
     return FileTypeName(static_cast<FileType>(i - kNumericFeatures));
   }
-  static char buf[32];
+  // thread_local: sweep jobs may query names concurrently from pool workers.
+  thread_local char buf[32];
   std::snprintf(buf, sizeof(buf), "path_hash_%zu", i - kNumericFeatures - kNumFileTypes);
   return buf;
 }

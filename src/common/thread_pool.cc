@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace sos {
+
+size_t ThreadPool::DefaultThreads() {
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? DefaultThreads() : num_threads;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ with a drained queue
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task captures any exception into its future
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) {
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    futures.push_back(pool.Submit([&fn, i] { fn(i); }));
+  }
+  // Drain everything before rethrowing so no job is left touching caller
+  // state; report the lowest-index failure for deterministic error output.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace sos

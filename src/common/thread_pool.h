@@ -1,0 +1,100 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// A small fixed-size thread pool for embarrassingly parallel sweeps.
+//
+// The simulator itself is single-threaded by design (see DESIGN.md
+// "Concurrency model"): determinism is a hard requirement, and the cheapest
+// way to keep it is to never share mutable state between threads. The pool
+// exists for the one place coarse parallelism is free: running *independent*
+// share-nothing jobs -- one full simulation, one FTL churn run -- side by
+// side and collecting their results in a deterministic order.
+//
+// ThreadPool   -- fixed worker count, futures-based Submit, FIFO queue.
+//                 No work stealing, no priorities: sweep jobs are long and
+//                 coarse, so a single locked queue is never the bottleneck.
+// ParallelFor  -- blocking index-space loop over [begin, end); rethrows the
+//                 first job exception on the calling thread.
+// ParallelMap  -- out[i] = fn(i): results land in index order regardless of
+//                 completion order, which is what keeps sweep output
+//                 byte-identical for any --jobs value.
+
+#ifndef SOS_SRC_COMMON_THREAD_POOL_H_
+#define SOS_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sos {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  // Drains nothing: pending jobs still run, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  // Enqueues a callable; the returned future yields its result or rethrows
+  // the exception it threw.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // max(1, hardware_concurrency) -- the default worker count.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Runs fn(i) for every i in [begin, end) on the pool and blocks until all
+// complete. If any job throws, the first exception (in index order) is
+// rethrown on the calling thread after the loop drains. Empty ranges return
+// immediately without touching the pool.
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+// Deterministic parallel map: returns {fn(0), ..., fn(n-1)} with each slot at
+// its index regardless of which worker finished first. T must be default-
+// constructible and movable.
+template <typename Fn>
+auto ParallelMap(ThreadPool& pool, size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<std::decay_t<Fn>, size_t>> {
+  using T = std::invoke_result_t<std::decay_t<Fn>, size_t>;
+  std::vector<T> out(n);
+  ParallelFor(pool, 0, n, [&out, &fn](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace sos
+
+#endif  // SOS_SRC_COMMON_THREAD_POOL_H_

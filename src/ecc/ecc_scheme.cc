@@ -44,9 +44,18 @@ uint32_t EccScheme::CodewordsPerPage(uint32_t page_bytes) const {
 
 namespace {
 
+// std::lgamma writes the process-global `signgam`, which is a data race when
+// experiment jobs construct ECC schemes on pool workers. All arguments here
+// are >= 1, where the gamma function is positive, so the sign output of the
+// reentrant lgamma_r can be discarded.
+double LogGamma(double x) {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+
 // log(n choose k) via lgamma; exact enough for tail sums.
 double LogChoose(double n, double k) {
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+  return LogGamma(n + 1.0) - LogGamma(k + 1.0) - LogGamma(n - k + 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// ThreadPool / ParallelFor / ParallelMap: startup/shutdown, result and
+// exception plumbing, range edge cases, and a small-job stress case meant
+// to run under -DSOS_SANITIZE=thread.
+
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sos {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  for (size_t n : {1u, 2u, 4u}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.size(), n);
+  }
+  // Destruction with queued-but-unwaited work must still drain cleanly.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      (void)pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  ThreadPool pool(0);  // 0 = hardware concurrency
+  EXPECT_EQ(pool.size(), ThreadPool::DefaultThreads());
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  std::future<int> a = pool.Submit([] { return 7; });
+  std::future<std::string> b = pool.Submit([] { return std::string("sos"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "sos");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(1);
+  std::future<int> f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives a throwing job.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ParallelFor(pool, 0, 0, [&calls](size_t) { calls.fetch_add(1); });
+  ParallelFor(pool, 5, 5, [&calls](size_t) { calls.fetch_add(1); });
+  ParallelFor(pool, 7, 3, [&calls](size_t) { calls.fetch_add(1); });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+  ThreadPool pool(3);
+  std::atomic<size_t> seen{0};
+  ParallelFor(pool, 41, 42, [&seen](size_t i) { seen.store(i); });
+  EXPECT_EQ(seen.load(), 41u);
+}
+
+TEST(ParallelForTest, OddSizedRangeCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1237;  // prime, deliberately not a multiple of workers
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(pool, 0, kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    ParallelFor(pool, 0, 100, [&completed](size_t i) {
+      if (i == 17 || i == 63) {
+        throw std::runtime_error("job " + std::to_string(i));
+      }
+      completed.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 17");  // lowest failing index wins
+  }
+  // Every non-throwing job still ran (the loop drains before rethrowing).
+  EXPECT_EQ(completed.load(), 98);
+}
+
+TEST(ParallelMapTest, ResultsLandInIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<size_t> out = ParallelMap(pool, 257, [](size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+// Many tiny jobs across several threads: the case ThreadSanitizer watches.
+// Shared state is a single atomic; everything else is per-job.
+TEST(ThreadPoolStressTest, ManySmallJobs) {
+  ThreadPool pool(4);
+  constexpr int kJobs = 20000;
+  std::atomic<int64_t> sum{0};
+  ParallelFor(pool, 0, kJobs, [&sum](size_t i) {
+    sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(kJobs) * (kJobs - 1) / 2);
+}
+
+TEST(ThreadPoolStressTest, RepeatedPoolLifecycles) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    ParallelFor(pool, 0, 50, [&count](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+}  // namespace
+}  // namespace sos
