@@ -36,7 +36,7 @@ MeasuredQuality MeasureAt(double years, uint32_t pec) {
   // Pre-wear the blocks.
   for (uint32_t block = 0; block < config.num_blocks; ++block) {
     for (uint32_t cycle = 0; cycle < pec; ++cycle) {
-      (void)device.EraseBlock(block);
+      IgnoreResult(device.EraseBlock(block));
     }
   }
 

@@ -50,7 +50,7 @@ ChurnOutcome Churn(const FtlConfig& config, double utilization, uint64_t writes)
   const uint64_t space = static_cast<uint64_t>(
       static_cast<double>(ftl.ExportedPages()) * utilization);
   for (uint64_t lba = 0; lba < space; ++lba) {
-    (void)ftl.Write(lba, {}, 0);
+    IgnoreResult(ftl.Write(lba, {}, 0));
   }
   Rng rng(17);
   for (uint64_t i = 0; i < writes; ++i) {
@@ -96,7 +96,7 @@ HotColdOutcome HotColdChurn(bool separation) {
   Ftl ftl(config, &clock);
   const uint64_t space = ftl.ExportedPages() * 88 / 100;
   for (uint64_t lba = 0; lba < space; ++lba) {
-    (void)ftl.Write(lba, {}, 0);
+    IgnoreResult(ftl.Write(lba, {}, 0));
   }
   Rng rng(21);
   const uint64_t hot = space / 10;

@@ -50,15 +50,15 @@ void PrintLatencyTables() {
   // Lay down a media file on SPARE and app state on SYS.
   const uint64_t media_pages = 1024;
   for (uint64_t lba = 0; lba < media_pages; ++lba) {
-    (void)device.Write(lba, {}, StreamClass::kSpare);
+    IgnoreResult(device.Write(lba, {}, StreamClass::kSpare));
   }
   for (uint64_t lba = media_pages; lba < media_pages + 256; ++lba) {
-    (void)device.Write(lba, {}, StreamClass::kSys);
+    IgnoreResult(device.Write(lba, {}, StreamClass::kSys));
   }
   auto measure_read = [&](uint64_t first, uint64_t count) {
     const SimTimeUs start = clock.now();
     for (uint64_t lba = first; lba < first + count; ++lba) {
-      (void)device.Read(lba);
+      IgnoreResult(device.Read(lba));
     }
     return static_cast<double>(clock.now() - start) / static_cast<double>(count);
   };
@@ -91,7 +91,7 @@ void PrintLatencyTables() {
     NandPackage package(pkg_config, &pkg_clock);
     const uint64_t bytes = 4ull * kMiB;
     const SimTimeUs write_start = pkg_clock.now();
-    (void)package.StripeWrite(0, std::vector<uint8_t>(bytes));
+    IgnoreResult(package.StripeWrite(0, std::vector<uint8_t>(bytes)));
     const double write_us = static_cast<double>(pkg_clock.now() - write_start);
     auto read = package.StripeRead(0, bytes);
     const double read_us = static_cast<double>(read.value().makespan_us);
@@ -129,7 +129,7 @@ void PrintLatencyTables() {
     SimClock ftl_clock;
     Ftl ftl(ftl_config, &ftl_clock);
     for (uint64_t lba = 0; lba < 120; ++lba) {
-      (void)ftl.Write(lba, {}, 0);
+      IgnoreResult(ftl.Write(lba, {}, 0));
     }
     ftl_clock.Advance(YearsToUs(6.0));
     const SimTimeUs start = ftl_clock.now();
@@ -166,9 +166,9 @@ void BM_NandProgramRead(benchmark::State& state) {
     if (page >= config.PagesPerBlock(CellTech::kPlc)) {
       page = 0;
       block = (block + 1) % config.num_blocks;
-      (void)device.EraseBlock(block);
+      IgnoreResult(device.EraseBlock(block));
     }
-    (void)device.Program({block, page}, payload);
+    IgnoreResult(device.Program({block, page}, payload));
     auto read = device.Read({block, page});
     benchmark::DoNotOptimize(read);
     ++page;

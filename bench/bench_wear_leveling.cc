@@ -53,7 +53,7 @@ WlOutcome RunPool(bool wear_leveling, uint64_t writes, double hot_fraction, uint
                                                  static_cast<double>(space) * hot_fraction));
   // Fill once (the cold archive).
   for (uint64_t lba = 0; lba < space; ++lba) {
-    (void)ftl.Write(lba, {}, 0);
+    IgnoreResult(ftl.Write(lba, {}, 0));
   }
   // Identical workload stream for both arms: only the policy differs.
   Rng rng(DeriveSeed({seed}));

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Deterministic-iteration helpers for unordered containers.
+//
+// Hash-map iteration order is an implementation detail of the standard
+// library; anything that escapes the loop -- printed tables, accumulated
+// vectors, "first violation wins" error reports -- picks up that order and
+// breaks bit-exact reproduction (soslint rule R1, DESIGN.md §8). Where a
+// container is keyed for O(1) lookup but must be *walked* reproducibly,
+// harvest and sort the keys first.
+
+#ifndef SOS_SRC_COMMON_CONTAINER_UTIL_H_
+#define SOS_SRC_COMMON_CONTAINER_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace sos {
+
+// Sorted keys of an associative container (map-like: value_type is a pair).
+// O(n log n); intended for audit/emit paths, not per-page hot paths -- those
+// should make their selection order-independent instead (e.g. the strict
+// block-id tie-breaks in Ftl::PickGcVictim).
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  // soslint:allow(R1) key harvest only; the keys are sorted before return
+  for (const auto& entry : map) {
+    keys.push_back(entry.first);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Sorted copy of a set-like container's elements.
+template <typename Set>
+std::vector<typename Set::key_type> SortedElements(const Set& set) {
+  std::vector<typename Set::key_type> elems;
+  elems.reserve(set.size());
+  // soslint:allow(R1) element harvest only; sorted before return
+  for (const auto& elem : set) {
+    elems.push_back(elem);
+  }
+  std::sort(elems.begin(), elems.end());
+  return elems;
+}
+
+}  // namespace sos
+
+#endif  // SOS_SRC_COMMON_CONTAINER_UTIL_H_

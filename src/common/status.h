@@ -30,14 +30,18 @@ enum class StatusCode {
 // Human-readable name for a code ("OK", "DATA_LOSS", ...).
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]]: dropping a Status on the floor is how a kDataLoss silently
+// becomes "everything worked" -- the exact accounting failure this simulator
+// exists to quantify. Deliberate ignores must be visible at the call site
+// (inspect it, assert on it, or cast to void next to a reason).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -56,14 +60,14 @@ class Status {
 // Result<T>: either a value or a non-OK Status. value() asserts on misuse so
 // bugs fail fast in tests.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
   Result(Status status) : v_(std::move(status)) {     // NOLINT(google-explicit-constructor)
     assert(!std::get<Status>(v_).ok() && "Result constructed from OK status without a value");
   }
 
-  bool ok() const { return std::holds_alternative<T>(v_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
 
   const T& value() const {
     assert(ok());
@@ -84,6 +88,14 @@ class Result {
  private:
   std::variant<T, Status> v_;
 };
+
+// Marks a deliberately discarded Status/Result at the call site. Prefer
+// handling or asserting; reach for this only where failure is an expected,
+// benign outcome (advisory trims, best-effort background work, fill loops
+// that run a device to exhaustion on purpose) -- and say why in a comment.
+// Grepping for IgnoreResult audits every such decision in the tree.
+template <typename T>
+inline void IgnoreResult(T&& /*unused*/) {}
 
 }  // namespace sos
 

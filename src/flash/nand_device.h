@@ -115,7 +115,7 @@ class NandDevice {
   // Sets the programming mode of an erased block. Fails with
   // kFailedPrecondition if the block currently holds data and with
   // kInvalidArgument if the mode exceeds the die's native density.
-  Status SetBlockMode(uint32_t block, CellTech mode);
+  [[nodiscard]] Status SetBlockMode(uint32_t block, CellTech mode);
 
   // Effective endurance of a block in its current mode (rated endurance of
   // the mode times the pseudo-mode bonus of this die).
@@ -126,30 +126,30 @@ class NandDevice {
   // Erases a block, incrementing its P/E count. Always succeeds on a valid
   // address: worn blocks keep erasing, they just get noisier (retirement is
   // an FTL policy, not a device behaviour).
-  Status EraseBlock(uint32_t block);
+  [[nodiscard]] Status EraseBlock(uint32_t block);
 
   // Programs the next-expected page of a block. `data` must be at most one
   // page; shorter payloads are zero-padded. Fails on out-of-order pages or a
   // full block.
-  Status Program(PageAddr addr, std::span<const uint8_t> data);
+  [[nodiscard]] Status Program(PageAddr addr, std::span<const uint8_t> data);
 
   // Reads a programmed page, injecting bit errors per the error model.
   // `retry_level` > 0 models a READ-RETRY re-read with reference voltages
   // tracking the retention drift: lower RBER, same latency per attempt, and
   // an independent error sample (each re-read is a fresh analog measurement).
-  Result<ReadResult> Read(PageAddr addr, int retry_level = 0);
+  [[nodiscard]] Result<ReadResult> Read(PageAddr addr, int retry_level = 0);
 
   // Returns the stored payload of a programmed page *without* error injection
   // and without advancing time. This is the "ECC succeeded" backdoor: the
   // ECC layer models correction on error counts, and when a codeword is
   // within the correction capability the corrected output equals the
   // original bytes. Empty when the device runs payload-free.
-  Result<std::vector<uint8_t>> PeekClean(PageAddr addr) const;
+  [[nodiscard]] Result<std::vector<uint8_t>> PeekClean(PageAddr addr) const;
 
   // Model RBER the page would see if read `ahead_years` from now, without
   // performing the read (no disturb, no time). Used by scrub policies to
   // predict degradation.
-  Result<double> PredictRber(PageAddr addr, double ahead_years) const;
+  [[nodiscard]] Result<double> PredictRber(PageAddr addr, double ahead_years) const;
 
   // --- Introspection -------------------------------------------------------
 
@@ -176,7 +176,7 @@ class NandDevice {
     std::vector<std::vector<uint8_t>> data;  // payloads, iff store_payloads
   };
 
-  Status CheckAddr(PageAddr addr) const;
+  [[nodiscard]] Status CheckAddr(PageAddr addr) const;
   PageErrorState ErrorStateFor(const Block& blk, const PageMeta& page) const;
 
   NandConfig config_;

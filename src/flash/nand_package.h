@@ -58,9 +58,9 @@ class NandPackage {
   // account the latency on the owning die's queue. Results are valid right
   // away; *time* is settled by Drain().
 
-  Status QueueProgram(GlobalPageAddr addr, std::span<const uint8_t> data);
-  Result<ReadResult> QueueRead(GlobalPageAddr addr, int retry_level = 0);
-  Status QueueErase(uint32_t global_block);
+  [[nodiscard]] Status QueueProgram(GlobalPageAddr addr, std::span<const uint8_t> data);
+  [[nodiscard]] Result<ReadResult> QueueRead(GlobalPageAddr addr, int retry_level = 0);
+  [[nodiscard]] Status QueueErase(uint32_t global_block);
 
   // Advances the clock to the completion of everything queued since the last
   // drain and returns the batch makespan in microseconds.
@@ -74,14 +74,14 @@ class NandPackage {
 
   // Programs `data` split into page-size chunks across dies; each die fills
   // its own blocks sequentially starting from local block `first_local_block`.
-  Status StripeWrite(uint32_t first_local_block, std::span<const uint8_t> data);
+  [[nodiscard]] Status StripeWrite(uint32_t first_local_block, std::span<const uint8_t> data);
 
   // Reads the same layout back; returns makespan via Drain() internally.
   struct StripeReadResult {
     std::vector<uint8_t> data;
     SimTimeUs makespan_us = 0;
   };
-  Result<StripeReadResult> StripeRead(uint32_t first_local_block, uint64_t bytes);
+  [[nodiscard]] Result<StripeReadResult> StripeRead(uint32_t first_local_block, uint64_t bytes);
 
  private:
   NandPackageConfig config_;

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <limits>
 
+#include "src/common/container_util.h"
 #include "src/common/rng.h"
 #include "src/flash/error_model.h"
 
@@ -476,6 +477,7 @@ uint32_t Ftl::BackgroundCollect(uint32_t max_blocks_per_pool) {
 std::optional<uint32_t> Ftl::PickGcVictim(const Pool& pool) const {
   std::optional<uint32_t> best;
   double best_score = -1.0;
+  // soslint:allow(R1) order-independent: equal scores break strictly toward the lower block id
   for (const auto& [id, blk] : pool.blocks) {
     if (!blk.sealed || pool.IsActive(id)) {
       continue;
@@ -493,7 +495,10 @@ std::optional<uint32_t> Ftl::PickGcVictim(const Pool& pool) const {
           clock_->now() >= blk.last_write ? clock_->now() - blk.last_write : 0);
       score = (1.0 - u) / (1.0 + u) * (1.0 + age_us / static_cast<double>(kUsPerDay));
     }
-    if (score > best_score) {
+    // Score ties are common (blocks filled by the same workload phase share a
+    // utilization); without the id tie-break the victim would be whichever tied
+    // block the hash map happens to yield first.
+    if (score > best_score || (score == best_score && best.has_value() && id < *best)) {
       best_score = score;
       best = id;
     }
@@ -572,10 +577,12 @@ void Ftl::MaybeStaticWearLevel(uint32_t pool_id) {
   uint32_t min_pec = std::numeric_limits<uint32_t>::max();
   uint32_t max_pec = 0;
   std::optional<uint32_t> coldest;
+  // soslint:allow(R1) order-independent: max is commutative, equal-PEC candidates break toward the lower block id
   for (const auto& [id, blk] : pool.blocks) {
     const uint32_t pec = nand_.block_info(id).pec;
     max_pec = std::max(max_pec, pec);
-    if (pec < min_pec && blk.sealed && blk.valid > 0 && !pool.IsActive(id)) {
+    const bool eligible = blk.sealed && blk.valid > 0 && !pool.IsActive(id);
+    if (eligible && (pec < min_pec || (pec == min_pec && (!coldest.has_value() || id < *coldest)))) {
       min_pec = pec;
       coldest = id;
     }
@@ -584,7 +591,9 @@ void Ftl::MaybeStaticWearLevel(uint32_t pool_id) {
       static_cast<double>(GetCellTechInfo(pool.config.mode).rated_endurance_pec);
   if (coldest.has_value() &&
       static_cast<double>(max_pec - min_pec) > config_.static_wl_spread * endurance) {
-    (void)EvacuateAndRecycle(pool_id, *coldest, /*count_as_wl=*/true);
+    // Best-effort: a failed leveling pass just postpones the spread fix to a
+    // later GC cycle; the write path that triggered it must not fail on it.
+    IgnoreResult(EvacuateAndRecycle(pool_id, *coldest, /*count_as_wl=*/true));
   }
 }
 
@@ -680,6 +689,7 @@ PoolSnapshot Ftl::Snapshot(uint32_t pool_id) const {
       static_cast<uint64_t>(static_cast<double>(raw) * (1.0 - pool.config.op_fraction));
   snap.valid_pages = pool.valid_pages;
   uint64_t pec_sum = 0;
+  // soslint:allow(R1) order-independent: integer sum/max/counter accumulation is commutative
   for (const auto& [id, blk] : pool.blocks) {
     const uint32_t pec = nand_.block_info(id).pec;
     pec_sum += pec;
@@ -729,10 +739,14 @@ Status Ftl::CheckInvariants() const {
     return Status(StatusCode::kFailedPrecondition, "invariant violated: " + what);
   };
 
+  // The audit walks sorted keys so that when several invariants are broken at
+  // once, every run (and every standard library) reports the same first
+  // violation -- the report feeds golden-output test logs.
+
   // Block ownership is disjoint, and every owned block is in range.
   std::unordered_map<uint32_t, uint32_t> owner;  // block -> pool
   for (uint32_t p = 0; p < pools_.size(); ++p) {
-    for (const auto& [id, blk] : pools_[p].blocks) {
+    for (const uint32_t id : SortedKeys(pools_[p].blocks)) {
       if (id >= config_.nand.num_blocks) {
         return fail("pool owns out-of-range block " + std::to_string(id));
       }
@@ -743,7 +757,8 @@ Status Ftl::CheckInvariants() const {
   }
 
   // Forward map agrees with reverse maps.
-  for (const auto& [lba, loc] : map_) {
+  for (const uint64_t lba : SortedKeys(map_)) {
+    const PhysLoc& loc = map_.at(lba);
     if (loc.pool >= pools_.size()) {
       return fail("mapping with bad pool id");
     }
@@ -762,7 +777,8 @@ Status Ftl::CheckInvariants() const {
   for (uint32_t p = 0; p < pools_.size(); ++p) {
     const Pool& pool = pools_[p];
     uint64_t pool_valid = 0;
-    for (const auto& [id, blk] : pool.blocks) {
+    for (const uint32_t id : SortedKeys(pool.blocks)) {
+      const FtlBlock& blk = pool.blocks.at(id);
       uint32_t live = 0;
       for (uint32_t page = 0; page < blk.page_lba.size(); ++page) {
         const uint64_t lba = blk.page_lba[page];
@@ -812,6 +828,7 @@ Status Ftl::CheckInvariants() const {
 
 std::vector<uint64_t> Ftl::LbasInPool(uint32_t pool_id) const {
   std::vector<uint64_t> lbas;
+  // soslint:allow(R1) collected LBAs are sorted before return
   for (const auto& [lba, loc] : map_) {
     if (loc.pool == pool_id) {
       lbas.push_back(lba);

@@ -163,22 +163,22 @@ class Ftl {
 
   // Writes one logical page into `pool_id`. Overwrites relocate the LBA into
   // that pool regardless of where it lived before.
-  Status Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id);
+  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id);
 
   // Reads a logical page through the owning pool's ECC/parity path.
-  Result<FtlReadResult> Read(uint64_t lba);
+  [[nodiscard]] Result<FtlReadResult> Read(uint64_t lba);
 
   // Invalidates a logical page.
-  Status Trim(uint64_t lba);
+  [[nodiscard]] Status Trim(uint64_t lba);
 
   // Moves a logical page to another pool (classification change). Reads
   // through the normal path, so undetected corruption travels along.
-  Status Migrate(uint64_t lba, uint32_t target_pool);
+  [[nodiscard]] Status Migrate(uint64_t lba, uint32_t target_pool);
 
   // Rewrites a logical page in place (same pool, fresh physical page),
   // resetting its retention clock. The scrubber's preemptive rescue of
   // dangerously degraded data (paper §4.3).
-  Status Refresh(uint64_t lba);
+  [[nodiscard]] Status Refresh(uint64_t lba);
 
   // Opportunistic idle-time garbage collection: tops every pool's free list
   // up to twice its GC threshold, collecting at most `max_blocks_per_pool`
@@ -212,7 +212,7 @@ class Ftl {
 
   // Predicted raw BER of the physical page backing `lba`, `ahead_years`
   // from now. kNotFound for unmapped LBAs.
-  Result<double> PredictLbaRber(uint64_t lba, double ahead_years) const;
+  [[nodiscard]] Result<double> PredictLbaRber(uint64_t lba, double ahead_years) const;
 
   // All LBAs currently mapped into `pool_id` (scrub iteration).
   std::vector<uint64_t> LbasInPool(uint32_t pool_id) const;
@@ -224,7 +224,7 @@ class Ftl {
   //  - free-listed blocks are erased and hold no valid data,
   //  - block ownership is disjoint across pools.
   // Returns kFailedPrecondition with a description on the first violation.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   static constexpr uint64_t kLbaInvalid = ~0ull;
@@ -298,12 +298,12 @@ class Ftl {
   // Appends one data page to the chosen active slot. Handles parity slots.
   // Returns the physical location written. Fails only on physical
   // exhaustion.
-  Result<PhysLoc> AppendPage(uint32_t pool_id, uint64_t lba, std::span<const uint8_t> data,
+  [[nodiscard]] Result<PhysLoc> AppendPage(uint32_t pool_id, uint64_t lba, std::span<const uint8_t> data,
                              bool allow_gc, bool cold);
 
   // Writes the parity page for the slot's open stripe. Called when the
   // append cursor reaches a parity slot.
-  Status WriteParityPage(uint32_t pool_id, ActiveSlot& slot);
+  [[nodiscard]] Status WriteParityPage(uint32_t pool_id, ActiveSlot& slot);
 
   void InvalidateLoc(const PhysLoc& loc);
 
@@ -312,7 +312,7 @@ class Ftl {
   std::optional<uint32_t> PickGcVictim(const Pool& pool) const;
   // Moves all valid pages off `block_id`, erases it, and returns it to the
   // free list (or retires it).
-  Status EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_as_wl);
+  [[nodiscard]] Status EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_as_wl);
 
   // Static wear leveling pass; no-op when disabled or spread is small.
   void MaybeStaticWearLevel(uint32_t pool_id);
@@ -328,7 +328,7 @@ class Ftl {
 
   // Internal read used by relocation: returns the bytes to rewrite plus
   // degradation bookkeeping.
-  Result<FtlReadResult> ReadInternal(uint64_t lba, bool count_stats);
+  [[nodiscard]] Result<FtlReadResult> ReadInternal(uint64_t lba, bool count_stats);
 
   FtlConfig config_;
   SimClock* clock_;

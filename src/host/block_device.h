@@ -60,17 +60,17 @@ class BlockDevice {
 
   // Writes one logical block. `data` must be at most block_size; shorter
   // payloads are padded. The stream hint classifies the data.
-  virtual Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) = 0;
+  [[nodiscard]] virtual Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) = 0;
 
   // Reads one logical block.
-  virtual Result<BlockReadResult> Read(uint64_t lba) = 0;
+  [[nodiscard]] virtual Result<BlockReadResult> Read(uint64_t lba) = 0;
 
   // Invalidates a logical block (TRIM).
-  virtual Status Trim(uint64_t lba) = 0;
+  [[nodiscard]] virtual Status Trim(uint64_t lba) = 0;
 
   // Re-classifies an already-written block; the device migrates physical
   // placement accordingly (SOS's daemon uses this to demote data to SPARE).
-  virtual Status Reclassify(uint64_t lba, StreamClass hint) = 0;
+  [[nodiscard]] virtual Status Reclassify(uint64_t lba, StreamClass hint) = 0;
 
   // Registers a callback fired when usable capacity shrinks (new capacity in
   // blocks). Default implementation ignores it (fixed-capacity devices).

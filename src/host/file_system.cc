@@ -201,7 +201,7 @@ Status ExtentFileSystem::DeleteFile(uint64_t file_id) {
   }
   for (const auto& e : it->second.extents) {
     for (uint32_t i = 0; i < e.blocks; ++i) {
-      (void)device_->Trim(e.lba + i);  // trim failures are advisory
+      IgnoreResult(device_->Trim(e.lba + i));  // trim failures are advisory
     }
   }
   Release(it->second.extents);

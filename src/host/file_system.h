@@ -59,22 +59,22 @@ class ExtentFileSystem {
   // and all device traffic (writes, reads, rewrites) touches every allocated
   // block, but no bytes are retained -- the mode used by large metadata-only
   // simulations. Fails with kOutOfSpace when full. Returns the file id.
-  Result<uint64_t> CreateFile(FileMeta meta, std::span<const uint8_t> content,
+  [[nodiscard]] Result<uint64_t> CreateFile(FileMeta meta, std::span<const uint8_t> content,
                               StreamClass placement);
 
   // Reads the whole file, updating access statistics.
-  Result<FileReadResult> ReadFile(uint64_t file_id);
+  [[nodiscard]] Result<FileReadResult> ReadFile(uint64_t file_id);
 
   // Overwrites content in place (same extents, same placement). Content must
   // not exceed the original allocation. Empty content on a synthetic file
   // rewrites every allocated block (an in-place update at full size).
-  Status OverwriteFile(uint64_t file_id, std::span<const uint8_t> content);
+  [[nodiscard]] Status OverwriteFile(uint64_t file_id, std::span<const uint8_t> content);
 
   // Deletes the file and trims its blocks.
-  Status DeleteFile(uint64_t file_id);
+  [[nodiscard]] Status DeleteFile(uint64_t file_id);
 
   // Changes the file's placement; the device migrates each of its blocks.
-  Status ReclassifyFile(uint64_t file_id, StreamClass placement);
+  [[nodiscard]] Status ReclassifyFile(uint64_t file_id, StreamClass placement);
 
   // --- Introspection -------------------------------------------------------
 
@@ -101,7 +101,7 @@ class ExtentFileSystem {
     bool synthetic = false;      // sized-but-empty content (metadata-only sims)
   };
 
-  Result<std::vector<Extent>> Allocate(uint64_t blocks_needed);
+  [[nodiscard]] Result<std::vector<Extent>> Allocate(uint64_t blocks_needed);
   void Release(const std::vector<Extent>& extents);
   void OnCapacityChange(uint64_t new_capacity_blocks);
 

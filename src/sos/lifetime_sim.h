@@ -152,6 +152,10 @@ class LifetimeSim {
   std::unique_ptr<DegradationMonitor> monitor_;
   std::unique_ptr<AutoDeleteManager> autodelete_;
   std::unique_ptr<InMemoryCloud> cloud_;
+  // Workload file-ref -> live file id. Lookup/erase only -- never iterated:
+  // any walk of this map would feed hash order into the simulation (soslint
+  // R1). Iteration over live files goes through fs_->ScanFiles(), which is
+  // id-ordered.
   std::unordered_map<uint64_t, uint64_t> ref_to_fsid_;
   LifetimeResult result_;
 };

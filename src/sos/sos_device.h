@@ -64,10 +64,10 @@ class SosDevice final : public BlockDevice {
 
   uint32_t block_size() const override;
   uint64_t capacity_blocks() const override;
-  Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
-  Result<BlockReadResult> Read(uint64_t lba) override;
-  Status Trim(uint64_t lba) override;
-  Status Reclassify(uint64_t lba, StreamClass hint) override;
+  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
+  [[nodiscard]] Result<BlockReadResult> Read(uint64_t lba) override;
+  [[nodiscard]] Status Trim(uint64_t lba) override;
+  [[nodiscard]] Status Reclassify(uint64_t lba, StreamClass hint) override;
   void SetCapacityListener(CapacityListener listener) override;
 
   // --- SOS introspection ---------------------------------------------------
@@ -102,7 +102,7 @@ class SosDevice final : public BlockDevice {
 
  private:
   // Picks the pool for a spare-class write: SPARE first, RESCUE overflow.
-  Status WriteSpare(uint64_t lba, std::span<const uint8_t> data);
+  [[nodiscard]] Status WriteSpare(uint64_t lba, std::span<const uint8_t> data);
 
   SosDeviceConfig config_;
   std::unique_ptr<Ftl> ftl_;
@@ -126,10 +126,10 @@ class BaselineDevice final : public BlockDevice {
 
   uint32_t block_size() const override;
   uint64_t capacity_blocks() const override;
-  Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
-  Result<BlockReadResult> Read(uint64_t lba) override;
-  Status Trim(uint64_t lba) override;
-  Status Reclassify(uint64_t lba, StreamClass hint) override;
+  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
+  [[nodiscard]] Result<BlockReadResult> Read(uint64_t lba) override;
+  [[nodiscard]] Status Trim(uint64_t lba) override;
+  [[nodiscard]] Status Reclassify(uint64_t lba, StreamClass hint) override;
   void SetCapacityListener(CapacityListener listener) override;
 
   Ftl& ftl() { return *ftl_; }

@@ -114,7 +114,7 @@ TEST(CapacityShrinkTest, FsHonorsShrunkCapacity) {
   for (int i = 0; i < 30000 && device.ftl().stats().retired_blocks < 4; ++i) {
     if (!junk_ids.empty() && rng.NextBool(0.6)) {
       const size_t idx = static_cast<size_t>(rng.NextBounded(junk_ids.size()));
-      (void)fs.DeleteFile(junk_ids[idx]);
+      IgnoreResult(fs.DeleteFile(junk_ids[idx]));
       junk_ids[idx] = junk_ids.back();
       junk_ids.pop_back();
     } else {
@@ -187,7 +187,7 @@ TEST(EdgeCaseTest, PackageSingleDieMatchesSerialModel) {
   const std::vector<uint8_t> page(512, 1);
   ASSERT_TRUE(package.QueueProgram({0, 0}, page).ok());
   ASSERT_TRUE(package.QueueProgram({0, 1}, page).ok());
-  (void)package.QueueRead({0, 0});
+  IgnoreResult(package.QueueRead({0, 0}));
   const SimTimeUs makespan = package.Drain();
   const CellTechInfo& info = GetCellTechInfo(CellTech::kTlc);
   EXPECT_EQ(makespan, 2 * info.program_latency_us + info.read_latency_us);

@@ -244,6 +244,63 @@ TEST(ResultTest, ValueAndStatus) {
   EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusTest, CodeNamesAreDistinct) {
+  // A duplicate name would make two failure modes indistinguishable in logs
+  // and table output; catch it when a new code is added.
+  std::set<std::string> names;
+  const int count = static_cast<int>(StatusCode::kUnavailable) + 1;
+  for (int c = 0; c < count; ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(count));
+}
+
+TEST(StatusTest, ToStringWithEmptyMessage) {
+  EXPECT_EQ(Status(StatusCode::kWornOut, "").ToString(), "WORN_OUT");
+}
+
+TEST(ResultTest, MovedFromResultKeepsItsAlternative) {
+  // std::variant's move leaves the same alternative engaged (holding a
+  // moved-from value), so ok() on a moved-from Result keeps answering
+  // consistently instead of flipping to an error.
+  Result<std::string> ok_result(std::string("payload"));
+  Result<std::string> moved_ok = std::move(ok_result);
+  EXPECT_TRUE(moved_ok.ok());
+  EXPECT_EQ(moved_ok.value(), "payload");
+  EXPECT_TRUE(ok_result.ok());  // NOLINT(bugprone-use-after-move)
+
+  Result<std::string> err_result(Status(StatusCode::kWornOut, "dead"));
+  Result<std::string> moved_err = std::move(err_result);
+  EXPECT_FALSE(moved_err.ok());
+  EXPECT_EQ(moved_err.status().code(), StatusCode::kWornOut);
+  EXPECT_EQ(moved_err.status().message(), "dead");
+  // The moved-from error still reports the (scalar) code even though the
+  // message string's contents are unspecified after the move.
+  EXPECT_FALSE(err_result.ok());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(err_result.status().code(), StatusCode::kWornOut);
+}
+
+TEST(ResultTest, IgnoreResultConsumesNodiscardValues) {
+  // IgnoreResult is the sanctioned sink for deliberately dropped values;
+  // this compiles warning-free where a bare call would trip
+  // -Werror=unused-result.
+  IgnoreResult(Status(StatusCode::kUnavailable, "busy"));
+  IgnoreResult(Result<int>(7));
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(ResultDeathTest, ValueOnErrorAsserts) {
+  // The tree builds with assertions on (CMake strips NDEBUG), so misusing
+  // value() must die loudly rather than return garbage.
+  Result<int> err(Status(StatusCode::kNotFound, "gone"));
+  EXPECT_DEATH({ [[maybe_unused]] const int v = err.value(); }, "ok");
+}
+
+TEST(ResultDeathTest, OkStatusWithoutValueAsserts) {
+  EXPECT_DEATH(IgnoreResult(Result<int>(Status::Ok())), "OK status without a value");
+}
+#endif
+
 // --- Table & formatting ----------------------------------------------------
 
 TEST(TableTest, RendersAlignedColumns) {

@@ -336,7 +336,7 @@ TEST(NandDeviceTest, DeterministicReplay) {
   auto run = [] {
     SimClock clock;
     NandDevice device(SmallConfig(), &clock);
-    (void)device.Program({0, 0}, Payload(512, 0x77));
+    IgnoreResult(device.Program({0, 0}, Payload(512, 0x77)));
     clock.Advance(YearsToUs(3.0));
     auto read = device.Read({0, 0});
     return read.value().data;
@@ -373,7 +373,7 @@ TEST(NandDeviceTest, LatencyAdvancesClockByMode) {
   ASSERT_TRUE(device.Program({0, 0}, Payload(16, 1)).ok());
   EXPECT_EQ(clock.now() - t0, GetCellTechInfo(CellTech::kPlc).program_latency_us);
   const SimTimeUs t1 = clock.now();
-  (void)device.Read({0, 0});
+  IgnoreResult(device.Read({0, 0}));
   EXPECT_EQ(clock.now() - t1, GetCellTechInfo(CellTech::kPlc).read_latency_us);
 }
 
@@ -381,7 +381,7 @@ TEST(NandDeviceTest, StatsAccumulate) {
   SimClock clock;
   NandDevice device(SmallConfig(), &clock);
   ASSERT_TRUE(device.Program({0, 0}, Payload(16, 1)).ok());
-  (void)device.Read({0, 0});
+  IgnoreResult(device.Read({0, 0}));
   ASSERT_TRUE(device.EraseBlock(0).ok());
   const NandStats& stats = device.stats();
   EXPECT_EQ(stats.programs, 1u);

@@ -533,7 +533,7 @@ TEST(FtlTest, DeterministicAcrossRuns) {
     Ftl ftl(SinglePool(), &clock);
     Rng rng(9);
     for (int i = 0; i < 2000; ++i) {
-      (void)ftl.Write(rng.NextBounded(40), Page(static_cast<uint8_t>(i)), 0);
+      IgnoreResult(ftl.Write(rng.NextBounded(40), Page(static_cast<uint8_t>(i)), 0));
     }
     clock.Advance(YearsToUs(1.0));
     uint64_t checksum = 0;

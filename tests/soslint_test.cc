@@ -1,0 +1,286 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Unit tests for tools/soslint: every rule R1..R5 is exercised with a
+// fixture that must fire and a near-identical fixture that must pass, so a
+// lexer or matcher regression shows up as a test diff, not as lint noise on
+// the real tree. Fixtures are raw strings; soslint's own lexer drops raw
+// string bodies, so linting this file stays clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/soslint/soslint.h"
+
+namespace sos {
+namespace {
+
+using lint::Diagnostic;
+using lint::SourceFile;
+
+std::vector<Diagnostic> Lint(const std::string& path, const std::string& content) {
+  return lint::LintTree({{path, content}});
+}
+
+int CountRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// --- R1: unordered-container iteration -------------------------------------
+
+TEST(SoslintR1Test, FlagsRangeForOverUnorderedMapWithSink) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_map<int, int> counters;
+    void Dump() {
+      for (const auto& [k, v] : counters) {
+        printf("%d %d\n", k, v);
+      }
+    }
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R1"), 1);
+  EXPECT_EQ(diags[0].line, 4);
+  // The sink in the loop body is named in the message.
+  EXPECT_NE(diags[0].message.find("printf"), std::string::npos);
+}
+
+TEST(SoslintR1Test, FlagsIterationEvenWithoutSink) {
+  // Order-insensitive-looking loops are still flagged: a later refactor can
+  // add a sink without re-reviewing the loop, so the annotation is mandatory.
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_set<uint64_t> live;
+    uint64_t Sum() {
+      uint64_t total = 0;
+      for (uint64_t v : live) total += v;
+      return total;
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R1"), 1);
+}
+
+TEST(SoslintR1Test, MemberDeclaredInHeaderCaughtInOtherFile) {
+  // Two-pass: the container name is collected from the header, the iteration
+  // is flagged in the .cc that never spells the type.
+  const std::vector<SourceFile> files = {
+      {"src/m.h",
+       R"cc(
+         #ifndef SOS_SRC_M_H_
+         #define SOS_SRC_M_H_
+         #include "src/common/status.h"
+         class M { std::unordered_map<uint64_t, int> table_; };
+         #endif  // SOS_SRC_M_H_
+       )cc"},
+      {"src/m.cc",
+       R"cc(
+         #include "src/m.h"
+         void M::Walk() {
+           for (const auto& [k, v] : table_) { Use(k); }
+         }
+       )cc"},
+  };
+  const auto diags = lint::LintTree(files);
+  ASSERT_EQ(CountRule(diags, "R1"), 1);
+  EXPECT_EQ(diags[0].file, "src/m.cc");
+}
+
+TEST(SoslintR1Test, IgnoresOrderedContainersAndClassicLoops) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_map<int, int> m;
+    std::vector<int> v;
+    void F() {
+      for (int x : v) Use(x);
+      for (size_t i = 0; i < v.size(); ++i) Use(v[i]);
+      auto it = m.find(3);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R1"), 0);
+}
+
+TEST(SoslintR1Test, SortedKeysWrapperIsSafeByConstruction) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_map<int, int> m;
+    void F() {
+      for (const int k : SortedKeys(m)) {
+        printf("%d\n", k);
+      }
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R1"), 0);
+}
+
+TEST(SoslintR1Test, AllowDirectiveSuppresses) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_map<int, int> m;
+    int F() {
+      int sum = 0;
+      // soslint:allow(R1) integer sum is commutative
+      for (const auto& [k, v] : m) sum += v;
+      return sum;
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R1"), 0);
+  EXPECT_EQ(CountRule(diags, "R5"), 0);
+}
+
+// --- R2: ambient entropy / wall-clock time ----------------------------------
+
+TEST(SoslintR2Test, FlagsBannedEntropySources) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    void F() {
+      int a = std::rand();
+      std::random_device rd;
+      auto t = std::chrono::system_clock::now();
+      uint64_t now = ::time(nullptr);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R2"), 4);
+}
+
+TEST(SoslintR2Test, BareTimeIdentifierIsNotFlagged) {
+  // `time` is only banned as an explicit ::time / std::time call; plain
+  // variables named time are everywhere in a simulator.
+  const auto diags = Lint("src/x.cc", R"cc(
+    void F(uint64_t time) {
+      uint64_t arrival_time = time + 5;
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R2"), 0);
+}
+
+TEST(SoslintR2Test, RngImplementationIsExempt) {
+  const std::string src = R"cc(
+    void Seed() { std::random_device rd; }
+  )cc";
+  EXPECT_EQ(CountRule(Lint("src/common/rng.cc", src), "R2"), 0);
+  EXPECT_EQ(CountRule(Lint("src/flash/nand.cc", src), "R2"), 1);
+}
+
+TEST(SoslintR2Test, MentionsInCommentsAndStringsAreNotFlagged) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    // std::rand is banned here; see R2.
+    const char* kMsg = "do not call rand()";
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R2"), 0);
+}
+
+// --- R3: include style + header guards ---------------------------------------
+
+TEST(SoslintR3Test, FlagsRelativeQuoteInclude) {
+  const auto diags = Lint("src/ftl/ftl.cc", R"cc(
+    #include "ftl.h"
+    #include "src/common/status.h"
+    #include <vector>
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R3"), 1);
+  EXPECT_NE(diags[0].message.find("ftl.h"), std::string::npos);
+}
+
+TEST(SoslintR3Test, EnforcesGuardNaming) {
+  const std::string good = R"cc(
+    #ifndef SOS_SRC_FTL_FTL_H_
+    #define SOS_SRC_FTL_FTL_H_
+    #endif  // SOS_SRC_FTL_FTL_H_
+  )cc";
+  EXPECT_EQ(CountRule(Lint("src/ftl/ftl.h", good), "R3"), 0);
+
+  const std::string wrong = R"cc(
+    #ifndef FTL_H
+    #define FTL_H
+    #endif
+  )cc";
+  const auto diags = Lint("src/ftl/ftl.h", wrong);
+  ASSERT_EQ(CountRule(diags, "R3"), 1);
+  EXPECT_NE(diags[0].message.find("SOS_SRC_FTL_FTL_H_"), std::string::npos);
+}
+
+TEST(SoslintR3Test, FlagsPragmaOnceAndMissingGuard) {
+  EXPECT_EQ(CountRule(Lint("src/a.h", "#pragma once\n"), "R3"), 1);
+  EXPECT_EQ(CountRule(Lint("src/a.h", "int x;\n"), "R3"), 1);
+  // .cc files need no guard.
+  EXPECT_EQ(CountRule(Lint("src/a.cc", "int x;\n"), "R3"), 0);
+}
+
+// --- R4: assert with side effects --------------------------------------------
+
+TEST(SoslintR4Test, FlagsMutationInsideAssert) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    void F(int x, int i) {
+      assert(x = 1);
+      assert(++i < 10);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R4"), 2);
+}
+
+TEST(SoslintR4Test, ComparisonsAndCallsAreFine) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    void F(int a, int b) {
+      assert(a == b);
+      assert(a != b && a <= b);
+      assert(Check(a));
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R4"), 0);
+}
+
+// --- R5: the escape hatch itself ---------------------------------------------
+
+TEST(SoslintR5Test, UnknownRuleIsAViolation) {
+  const auto diags = Lint("src/x.cc", "// soslint:allow(R9) no such rule\n");
+  ASSERT_EQ(CountRule(diags, "R5"), 1);
+  EXPECT_NE(diags[0].message.find("R9"), std::string::npos);
+}
+
+TEST(SoslintR5Test, MissingReasonIsAViolation) {
+  const auto diags = Lint("src/x.cc", "// soslint:allow(R1)\n");
+  ASSERT_EQ(CountRule(diags, "R5"), 1);
+  EXPECT_NE(diags[0].message.find("reason"), std::string::npos);
+}
+
+TEST(SoslintR5Test, AllowOnlySuppressesTheNamedRule) {
+  // An R2 allow must not quietly waive the R1 violation on the same line.
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_map<int, int> m;
+    void F() {
+      // soslint:allow(R2) wrong rule for this loop
+      for (const auto& [k, v] : m) Use(k);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R1"), 1);
+}
+
+TEST(SoslintR5Test, SameLineAllowWorks) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_set<int> s;
+    void F() {
+      for (int v : s) Use(v);  // soslint:allow(R1) order-free side effects
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R1"), 0);
+}
+
+// --- Output format & determinism ---------------------------------------------
+
+TEST(SoslintOutputTest, FormatDiagnosticIsEditorParseable) {
+  const Diagnostic d{"src/ftl/ftl.cc", 42, "R1", "msg"};
+  EXPECT_EQ(lint::FormatDiagnostic(d), "src/ftl/ftl.cc:42: [R1] msg");
+}
+
+TEST(SoslintOutputTest, LintTreeSortsDiagnosticsByFileAndLine) {
+  // Files presented in reverse order; diagnostics must come out sorted so CI
+  // diffs are stable run to run.
+  const std::vector<SourceFile> files = {
+      {"src/zzz.cc", "#include \"b.h\"\n"},
+      {"src/aaa.cc", "#include \"a.h\"\n"},
+  };
+  const auto diags = lint::LintTree(files);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].file, "src/aaa.cc");
+  EXPECT_EQ(diags[1].file, "src/zzz.cc");
+}
+
+}  // namespace
+}  // namespace sos

@@ -86,13 +86,13 @@ TEST_P(FtlStressTest, RandomOpsPreserveInvariants) {
         }
         case 5: {  // migrate
           if (oracle.contains(lba)) {
-            (void)ftl.Migrate(lba, static_cast<uint32_t>(rng.NextBounded(2)));
+            IgnoreResult(ftl.Migrate(lba, static_cast<uint32_t>(rng.NextBounded(2))));
           }
           break;
         }
         case 6: {  // refresh
           if (oracle.contains(lba)) {
-            (void)ftl.Refresh(lba);
+            IgnoreResult(ftl.Refresh(lba));
           }
           break;
         }
@@ -174,7 +174,7 @@ TEST_P(SosStressTest, FileSystemChurnKeepsDeviceConsistent) {
       live.pop_back();
     } else if (pick == 8) {
       const uint64_t id = live[rng.NextBounded(live.size())];
-      (void)fs.ReclassifyFile(id, rng.NextBool(0.5) ? StreamClass::kSys : StreamClass::kSpare);
+      IgnoreResult(fs.ReclassifyFile(id, rng.NextBool(0.5) ? StreamClass::kSys : StreamClass::kSpare));
     } else {
       clock.Advance(rng.NextBounded(10) * kUsPerDay);
     }

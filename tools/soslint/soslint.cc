@@ -1,0 +1,599 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "tools/soslint/soslint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+namespace sos::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: comments and string literals are stripped from the token stream
+// (comments are kept separately so allow-directives can be parsed), multi-char
+// operators are lexed as single tokens so "==" never reads as two "=".
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Comment {
+  int line;  // line the comment starts on
+  std::string text;
+};
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Longest-match puncts that matter for the rules (assignment vs comparison,
+// template closers, stream output). Everything else falls through as 1 char.
+constexpr std::array<const char*, 24> kMultiPunct = {
+    "<<=", ">>=", "...", "->*", "->", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>",  "++",  "--",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+};
+
+struct Lexed {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" || ident == "LR";
+}
+
+Lexed Lex(const std::string& src) {
+  Lexed out;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const size_t start = i;
+      while (i < n && src[i] != '\n') {
+        ++i;
+      }
+      out.comments.push_back({line, src.substr(start, i - start)});
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      const size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      out.comments.push_back({start_line, src.substr(start, i - start)});
+      continue;
+    }
+    // String literal (raw strings are handled from the identifier path below,
+    // since the R prefix lexes as an identifier first).
+    if (c == '"') {
+      const size_t start = ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        if (src[i] == '\n') {
+          ++line;  // unterminated string; keep line counts sane
+        }
+        ++i;
+      }
+      out.tokens.push_back({TokKind::kString, src.substr(start, i - start), line});
+      i = i < n ? i + 1 : n;
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        ++i;
+      }
+      i = i < n ? i + 1 : n;
+      continue;  // char literals carry no lint signal
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(src[i])) {
+        ++i;
+      }
+      std::string ident = src.substr(start, i - start);
+      // Raw string literal: R"delim( ... )delim"
+      if (i < n && src[i] == '"' && IsRawStringPrefix(ident)) {
+        ++i;
+        std::string delim;
+        while (i < n && src[i] != '(') {
+          delim += src[i++];
+        }
+        const std::string closer = ")" + delim + "\"";
+        const size_t body_start = i < n ? i + 1 : n;
+        const size_t end = src.find(closer, body_start);
+        const size_t body_end = end == std::string::npos ? n : end;
+        for (size_t k = body_start; k < body_end; ++k) {
+          if (src[k] == '\n') {
+            ++line;
+          }
+        }
+        out.tokens.push_back({TokKind::kString, "", line});
+        i = end == std::string::npos ? n : end + closer.size();
+        continue;
+      }
+      out.tokens.push_back({TokKind::kIdent, std::move(ident), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (IsIdentChar(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') && i > start &&
+                        (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                         src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation: longest multi-char operator first.
+    bool matched = false;
+    for (const char* op : kMultiPunct) {
+      const size_t len = std::char_traits<char>::length(op);
+      if (src.compare(i, len, op) == 0) {
+        out.tokens.push_back({TokKind::kPunct, op, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allow-directives (rule R5).
+// ---------------------------------------------------------------------------
+
+constexpr std::array<const char*, 5> kRules = {"R1", "R2", "R3", "R4", "R5"};
+
+bool IsKnownRule(const std::string& rule) {
+  return std::find(kRules.begin(), kRules.end(), rule) != kRules.end();
+}
+
+struct AllowTable {
+  // line -> rules allowed on that line and the next.
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Diagnostic> malformed;
+};
+
+AllowTable ParseAllows(const std::string& path, const std::vector<Comment>& comments) {
+  AllowTable table;
+  constexpr const char* kKey = "soslint:allow";
+  for (const Comment& comment : comments) {
+    size_t pos = 0;
+    while ((pos = comment.text.find(kKey, pos)) != std::string::npos) {
+      pos += std::char_traits<char>::length(kKey);
+      const size_t open = comment.text.find_first_not_of(' ', pos);
+      if (open == std::string::npos || comment.text[open] != '(') {
+        table.malformed.push_back({path, comment.line, "R5",
+                                   "malformed soslint:allow -- expected soslint:allow(<rule>) "
+                                   "<reason>"});
+        continue;
+      }
+      const size_t close = comment.text.find(')', open);
+      if (close == std::string::npos) {
+        table.malformed.push_back({path, comment.line, "R5",
+                                   "malformed soslint:allow -- missing ')'"});
+        continue;
+      }
+      const std::string rule = comment.text.substr(open + 1, close - open - 1);
+      if (!IsKnownRule(rule)) {
+        table.malformed.push_back({path, comment.line, "R5",
+                                   "soslint:allow names unknown rule '" + rule + "'"});
+        continue;
+      }
+      const size_t reason = comment.text.find_first_not_of(" \t", close + 1);
+      if (reason == std::string::npos) {
+        table.malformed.push_back({path, comment.line, "R5",
+                                   "soslint:allow(" + rule +
+                                       ") has no reason -- justify the suppression"});
+        continue;
+      }
+      table.by_line[comment.line].insert(rule);
+    }
+  }
+  return table;
+}
+
+bool IsAllowed(const AllowTable& table, int line, const std::string& rule) {
+  for (const int l : {line, line - 1}) {
+    auto it = table.by_line.find(l);
+    if (it != table.by_line.end() && it->second.count(rule) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Small token-stream helpers.
+// ---------------------------------------------------------------------------
+
+// Index of the token matching the opener at `open_index` ('(' / '{' / '['),
+// or tokens.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& tokens, size_t open_index) {
+  const std::string& open = tokens[open_index].text;
+  const std::string close = open == "(" ? ")" : open == "{" ? "}" : "]";
+  int depth = 0;
+  for (size_t i = open_index; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) {
+      continue;
+    }
+    if (tokens[i].text == open) {
+      ++depth;
+    } else if (tokens[i].text == close) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return tokens.size();
+}
+
+// After tokens[i] == "unordered_map"/"unordered_set", skips the template
+// argument list (handling ">>" closing two levels) and returns the index of
+// the first token past it.
+size_t SkipTemplateArgs(const std::vector<Token>& tokens, size_t i) {
+  size_t j = i + 1;
+  if (j >= tokens.size() || tokens[j].text != "<") {
+    return j;
+  }
+  int depth = 0;
+  for (; j < tokens.size(); ++j) {
+    if (tokens[j].kind != TokKind::kPunct) {
+      continue;
+    }
+    if (tokens[j].text == "<") {
+      ++depth;
+    } else if (tokens[j].text == "<<") {
+      depth += 2;
+    } else if (tokens[j].text == ">") {
+      if (--depth == 0) {
+        return j + 1;
+      }
+    } else if (tokens[j].text == ">>") {
+      depth -= 2;
+      if (depth <= 0) {
+        return j + 1;
+      }
+    }
+  }
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// R1: iteration over unordered containers.
+// ---------------------------------------------------------------------------
+
+const std::unordered_set<std::string>& SinkIdents() {
+  static const std::unordered_set<std::string> kSinks = {
+      "printf", "fprintf", "snprintf", "cout",  "cerr",        "AddRow",
+      "Print",  "PrintTo", "push_back", "emplace_back", "append",
+  };
+  return kSinks;
+}
+
+void CheckUnorderedIteration(const SourceFile& file, const std::vector<Token>& tokens,
+                             const std::unordered_set<std::string>& unordered_names,
+                             std::vector<Diagnostic>* diags) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent || tokens[i].text != "for") {
+      continue;
+    }
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") {
+      continue;
+    }
+    const size_t close = MatchingClose(tokens, i + 1);
+    if (close >= tokens.size()) {
+      continue;
+    }
+    // Range-for: a ':' at paren depth 1 (the lexer emits '::' as one token,
+    // so scope resolution cannot masquerade as the range separator).
+    size_t colon = tokens.size();
+    int depth = 0;
+    for (size_t j = i + 1; j < close; ++j) {
+      if (tokens[j].kind != TokKind::kPunct) {
+        continue;
+      }
+      if (tokens[j].text == "(" || tokens[j].text == "[" || tokens[j].text == "{") {
+        ++depth;
+      } else if (tokens[j].text == ")" || tokens[j].text == "]" || tokens[j].text == "}") {
+        --depth;
+      } else if (tokens[j].text == ":" && depth == 1) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == tokens.size()) {
+      continue;  // classic for loop
+    }
+    // Does the range expression name a known-unordered container? Wrapping
+    // the container in the sanctioned sort helpers yields ordered keys, so
+    // those loops are safe by construction.
+    std::string container;
+    bool sorted_wrapper = false;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (tokens[j].kind == TokKind::kIdent &&
+          (tokens[j].text == "SortedKeys" || tokens[j].text == "SortedElements")) {
+        sorted_wrapper = true;
+        break;
+      }
+      if (tokens[j].kind == TokKind::kIdent &&
+          (unordered_names.count(tokens[j].text) > 0 || tokens[j].text == "unordered_map" ||
+           tokens[j].text == "unordered_set")) {
+        container = tokens[j].text;
+        break;
+      }
+    }
+    if (sorted_wrapper || container.empty()) {
+      continue;
+    }
+    // Enrich the message with any ordered-output sink in the loop body.
+    std::string sinks;
+    if (close + 1 < tokens.size() && tokens[close + 1].text == "{") {
+      const size_t body_end = MatchingClose(tokens, close + 1);
+      for (size_t j = close + 2; j < body_end && j < tokens.size(); ++j) {
+        const bool is_sink =
+            (tokens[j].kind == TokKind::kIdent && SinkIdents().count(tokens[j].text) > 0) ||
+            (tokens[j].kind == TokKind::kPunct && tokens[j].text == "<<");
+        if (is_sink && sinks.find(tokens[j].text) == std::string::npos) {
+          sinks += sinks.empty() ? tokens[j].text : ", " + tokens[j].text;
+        }
+      }
+    }
+    std::string message = "iteration over unordered container '" + container + "'";
+    if (!sinks.empty()) {
+      message += " whose body feeds ordered output (" + sinks + ")";
+    }
+    message +=
+        "; hash order is not portable across standard libraries -- iterate "
+        "sorted keys (see SortedKeys in src/common/container_util.h) or "
+        "justify with soslint:allow(R1) <reason>";
+    diags->push_back({file.path, tokens[i].line, "R1", std::move(message)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2: ambient randomness / wall-clock time.
+// ---------------------------------------------------------------------------
+
+bool IsR2Exempt(const std::string& path) {
+  return path == "src/common/rng.h" || path == "src/common/rng.cc" ||
+         path == "src/common/sim_clock.h";
+}
+
+void CheckBannedEntropy(const SourceFile& file, const std::vector<Token>& tokens,
+                        std::vector<Diagnostic>* diags) {
+  if (IsR2Exempt(file.path)) {
+    return;
+  }
+  static const std::unordered_set<std::string> kBanned = {
+      "rand",         "srand",        "drand48",      "lrand48",
+      "random_device", "system_clock", "gettimeofday", "clock_gettime",
+      "localtime",    "gmtime",       "mt19937",      "mt19937_64",
+      "default_random_engine",
+  };
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    const std::string& t = tokens[i].text;
+    const bool banned =
+        kBanned.count(t) > 0 ||
+        // `time` only as an explicit call through `::`/`std::`; a bare `time`
+        // identifier is too common to ban outright.
+        (t == "time" && i > 0 && tokens[i - 1].text == "::");
+    if (banned) {
+      diags->push_back({file.path, tokens[i].line, "R2",
+                        "'" + t +
+                            "' is a nondeterminism source; all entropy must come from "
+                            "src/common/rng.h (DeriveSeed) and all time from SimClock"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: include style + header guards.
+// ---------------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string guard = "SOS_";
+  for (const char c : path) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckIncludes(const SourceFile& file, const std::vector<Token>& tokens,
+                   std::vector<Diagnostic>* diags) {
+  static const std::array<const char*, 5> kPrefixes = {"src/", "tests/", "bench/", "tools/",
+                                                       "examples/"};
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].text != "#" || tokens[i + 1].text != "include" ||
+        tokens[i + 2].kind != TokKind::kString) {
+      continue;
+    }
+    const std::string& inc = tokens[i + 2].text;
+    const bool ok = std::any_of(kPrefixes.begin(), kPrefixes.end(), [&inc](const char* p) {
+      return inc.rfind(p, 0) == 0;
+    });
+    if (!ok) {
+      diags->push_back({file.path, tokens[i].line, "R3",
+                        "#include \"" + inc +
+                            "\" must use the full repository path (e.g. "
+                            "#include \"src/common/status.h\")"});
+    }
+  }
+}
+
+void CheckHeaderGuard(const SourceFile& file, const std::vector<Token>& tokens,
+                      std::vector<Diagnostic>* diags) {
+  if (file.path.size() < 2 || file.path.compare(file.path.size() - 2, 2, ".h") != 0) {
+    return;
+  }
+  const std::string expected = ExpectedGuard(file.path);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text != "#") {
+      continue;
+    }
+    if (tokens[i + 1].text == "pragma") {
+      diags->push_back({file.path, tokens[i].line, "R3",
+                        "use an include guard named " + expected + ", not #pragma once"});
+      return;
+    }
+    if (tokens[i + 1].text == "ifndef") {
+      if (i + 2 >= tokens.size() || tokens[i + 2].text != expected) {
+        const std::string got = i + 2 < tokens.size() ? tokens[i + 2].text : "<missing>";
+        diags->push_back({file.path, tokens[i].line, "R3",
+                          "header guard '" + got + "' should be '" + expected + "'"});
+      }
+      return;
+    }
+  }
+  diags->push_back({file.path, 1, "R3", "missing include guard " + expected});
+}
+
+// ---------------------------------------------------------------------------
+// R4: assert with side effects.
+// ---------------------------------------------------------------------------
+
+void CheckAssertSideEffects(const SourceFile& file, const std::vector<Token>& tokens,
+                            std::vector<Diagnostic>* diags) {
+  static const std::unordered_set<std::string> kMutating = {
+      "=",  "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+  };
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent || tokens[i].text != "assert" ||
+        tokens[i + 1].text != "(") {
+      continue;
+    }
+    const size_t close = MatchingClose(tokens, i + 1);
+    for (size_t j = i + 2; j < close && j < tokens.size(); ++j) {
+      if (tokens[j].kind == TokKind::kPunct && kMutating.count(tokens[j].text) > 0) {
+        diags->push_back({file.path, tokens[i].line, "R4",
+                          "assert() argument contains '" + tokens[j].text +
+                              "'; side effects inside assert change behavior under NDEBUG"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> CollectUnorderedNames(const std::vector<SourceFile>& files) {
+  std::set<std::string> names;
+  for (const SourceFile& file : files) {
+    const Lexed lexed = Lex(file.content);
+    const std::vector<Token>& tokens = lexed.tokens;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokKind::kIdent ||
+          (tokens[i].text != "unordered_map" && tokens[i].text != "unordered_set")) {
+        continue;
+      }
+      size_t j = SkipTemplateArgs(tokens, i);
+      // Skip declarator qualifiers between the type and the declared name.
+      while (j < tokens.size() &&
+             (tokens[j].text == "&" || tokens[j].text == "*" || tokens[j].text == "const")) {
+        ++j;
+      }
+      if (j < tokens.size() && tokens[j].kind == TokKind::kIdent) {
+        names.insert(tokens[j].text);
+      }
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+std::vector<Diagnostic> LintFile(const SourceFile& file,
+                                 const std::vector<std::string>& unordered_names) {
+  const Lexed lexed = Lex(file.content);
+  const AllowTable allows = ParseAllows(file.path, lexed.comments);
+  const std::unordered_set<std::string> names(unordered_names.begin(), unordered_names.end());
+
+  std::vector<Diagnostic> raw;
+  CheckUnorderedIteration(file, lexed.tokens, names, &raw);
+  CheckBannedEntropy(file, lexed.tokens, &raw);
+  CheckIncludes(file, lexed.tokens, &raw);
+  CheckHeaderGuard(file, lexed.tokens, &raw);
+  CheckAssertSideEffects(file, lexed.tokens, &raw);
+
+  std::vector<Diagnostic> diags;
+  for (Diagnostic& diag : raw) {
+    if (!IsAllowed(allows, diag.line, diag.rule)) {
+      diags.push_back(std::move(diag));
+    }
+  }
+  diags.insert(diags.end(), allows.malformed.begin(), allows.malformed.end());
+  return diags;
+}
+
+std::vector<Diagnostic> LintTree(const std::vector<SourceFile>& files) {
+  const std::vector<std::string> unordered_names = CollectUnorderedNames(files);
+  std::vector<Diagnostic> diags;
+  for (const SourceFile& file : files) {
+    std::vector<Diagnostic> file_diags = LintFile(file, unordered_names);
+    diags.insert(diags.end(), std::make_move_iterator(file_diags.begin()),
+                 std::make_move_iterator(file_diags.end()));
+  }
+  std::sort(diags.begin(), diags.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return diags;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag) {
+  return diag.file + ":" + std::to_string(diag.line) + ": [" + diag.rule + "] " + diag.message;
+}
+
+}  // namespace sos::lint

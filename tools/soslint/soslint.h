@@ -1,0 +1,75 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// soslint: project-specific static analysis for the SOS tree.
+//
+// The repo's value is bit-exact reproduction of the paper's numbers, so the
+// lint rules target the two ways past PRs nearly lost that property:
+// nondeterminism sneaking into output paths, and silently dropped Status
+// values (the exact accounting failure SOS itself models).
+//
+// Rules (see DESIGN.md §8 for the full rationale table):
+//   R1  No iteration over std::unordered_map/std::unordered_set. Hash-order
+//       iteration feeding stdout (printf/Table/stream) or accumulating into
+//       ordered output is nondeterministic across standard libraries; even
+//       order-insensitive uses must carry a justification so refactors that
+//       add a sink to the loop body get re-reviewed.
+//   R2  No ambient randomness or wall-clock time (std::rand, srand, ::time,
+//       std::random_device, std::chrono::system_clock, gettimeofday, ...)
+//       outside src/common/rng.* and src/common/sim_clock.h. All entropy
+//       must flow from explicit seeds; all time from SimClock.
+//   R3  Project includes use full repository paths (#include "src/...") and
+//       header guards follow SOS_<PATH>_H_.
+//   R4  No assert() whose argument contains a side effect (++/--/assignment):
+//       the tree keeps assertions on in optimized builds today, but a future
+//       NDEBUG build must not change simulation results.
+//   R5  Escape hatch: a comment `soslint:allow(R1) keys sorted below` on the
+//       violating line or the line above suppresses the named rule there.
+//       The reason text is mandatory; naming an unknown rule is itself a
+//       violation. (DESIGN.md §8 documents the full grammar.)
+//
+// The linter is a token-level analysis (comments/strings stripped, operators
+// lexed as single tokens), not a full parser: cheap enough to run as a ctest
+// test on every build, strict enough that violations need a human-visible
+// annotation rather than luck to pass.
+
+#ifndef SOS_TOOLS_SOSLINT_SOSLINT_H_
+#define SOS_TOOLS_SOSLINT_SOSLINT_H_
+
+#include <string>
+#include <vector>
+
+namespace sos::lint {
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated (e.g. "src/ftl/ftl.cc")
+  std::string content;
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "R1".."R5"
+  std::string message;
+
+  bool operator==(const Diagnostic& other) const = default;
+};
+
+// Pass 1: names of variables/members declared anywhere in `files` with an
+// unordered container type. Shared across files so that iteration over a
+// member declared in a header is caught at call sites in any .cc.
+std::vector<std::string> CollectUnorderedNames(const std::vector<SourceFile>& files);
+
+// Pass 2: lints one file against all rules.
+std::vector<Diagnostic> LintFile(const SourceFile& file,
+                                 const std::vector<std::string>& unordered_names);
+
+// Convenience: both passes over a whole tree; diagnostics sorted by
+// (file, line, rule) for deterministic output.
+std::vector<Diagnostic> LintTree(const std::vector<SourceFile>& files);
+
+// "src/ftl/ftl.cc:479: [R1] ..." -- the format editors and CI understand.
+std::string FormatDiagnostic(const Diagnostic& diag);
+
+}  // namespace sos::lint
+
+#endif  // SOS_TOOLS_SOSLINT_SOSLINT_H_
