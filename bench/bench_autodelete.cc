@@ -36,11 +36,11 @@ void Run() {
   for (double intensity : {1.0, 2.0, 4.0}) {
     LifetimeSim sim(StressConfig(intensity));
     const LifetimeResult r = sim.Run();
-    table.AddRow({FormatDouble(intensity, 0) + "x", FormatBytes(r.host_bytes_written),
-                  FormatCount(r.autodelete.activations),
-                  FormatCount(r.autodelete.files_deleted), FormatBytes(r.autodelete.bytes_freed),
-                  FormatCount(r.create_failures), FormatCount(r.files_alive),
-                  FormatPercent(r.final_max_wear_ratio)});
+    table.AddRow({FormatDouble(intensity, 0) + "x", FormatBytes(r.host_bytes_written()),
+                  FormatCount(r.autodelete().activations),
+                  FormatCount(r.autodelete().files_deleted), FormatBytes(r.autodelete().bytes_freed),
+                  FormatCount(r.create_failures()), FormatCount(r.files_alive()),
+                  FormatPercent(r.final_max_wear_ratio())});
   }
   PrintTable(table);
 
@@ -48,7 +48,7 @@ void Run() {
   LifetimeSim sim(StressConfig(4.0));
   const LifetimeResult r = sim.Run();
   TextTable timeline({"day", "fs free", "files", "exported pages", "max wear"});
-  for (const DaySample& s : r.samples) {
+  for (const DaySample& s : r.samples()) {
     timeline.AddRow({std::to_string(s.day), FormatPercent(s.fs_free_fraction),
                      FormatCount(s.live_files), FormatCount(s.exported_pages),
                      FormatPercent(s.max_wear_ratio)});
@@ -57,16 +57,18 @@ void Run() {
 
   PrintSection("Paper mechanics (§4.5)");
   PrintClaim("fallback activates below 3% free, restores ~6%",
-             FormatCount(r.autodelete.activations) + " activations over 2 years");
+             FormatCount(r.autodelete().activations) + " activations over 2 years");
   PrintClaim("deletion targets ranked by predicted user deletions ([68])",
-             FormatCount(r.autodelete.files_deleted) + " files deleted");
+             FormatCount(r.autodelete().files_deleted) + " files deleted");
   PrintClaim("SYS (critical) data is never auto-deleted", "by construction");
 }
 
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_autodelete", "E11: auto-delete fallback under space pressure");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

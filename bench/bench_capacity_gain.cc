@@ -96,7 +96,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_capacity_gain", "E5: exported-capacity gain of the split design");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

@@ -56,8 +56,8 @@ void Run() {
                     FormatPercent(static_cast<double>(pages) /
                                   static_cast<double>(initial_pages)),
                     FormatCount(spare.total_blocks), FormatCount(rescue.total_blocks),
-                    FormatCount(device.ftl().stats().retired_blocks),
-                    FormatCount(device.ftl().stats().resuscitated_blocks)});
+                    FormatCount(device.ftl().stats().retired_blocks()),
+                    FormatCount(device.ftl().stats().resuscitated_blocks())});
     }
   }
   PrintTable(table);
@@ -68,8 +68,8 @@ void Run() {
   PrintClaim("capacity retained at end",
              FormatPercent(static_cast<double>(device.capacity_blocks()) /
                            static_cast<double>(initial_pages)));
-  const uint64_t retired = device.ftl().stats().retired_blocks;
-  const uint64_t resuscitated = device.ftl().stats().resuscitated_blocks;
+  const uint64_t retired = device.ftl().stats().retired_blocks();
+  const uint64_t resuscitated = device.ftl().stats().resuscitated_blocks();
   PrintClaim("retired PLC blocks reborn as pseudo-TLC",
              retired > 0 ? FormatPercent(static_cast<double>(resuscitated) /
                                          static_cast<double>(retired))
@@ -83,7 +83,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_capacity_variance", "E10: capacity variance from retirement/resuscitation");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

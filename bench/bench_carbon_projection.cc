@@ -68,7 +68,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_carbon_projection", "E3: embodied-carbon projections per build");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

@@ -108,7 +108,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_classifier", "E8: file-classification accuracy and calibration");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

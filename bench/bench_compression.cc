@@ -96,7 +96,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_compression", "E15: approximate-compression quality ladder");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

@@ -177,7 +177,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_degradation_quality", "E7: media quality vs degradation level");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

@@ -82,7 +82,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_density_endurance", "E2: density vs endurance/error-rate tradeoff");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

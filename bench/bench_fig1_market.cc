@@ -50,7 +50,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_fig1_market", "E1: flash market growth and embodied-carbon share");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

@@ -39,7 +39,7 @@ void Run() {
   PrintSection("Timeline (sampled monthly)");
   TextTable table({"day", "files", "SPARE pages", "fs free", "max wear", "capacity (pages)",
                    "SPARE quality"});
-  for (const DaySample& s : result.samples) {
+  for (const DaySample& s : result.samples()) {
     table.AddRow({std::to_string(s.day), FormatCount(s.live_files), FormatCount(s.spare_pages),
                   FormatPercent(s.fs_free_fraction), FormatPercent(s.max_wear_ratio),
                   FormatCount(s.exported_pages), FormatDouble(s.spare_quality, 3)});
@@ -48,31 +48,33 @@ void Run() {
 
   PrintSection("Classifier-driven data movement (§4.4)");
   PrintClaim("new data lands on pseudo-QLC first, demoted later",
-             FormatCount(result.migration.demoted) + " file demotions");
+             FormatCount(result.migration().demoted) + " file demotions");
   PrintClaim("preference drift promotes some data back",
-             FormatCount(result.migration.promoted) + " promotions");
-  PrintClaim("device-level page migrations", FormatCount(result.ftl.migrations));
+             FormatCount(result.migration().promoted) + " promotions");
+  PrintClaim("device-level page migrations", FormatCount(result.ftl().migrations()));
 
   PrintSection("Device totals after 1 year");
-  PrintClaim("host data written", FormatBytes(result.host_bytes_written));
+  PrintClaim("host data written", FormatBytes(result.host_bytes_written()));
   PrintClaim("write amplification (incl. GC, parity, migration)",
-             FormatDouble(result.ftl.WriteAmplification(), 2));
+             FormatDouble(result.ftl().WriteAmplification(), 2));
   PrintClaim("parity pages written (SYS redundancy, §4.2)",
-             FormatCount(result.ftl.parity_writes));
-  PrintClaim("scrub refreshes (preemptive rescue, §4.3)", FormatCount(result.ftl.refreshes));
+             FormatCount(result.ftl().parity_writes()));
+  PrintClaim("scrub refreshes (preemptive rescue, §4.3)", FormatCount(result.ftl().refreshes()));
   PrintClaim("blocks retired / resuscitated",
-             FormatCount(result.ftl.retired_blocks) + " / " +
-                 FormatCount(result.ftl.resuscitated_blocks));
-  PrintClaim("user files rejected for space", FormatCount(result.create_failures));
+             FormatCount(result.ftl().retired_blocks()) + " / " +
+                 FormatCount(result.ftl().resuscitated_blocks()));
+  PrintClaim("user files rejected for space", FormatCount(result.create_failures()));
   PrintClaim("end-state SPARE media quality (1.0 = pristine)",
-             FormatDouble(result.final_spare_quality, 3));
-  PrintClaim("max wear after 1 year", FormatPercent(result.final_max_wear_ratio));
+             FormatDouble(result.final_spare_quality(), 3));
+  PrintClaim("max wear after 1 year", FormatPercent(result.final_max_wear_ratio()));
 }
 
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_fig2_pipeline", "E6: end-to-end SOS pipeline walkthrough (1 year)");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

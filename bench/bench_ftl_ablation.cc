@@ -63,9 +63,10 @@ ChurnOutcome Churn(const FtlConfig& config, double utilization, uint64_t writes)
     clock.Advance(kUsPerSecond);
   }
   ChurnOutcome out;
-  out.write_amp = ftl.stats().WriteAmplification();
-  out.gc_erases = ftl.stats().gc_erases;
-  out.relocations = ftl.stats().gc_relocations;
+  const FtlStats stats = ftl.stats();
+  out.write_amp = stats.WriteAmplification();
+  out.gc_erases = stats.gc_erases();
+  out.relocations = stats.gc_relocations();
   out.exported = ftl.ExportedPages();
   return out;
 }
@@ -106,15 +107,15 @@ HotColdOutcome HotColdChurn(bool separation) {
       break;
     }
   }
-  return {ftl.stats().WriteAmplification(), ftl.stats().gc_erases,
-          ftl.stats().retired_blocks};
+  const FtlStats stats = ftl.stats();
+  return {stats.WriteAmplification(), stats.gc_erases(), stats.retired_blocks()};
 }
 
-void Run(const BenchOptions& options) {
+void Run(size_t jobs) {
   PrintBanner("E14", "FTL ablations: GC policy, over-provisioning, parity stripes",
               "DESIGN.md design-choice index");
 
-  ExperimentDriver driver(options.jobs);
+  ExperimentDriver driver(jobs);
   WallTimer timer;
   size_t total_runs = 0;
 
@@ -197,6 +198,9 @@ void Run(const BenchOptions& options) {
 }  // namespace sos
 
 int main(int argc, char** argv) {
-  sos::Run(sos::ParseBenchArgs(argc, argv));
+  sos::FlagSet flags("bench_ftl_ablation", "E14: GC policy / OP / parity-stripe ablations");
+  size_t* jobs = flags.Size("jobs", 1, "parallel churn runs (0 = hardware concurrency)");
+  flags.ParseOrDie(argc, argv);
+  sos::Run(*jobs);
   return 0;
 }

@@ -56,12 +56,12 @@ void Run(const BenchOptions& options) {
                    "flash lifetime (yrs)", "x service life"});
   for (size_t i = 0; i < kinds.size(); ++i) {
     const LifetimeResult& r = batch.results[i];
-    table.AddRow({DeviceKindName(kinds[i]), FormatBytes(r.host_bytes_written),
-                  FormatDouble(r.ftl.WriteAmplification(), 2),
-                  FormatDouble(r.samples.empty() ? 0.0 : r.samples.back().mean_pec, 1),
-                  FormatPercent(r.final_max_wear_ratio),
-                  FormatDouble(r.projected_lifetime_years, 1),
-                  FormatDouble(r.projected_lifetime_years / 3.0, 1) + "x"});
+    table.AddRow({DeviceKindName(kinds[i]), FormatBytes(r.host_bytes_written()),
+                  FormatDouble(r.ftl().WriteAmplification(), 2),
+                  FormatDouble(r.samples().empty() ? 0.0 : r.samples().back().mean_pec, 1),
+                  FormatPercent(r.final_max_wear_ratio()),
+                  FormatDouble(r.projected_lifetime_years(), 1),
+                  FormatDouble(r.projected_lifetime_years() / 3.0, 1) + "x"});
   }
   PrintTable(table);
 
@@ -70,9 +70,9 @@ void Run(const BenchOptions& options) {
   // the result instead of re-running the sim.
   const LifetimeResult& tlc = batch.results[1];
   PrintClaim("typical users wear out ~5% of rated endurance",
-             FormatPercent(tlc.final_max_wear_ratio) + " on TLC after 3 years");
+             FormatPercent(tlc.final_max_wear_ratio()) + " on TLC after 3 years");
   PrintClaim("flash outlasts the encasing device by ~10x",
-             FormatDouble(tlc.projected_lifetime_years / 3.0, 1) + "x the 3-year service life");
+             FormatDouble(tlc.projected_lifetime_years() / 3.0, 1) + "x the 3-year service life");
   std::printf(
       "  (Scaling note: this workload writes ~0.7 device-capacities/year; [38]'s ~5%%\n"
       "   figure reflects heavier users on smaller devices. The claim under test is\n"
@@ -86,11 +86,11 @@ void Run(const BenchOptions& options) {
                    "flash lifetime (yrs)", "auto-deletes"});
   for (size_t i = 0; i < intensities.size(); ++i) {
     const LifetimeResult& r = batch.results[kinds.size() + i];
-    sweep.AddRow({FormatDouble(intensities[i], 1) + "x", FormatBytes(r.host_bytes_written),
-                  FormatPercent(r.samples.empty() ? 0.0 : r.samples.back().fs_free_fraction),
-                  FormatPercent(r.final_max_wear_ratio),
-                  FormatDouble(r.projected_lifetime_years, 1),
-                  FormatCount(r.autodelete.files_deleted)});
+    sweep.AddRow({FormatDouble(intensities[i], 1) + "x", FormatBytes(r.host_bytes_written()),
+                  FormatPercent(r.samples().empty() ? 0.0 : r.samples().back().fs_free_fraction),
+                  FormatPercent(r.final_max_wear_ratio()),
+                  FormatDouble(r.projected_lifetime_years(), 1),
+                  FormatCount(r.autodelete().files_deleted)});
   }
   PrintTable(sweep);
   std::printf(
@@ -99,6 +99,7 @@ void Run(const BenchOptions& options) {
       "Note the regime change as the device runs out of free space (end free < ~15%%):\n"
       "near-full GC dominates wear -- that endgame is managed by the §4.5 fallback (E11).\n");
 
+  ExportBatchTelemetry(batch.results, options);
   PrintJobsSummary(driver.jobs(), jobs.size(), batch.wall_seconds);
 }
 
@@ -106,6 +107,8 @@ void Run(const BenchOptions& options) {
 }  // namespace sos
 
 int main(int argc, char** argv) {
-  sos::Run(sos::ParseBenchArgs(argc, argv));
+  sos::FlagSet flags("bench_lifetime_gap",
+                     "E4: wear gap -- 3-year service life vs flash endurance");
+  sos::Run(sos::ParseSweepArgs(flags, argc, argv));
   return 0;
 }

@@ -139,7 +139,7 @@ void PrintLatencyTables() {
       degraded += static_cast<uint64_t>(read.ok() && read.value().degraded ? 1 : 0);
     }
     retry_table.AddRow({std::to_string(retries), FormatCount(degraded),
-                        FormatCount(ftl.stats().retry_recoveries),
+                        FormatCount(ftl.stats().retry_recoveries()),
                         FormatDouble(static_cast<double>(ftl_clock.now() - start) / 120.0, 1)});
   }
   PrintTable(retry_table);
@@ -221,6 +221,10 @@ BENCHMARK(BM_ErrorInjection);
 }  // namespace sos
 
 int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_performance",
+                     "simulator latency tables + google-benchmark micro-benchmarks");
+  flags.Passthrough("--benchmark_");
+  flags.ParseOrDie(argc, argv);
   sos::PrintLatencyTables();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

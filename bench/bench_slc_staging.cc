@@ -62,7 +62,7 @@ StagingOutcome RunWorkload(bool staging, double stage_share) {
 
   out.mean_write_us = write_latency.mean();
   out.write_amp = device.ftl().stats().WriteAmplification();
-  out.migrations = device.ftl().stats().migrations;
+  out.migrations = device.ftl().stats().migrations();
   out.sys_mean_pec = device.SysSnapshot().mean_pec;
   return out;
 }
@@ -102,7 +102,9 @@ void Run() {
 }  // namespace
 }  // namespace sos
 
-int main() {
+int main(int argc, char** argv) {
+  sos::FlagSet flags("bench_slc_staging", "E13: SLC staging / migration traffic");
+  flags.ParseOrDie(argc, argv);
   sos::Run();
   return 0;
 }

@@ -76,18 +76,18 @@ void Run(const BenchOptions& options) {
   PrintSection("3-year outcomes per build");
   TextTable table({"device", "capacity (pages)", "vs TLC", "kgCO2e @128GB", "carbon saving",
                    "max wear", "flash life (yrs)", "rejected files", "quality"});
-  const uint64_t tlc_capacity = batch.results[0].initial_exported_pages;
+  const uint64_t tlc_capacity = batch.results[0].initial_exported_pages();
   for (size_t i = 0; i < kinds.size(); ++i) {
     const LifetimeResult& r = batch.results[i];
     const double kg128 = KgPerGb(kinds[i]) * 128.0;
-    table.AddRow({DeviceKindName(kinds[i]), FormatCount(r.initial_exported_pages),
-                  FormatPercent(static_cast<double>(r.initial_exported_pages) /
+    table.AddRow({DeviceKindName(kinds[i]), FormatCount(r.initial_exported_pages()),
+                  FormatPercent(static_cast<double>(r.initial_exported_pages()) /
                                     static_cast<double>(tlc_capacity) -
                                 1.0),
                   FormatDouble(kg128, 1), FormatPercent(1.0 - kg128 / tlc_kg_128),
-                  FormatPercent(r.final_max_wear_ratio),
-                  FormatDouble(r.projected_lifetime_years, 1), FormatCount(r.create_failures),
-                  FormatDouble(r.final_spare_quality, 3)});
+                  FormatPercent(r.final_max_wear_ratio()),
+                  FormatDouble(r.projected_lifetime_years(), 1), FormatCount(r.create_failures()),
+                  FormatDouble(r.final_spare_quality(), 3)});
   }
   PrintTable(table);
 
@@ -140,6 +140,7 @@ void Run(const BenchOptions& options) {
                                   FormatDouble(PeopleEquivalent(tlc_mt - sos_mt) / 1e6, 1) +
                                   "M people's emissions)");
 
+  ExportBatchTelemetry(batch.results, options);
   PrintJobsSummary(driver.jobs(), jobs.size(), batch.wall_seconds);
 }
 
@@ -147,6 +148,8 @@ void Run(const BenchOptions& options) {
 }  // namespace sos
 
 int main(int argc, char** argv) {
-  sos::Run(sos::ParseBenchArgs(argc, argv));
+  sos::FlagSet flags("bench_sos_vs_baselines",
+                     "E12: SOS vs TLC/QLC/naive-PLC builds of the same die");
+  sos::Run(sos::ParseSweepArgs(flags, argc, argv));
   return 0;
 }

@@ -3,41 +3,306 @@
 // Shared helpers for the experiment benches. Every bench binary regenerates
 // one paper artifact (figure / table / quantitative claim) and prints it as
 // an ASCII report; EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Command lines go through FlagSet: benches declare the flags they accept
+// (`flags.Size("jobs", ...)`), then Parse() validates strictly -- unknown
+// flags and malformed values are hard errors with usage text, never silent
+// no-ops. (The previous parser ignored anything it did not recognize, so
+// `--jbos=4` ran the bench serially without a word.)
 
 #ifndef SOS_BENCH_BENCH_UTIL_H_
 #define SOS_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/common/status.h"
 #include "src/common/table.h"
+#include "src/obs/metrics.h"
+#include "src/sos/experiment.h"
 
 namespace sos {
 
-// Command-line options shared by the sweep benches. --jobs=N fans a bench's
-// independent simulations across N pool workers (see src/sos/experiment.h);
-// the report tables on stdout are byte-identical for every N -- only wall
-// clock changes.
-struct BenchOptions {
-  size_t jobs = 1;
-};
+// ---------------------------------------------------------------------------
+// FlagSet: declarative, strict command-line parsing for benches.
+// ---------------------------------------------------------------------------
 
-// Parses --jobs=N / --jobs N (N == 0 means hardware concurrency). Unknown
-// arguments are ignored so benches keep their own positional flags.
-inline BenchOptions ParseBenchArgs(int argc, char** argv) {
-  BenchOptions options;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      options.jobs = static_cast<size_t>(std::strtoul(arg + 7, nullptr, 10));
-    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-      options.jobs = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+// Declare-then-parse flag registry. Each declaration returns a stable pointer
+// to the parsed value (valid for the FlagSet's lifetime); Parse() fills the
+// values in and rejects anything not declared:
+//
+//   FlagSet flags("bench_lifetime_gap", "E4: the wear gap");
+//   size_t* jobs = flags.Size("jobs", 1, "parallel sims (0 = hw concurrency)");
+//   std::string* out = flags.Path("metrics-out", "write metrics JSON here");
+//   flags.ParseOrDie(argc, argv);
+//
+// Accepted syntax: --name=value and --name value. --help prints usage and
+// exits 0. Numeric values must be exact non-negative decimals: empty strings,
+// trailing garbage ("4x"), sign prefixes and overflow are all rejected --
+// never truncated or defaulted.
+class FlagSet {
+ public:
+  FlagSet(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  FlagSet(const FlagSet&) = delete;
+  FlagSet& operator=(const FlagSet&) = delete;
+
+  // A size_t flag (worker counts, iteration counts).
+  size_t* Size(const std::string& name, size_t default_value, const std::string& help) {
+    Flag& flag = Declare(name, Kind::kSize, help, FormatU64(default_value));
+    flag.size_value = default_value;
+    return &flag.size_value;
+  }
+
+  // A uint64_t flag (seeds, byte counts).
+  uint64_t* U64(const std::string& name, uint64_t default_value, const std::string& help) {
+    Flag& flag = Declare(name, Kind::kU64, help, FormatU64(default_value));
+    flag.u64_value = default_value;
+    return &flag.u64_value;
+  }
+
+  // A file-path flag; empty (the default) means "feature off".
+  std::string* Path(const std::string& name, const std::string& help) {
+    Flag& flag = Declare(name, Kind::kPath, help, "unset");
+    return &flag.path_value;
+  }
+
+  // Arguments starting with `prefix` are left for another parser (e.g.
+  // "--benchmark_" for google-benchmark's Initialize()).
+  void Passthrough(const std::string& prefix) { passthrough_.push_back(prefix); }
+
+  // Strict parse. On --help: prints usage to stdout and exits 0. Returns
+  // kInvalidArgument for unknown flags, missing values and malformed
+  // numbers; on error the flag values are unspecified.
+  [[nodiscard]] Status Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        std::fputs(Usage().c_str(), stdout);
+        std::exit(0);
+      }
+      if (IsPassthrough(arg)) {
+        continue;
+      }
+      if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+        return Status(StatusCode::kInvalidArgument,
+                      "unexpected argument '" + std::string(arg) + "'");
+      }
+      std::string_view name = arg.substr(2);
+      std::string_view value;
+      bool have_value = false;
+      if (const size_t eq = name.find('='); eq != std::string_view::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        have_value = true;
+      }
+      Flag* flag = Find(name);
+      if (flag == nullptr) {
+        return Status(StatusCode::kInvalidArgument, "unknown flag --" + std::string(name));
+      }
+      if (!have_value) {
+        if (i + 1 >= argc) {
+          return Status(StatusCode::kInvalidArgument,
+                        "flag --" + std::string(name) + " requires a value");
+        }
+        value = argv[++i];
+      }
+      if (Status s = Assign(*flag, value); !s.ok()) {
+        return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Parse() or print the error plus usage to stderr and exit 2. The right
+  // call for bench main(): a typo'd sweep should fail loudly, not run with
+  // defaults.
+  void ParseOrDie(int argc, char** argv) {
+    if (Status s = Parse(argc, argv); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), s.message().c_str(),
+                   Usage().c_str());
+      std::exit(2);
     }
   }
+
+  std::string Usage() const {
+    std::string out = "usage: " + program_ + " [flags]\n";
+    if (!description_.empty()) {
+      out += "  " + description_ + "\n";
+    }
+    out += "flags:\n";
+    for (const Flag& flag : flags_) {
+      out += "  --" + flag.name + "=<" + KindName(flag.kind) + ">  " + flag.help +
+             " (default: " + flag.default_text + ")\n";
+    }
+    out += "  --help  print this message and exit\n";
+    for (const std::string& prefix : passthrough_) {
+      out += "  " + prefix + "*  passed through untouched\n";
+    }
+    return out;
+  }
+
+ private:
+  enum class Kind { kSize, kU64, kPath };
+
+  struct Flag {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    size_t size_value = 0;
+    uint64_t u64_value = 0;
+    std::string path_value;
+  };
+
+  static const char* KindName(Kind kind) {
+    switch (kind) {
+      case Kind::kSize:
+      case Kind::kU64:
+        return "N";
+      case Kind::kPath:
+        return "path";
+    }
+    return "?";
+  }
+
+  static std::string FormatU64(uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    return buf;
+  }
+
+  Flag& Declare(const std::string& name, Kind kind, const std::string& help,
+                std::string default_text) {
+    // Duplicate declarations are a bench bug, not a user error.
+    if (Find(name) != nullptr) {
+      std::fprintf(stderr, "FlagSet: duplicate flag --%s\n", name.c_str());
+      std::abort();
+    }
+    flags_.push_back(Flag{name, kind, help, std::move(default_text)});
+    return flags_.back();
+  }
+
+  Flag* Find(std::string_view name) {
+    for (Flag& flag : flags_) {
+      if (flag.name == name) {
+        return &flag;
+      }
+    }
+    return nullptr;
+  }
+
+  bool IsPassthrough(std::string_view arg) const {
+    for (const std::string& prefix : passthrough_) {
+      if (arg.substr(0, prefix.size()) == prefix) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static Status ParseU64(std::string_view name, std::string_view text, uint64_t* out) {
+    const std::string buf(text);
+    // strtoull silently wraps negatives and skips leading whitespace; demand
+    // a bare decimal so "--jobs=-1" and "--jobs= 4" fail instead of lying.
+    if (buf.empty() || buf[0] < '0' || buf[0] > '9') {
+      return Status(StatusCode::kInvalidArgument,
+                    "flag --" + std::string(name) + ": '" + buf + "' is not a non-negative integer");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(buf.c_str(), &end, 10);
+    if (errno == ERANGE) {
+      return Status(StatusCode::kInvalidArgument,
+                    "flag --" + std::string(name) + ": '" + buf + "' is out of range");
+    }
+    if (end != buf.c_str() + buf.size()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "flag --" + std::string(name) + ": '" + buf + "' has trailing characters");
+    }
+    *out = value;
+    return Status::Ok();
+  }
+
+  static Status Assign(Flag& flag, std::string_view value) {
+    switch (flag.kind) {
+      case Kind::kSize: {
+        uint64_t parsed = 0;
+        if (Status s = ParseU64(flag.name, value, &parsed); !s.ok()) {
+          return s;
+        }
+        flag.size_value = static_cast<size_t>(parsed);
+        return Status::Ok();
+      }
+      case Kind::kU64:
+        return ParseU64(flag.name, value, &flag.u64_value);
+      case Kind::kPath:
+        if (value.empty()) {
+          return Status(StatusCode::kInvalidArgument,
+                        "flag --" + flag.name + " requires a non-empty path");
+        }
+        flag.path_value.assign(value.begin(), value.end());
+        return Status::Ok();
+    }
+    return Status(StatusCode::kInvalidArgument, "unhandled flag kind");
+  }
+
+  std::string program_;
+  std::string description_;
+  std::deque<Flag> flags_;  // deque: returned value pointers stay stable
+  std::vector<std::string> passthrough_;
+};
+
+// The standard sweep-bench trio. Declared together so every driver bench
+// spells its CLI identically.
+struct BenchOptions {
+  size_t jobs = 1;          // --jobs=N fans independent sims over N workers
+  std::string metrics_out;  // --metrics-out=<file>: batch metrics JSON
+  std::string trace_out;    // --trace-out=<file>: batch trace JSONL
+};
+
+// Declares --jobs / --metrics-out / --trace-out on `flags`, parses, and
+// returns the values. Exits with usage on any unknown or malformed flag.
+inline BenchOptions ParseSweepArgs(FlagSet& flags, int argc, char** argv) {
+  size_t* jobs = flags.Size("jobs", 1, "parallel simulations (0 = hardware concurrency)");
+  std::string* metrics_out =
+      flags.Path("metrics-out", "write the batch's metrics as JSON to this file");
+  std::string* trace_out =
+      flags.Path("trace-out", "write the batch's event trace as JSONL to this file");
+  flags.ParseOrDie(argc, argv);
+  BenchOptions options;
+  options.jobs = *jobs;
+  options.metrics_out = *metrics_out;
+  options.trace_out = *trace_out;
   return options;
+}
+
+// Writes the batch telemetry exports named by `options`; empty paths are
+// features turned off. The bytes depend only on `results` (job order), so
+// re-running with any --jobs value reproduces the files exactly. A failed
+// write is fatal: a bench asked for an artifact must not exit 0 without it.
+inline void ExportBatchTelemetry(const std::vector<LifetimeResult>& results,
+                                 const BenchOptions& options) {
+  if (!options.metrics_out.empty()) {
+    if (Status s = obs::WriteFile(options.metrics_out, BatchMetricsJson(results)); !s.ok()) {
+      std::fprintf(stderr, "[bench] --metrics-out: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (!options.trace_out.empty()) {
+    if (Status s = obs::WriteFile(options.trace_out, BatchTraceJsonl(results)); !s.ok()) {
+      std::fprintf(stderr, "[bench] --trace-out: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
 }
 
 // Wall-clock timer for speedup reporting.

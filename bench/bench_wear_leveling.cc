@@ -66,10 +66,11 @@ WlOutcome RunPool(bool wear_leveling, uint64_t writes, double hot_fraction, uint
   }
 
   WlOutcome out;
-  out.nand_writes = ftl.stats().nand_writes;
-  out.wl_relocations = ftl.stats().wl_relocations;
-  out.gc_erases = ftl.stats().gc_erases;
-  out.retired = ftl.stats().retired_blocks;
+  const FtlStats stats = ftl.stats();
+  out.nand_writes = stats.nand_writes();
+  out.wl_relocations = stats.wl_relocations();
+  out.gc_erases = stats.gc_erases();
+  out.retired = stats.retired_blocks();
   uint32_t min_pec = ~0u;
   uint64_t pec_sum = 0;
   uint32_t blocks = 0;
@@ -99,7 +100,7 @@ void AddRow(TextTable& table, const WlArm& arm, const WlOutcome& out) {
                 FormatCount(out.retired)});
 }
 
-void Run(const BenchOptions& options) {
+void Run(size_t jobs) {
   PrintBanner("E9", "Wear leveling considered harmful on SPARE", "§4.3, [73]");
 
   const std::vector<WlArm> arms = {
@@ -108,7 +109,7 @@ void Run(const BenchOptions& options) {
       {"update-heavy skewed", true, 40000, 0.05},
       {"update-heavy skewed", false, 40000, 0.05},
   };
-  ExperimentDriver driver(options.jobs);
+  ExperimentDriver driver(jobs);
   WallTimer timer;
   const std::vector<WlOutcome> outcomes = driver.Map(arms.size(), [&arms](size_t i) {
     return RunPool(arms[i].wear_leveling, arms[i].writes, arms[i].hot_fraction, 11);
@@ -136,6 +137,9 @@ void Run(const BenchOptions& options) {
 }  // namespace sos
 
 int main(int argc, char** argv) {
-  sos::Run(sos::ParseBenchArgs(argc, argv));
+  sos::FlagSet flags("bench_wear_leveling", "E9: wear-leveling on/off ablation for SPARE");
+  size_t* jobs = flags.Size("jobs", 1, "parallel FTL runs (0 = hardware concurrency)");
+  flags.ParseOrDie(argc, argv);
+  sos::Run(*jobs);
   return 0;
 }

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"quarter", "files", "fs free", "max wear", "capacity (pages)",
                    "SPARE quality"});
-  for (const DaySample& s : result.samples) {
+  for (const DaySample& s : result.samples()) {
     table.AddRow({"Q" + std::to_string(s.day / 91), FormatCount(s.live_files),
                   FormatPercent(s.fs_free_fraction), FormatPercent(s.max_wear_ratio),
                   FormatCount(s.exported_pages), FormatDouble(s.spare_quality, 3)});
@@ -66,27 +66,27 @@ int main(int argc, char** argv) {
 
   std::printf("Final report after %.1f years:\n", years);
   std::printf("  data written           : %s (WA %.2f)\n",
-              FormatBytes(result.host_bytes_written).c_str(),
-              result.ftl.WriteAmplification());
+              FormatBytes(result.host_bytes_written()).c_str(),
+              result.ftl().WriteAmplification());
   std::printf("  endurance consumed     : %s of the worst block\n",
-              FormatPercent(result.final_max_wear_ratio).c_str());
+              FormatPercent(result.final_max_wear_ratio()).c_str());
   std::printf("  projected flash life   : %.1f years (%.1fx the device's %0.1f-year life)\n",
-              result.projected_lifetime_years, result.projected_lifetime_years / years, years);
+              result.projected_lifetime_years(), result.projected_lifetime_years() / years, years);
   std::printf("  capacity variance      : %s -> %s pages\n",
-              FormatCount(result.initial_exported_pages).c_str(),
-              FormatCount(result.final_exported_pages).c_str());
+              FormatCount(result.initial_exported_pages()).c_str(),
+              FormatCount(result.final_exported_pages()).c_str());
   std::printf("  files alive / rejected : %s / %s\n",
-              FormatCount(result.files_alive).c_str(),
-              FormatCount(result.create_failures).c_str());
+              FormatCount(result.files_alive()).c_str(),
+              FormatCount(result.create_failures()).c_str());
   if (kind == DeviceKind::kSos) {
     std::printf("  daemon activity        : %llu demotions, %llu promotions, "
                 "%llu auto-deletes, %llu scrub refreshes\n",
-                static_cast<unsigned long long>(result.migration.demoted),
-                static_cast<unsigned long long>(result.migration.promoted),
-                static_cast<unsigned long long>(result.autodelete.files_deleted),
-                static_cast<unsigned long long>(result.monitor.pages_refreshed));
+                static_cast<unsigned long long>(result.migration().demoted),
+                static_cast<unsigned long long>(result.migration().promoted),
+                static_cast<unsigned long long>(result.autodelete().files_deleted),
+                static_cast<unsigned long long>(result.monitor().pages_refreshed));
     std::printf("  SPARE media quality    : %.3f (1.0 = pristine)\n",
-                result.final_spare_quality);
+                result.final_spare_quality());
   }
   return 0;
 }

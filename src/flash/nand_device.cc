@@ -168,6 +168,7 @@ Result<ReadResult> NandDevice::Read(PageAddr addr, int retry_level) {
   stats_.bytes_read += config_.page_size_bytes;
   stats_.bit_errors_injected += result.bit_errors;
   stats_.busy_us += result.latency_us;
+  rber_histogram_.Observe(result.rber);
   return result;
 }
 
@@ -217,6 +218,19 @@ double NandDevice::MeanPec() const {
     total += blk.info.pec;
   }
   return static_cast<double>(total) / static_cast<double>(blocks_.size());
+}
+
+void NandDevice::ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) const {
+  registry.SetCounter(prefix + "programs", stats_.programs);
+  registry.SetCounter(prefix + "reads", stats_.reads);
+  registry.SetCounter(prefix + "erases", stats_.erases);
+  registry.SetCounter(prefix + "bytes_programmed", stats_.bytes_programmed);
+  registry.SetCounter(prefix + "bytes_read", stats_.bytes_read);
+  registry.SetCounter(prefix + "bit_errors_injected", stats_.bit_errors_injected);
+  registry.SetCounter(prefix + "busy_us", stats_.busy_us);
+  registry.SetGauge(prefix + "max_wear_ratio", MaxWearRatio());
+  registry.SetGauge(prefix + "mean_pec", MeanPec());
+  registry.SetHistogram(prefix + "read.rber", rber_histogram_);
 }
 
 }  // namespace sos

@@ -38,6 +38,7 @@
 #include "src/flash/cell_tech.h"
 #include "src/flash/error_model.h"
 #include "src/flash/voltage_model.h"
+#include "src/obs/metrics.h"
 
 namespace sos {
 
@@ -157,6 +158,13 @@ class NandDevice {
   const NandStats& stats() const { return stats_; }
   SimClock& clock() { return *clock_; }
 
+  // Distribution of the model RBER used on every read of this die.
+  const obs::Histogram& rber_histogram() const { return rber_histogram_; }
+
+  // Registers this die's op/byte counters, busy time, wear summary and the
+  // read RBER histogram under `prefix` (e.g. "flash.die.").
+  void ToMetrics(obs::MetricRegistry& registry, const std::string& prefix = "flash.die.") const;
+
   // Fraction of rated endurance consumed by the most worn block, in [0, inf).
   double MaxWearRatio() const;
   // Mean P/E cycles across all blocks.
@@ -183,6 +191,7 @@ class NandDevice {
   SimClock* clock_;
   std::vector<Block> blocks_;
   NandStats stats_;
+  obs::Histogram rber_histogram_ = obs::Histogram::Rber();
 };
 
 }  // namespace sos

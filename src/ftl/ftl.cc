@@ -9,8 +9,46 @@
 #include "src/common/container_util.h"
 #include "src/common/rng.h"
 #include "src/flash/error_model.h"
+#include "src/obs/scoped_latency.h"
 
 namespace sos {
+
+void FtlStats::Accumulate(const FtlStats& other) {
+  host_writes_ += other.host_writes_;
+  nand_writes_ += other.nand_writes_;
+  parity_writes_ += other.parity_writes_;
+  gc_relocations_ += other.gc_relocations_;
+  wl_relocations_ += other.wl_relocations_;
+  migrations_ += other.migrations_;
+  refreshes_ += other.refreshes_;
+  gc_erases_ += other.gc_erases_;
+  background_collections_ += other.background_collections_;
+  retired_blocks_ += other.retired_blocks_;
+  resuscitated_blocks_ += other.resuscitated_blocks_;
+  ecc_failures_ += other.ecc_failures_;
+  retry_recoveries_ += other.retry_recoveries_;
+  parity_rescues_ += other.parity_rescues_;
+  degraded_reads_ += other.degraded_reads_;
+}
+
+void FtlStats::ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) const {
+  registry.SetCounter(prefix + "host_writes", host_writes_);
+  registry.SetCounter(prefix + "nand_writes", nand_writes_);
+  registry.SetCounter(prefix + "parity_writes", parity_writes_);
+  registry.SetCounter(prefix + "gc_relocations", gc_relocations_);
+  registry.SetCounter(prefix + "wl_relocations", wl_relocations_);
+  registry.SetCounter(prefix + "migrations", migrations_);
+  registry.SetCounter(prefix + "refreshes", refreshes_);
+  registry.SetCounter(prefix + "gc_erases", gc_erases_);
+  registry.SetCounter(prefix + "background_collections", background_collections_);
+  registry.SetCounter(prefix + "retired_blocks", retired_blocks_);
+  registry.SetCounter(prefix + "resuscitated_blocks", resuscitated_blocks_);
+  registry.SetCounter(prefix + "ecc_failures", ecc_failures_);
+  registry.SetCounter(prefix + "retry_recoveries", retry_recoveries_);
+  registry.SetCounter(prefix + "parity_rescues", parity_rescues_);
+  registry.SetCounter(prefix + "degraded_reads", degraded_reads_);
+  registry.SetGauge(prefix + "write_amplification", WriteAmplification());
+}
 
 Ftl::Ftl(const FtlConfig& config, SimClock* clock)
     : config_(config), clock_(clock), nand_(config.nand, clock) {
@@ -181,8 +219,8 @@ Status Ftl::WriteParityPage(uint32_t pool_id, ActiveSlot& slot) {
   }
   blk.page_lba[page] = kLbaParity;
   blk.last_write = clock_->now();
-  ++stats_.parity_writes;
-  ++stats_.nand_writes;
+  ++pool.stats.parity_writes_;
+  ++pool.stats.nand_writes_;
   std::fill(slot.stripe_xor.begin(), slot.stripe_xor.end(), 0);
   slot.stripe_fill = 0;
   if (nand_.block_info(blk.id).next_page >= PagesPerBlock(pool)) {
@@ -226,7 +264,7 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
     ++blk.valid;
     ++pool.valid_pages;
     blk.last_write = clock_->now();
-    ++stats_.nand_writes;
+    ++pool.stats.nand_writes_;
     if (pool.config.parity_stripe > 0 && config_.nand.store_payloads) {
       for (size_t i = 0; i < data.size() && i < slot.stripe_xor.size(); ++i) {
         slot.stripe_xor[i] = static_cast<uint8_t>(slot.stripe_xor[i] ^ data[i]);
@@ -266,6 +304,7 @@ Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id)
   if (data.size() > config_.nand.page_size_bytes) {
     return Status(StatusCode::kInvalidArgument, "payload exceeds page size");
   }
+  obs::ScopedLatency timer(clock_, &write_latency_);
   auto loc = AppendPage(pool_id, lba, data, /*allow_gc=*/true, /*cold=*/false);
   if (!loc.ok()) {
     return loc.status();
@@ -278,7 +317,7 @@ Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id)
   } else {
     map_.emplace(lba, loc.value());
   }
-  ++stats_.host_writes;
+  ++pools_[pool_id].stats.host_writes_;
   return Status::Ok();
 }
 
@@ -311,7 +350,7 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
   }
 
   if (count_stats) {
-    ++stats_.ecc_failures;
+    ++pool.stats.ecc_failures_;
   }
 
   // READ RETRY (paper §2.1 mechanics; see voltage_model.h): re-read with
@@ -333,7 +372,7 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
         result.data = std::move(clean.value());
       }
       if (count_stats) {
-        ++stats_.retry_recoveries;
+        ++pool.stats.retry_recoveries_;
       }
       return result;
     }
@@ -373,7 +412,7 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
         }
         result.parity_rescued = true;
         if (count_stats) {
-          ++stats_.parity_rescues;
+          ++pool.stats.parity_rescues_;
         }
         return result;
       }
@@ -385,12 +424,15 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
   result.residual_bit_errors = outcome.residual_errors;
   result.degraded = true;
   if (count_stats) {
-    ++stats_.degraded_reads;
+    ++pool.stats.degraded_reads_;
   }
   return result;
 }
 
-Result<FtlReadResult> Ftl::Read(uint64_t lba) { return ReadInternal(lba, /*count_stats=*/true); }
+Result<FtlReadResult> Ftl::Read(uint64_t lba) {
+  obs::ScopedLatency timer(clock_, &read_latency_);
+  return ReadInternal(lba, /*count_stats=*/true);
+}
 
 Status Ftl::Trim(uint64_t lba) {
   auto it = map_.find(lba);
@@ -423,10 +465,16 @@ Status Ftl::Migrate(uint64_t lba, uint32_t target_pool) {
     return loc.status();
   }
   const bool tainted = it->second.tainted || read.value().degraded;
+  const uint32_t source_pool = it->second.pool;
   InvalidateLoc(it->second);
   it->second = loc.value();
   it->second.tainted = tainted;
-  ++stats_.migrations;
+  ++pools_[target_pool].stats.migrations_;
+  Trace(obs::TraceEvent{clock_->now(), "ftl.migrate"}
+            .WithU64("lba", lba)
+            .With("from", pools_[source_pool].config.name)
+            .With("to", pools_[target_pool].config.name)
+            .WithU64("tainted", tainted ? 1 : 0));
   return Status::Ok();
 }
 
@@ -448,7 +496,7 @@ Status Ftl::Refresh(uint64_t lba) {
   InvalidateLoc(it->second);
   it->second = loc.value();
   it->second.tainted = tainted;
-  ++stats_.refreshes;
+  ++pools_[pool_id].stats.refreshes_;
   return Status::Ok();
 }
 
@@ -464,7 +512,7 @@ uint32_t Ftl::BackgroundCollect(uint32_t max_blocks_per_pool) {
       }
       --budget;
       ++collected;
-      ++stats_.background_collections;
+      ++pool.stats.background_collections_;
     }
   }
   return collected;
@@ -508,10 +556,15 @@ std::optional<uint32_t> Ftl::PickGcVictim(const Pool& pool) const {
 
 bool Ftl::CollectGarbage(uint32_t pool_id) {
   Pool& pool = pools_[pool_id];
+  obs::ScopedLatency timer(clock_, &gc_latency_);
   const auto victim = PickGcVictim(pool);
   if (!victim.has_value()) {
     return false;
   }
+  Trace(obs::TraceEvent{clock_->now(), "ftl.gc.victim"}
+            .With("pool", pool.config.name)
+            .WithU64("block", *victim)
+            .WithU64("valid_pages", pool.blocks.at(*victim).valid));
   if (!EvacuateAndRecycle(pool_id, *victim, /*count_as_wl=*/false).ok()) {
     return false;
   }
@@ -556,9 +609,9 @@ Status Ftl::EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_a
     map_it->second = loc.value();
     map_it->second.tainted = tainted;
     if (count_as_wl) {
-      ++stats_.wl_relocations;
+      ++pool.stats.wl_relocations_;
     } else {
-      ++stats_.gc_relocations;
+      ++pool.stats.gc_relocations_;
     }
   }
   in_relocation_ = false;
@@ -612,7 +665,7 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
   Status s = nand_.EraseBlock(block_id);
   assert(s.ok());
   (void)s;
-  ++stats_.gc_erases;
+  ++pool.stats.gc_erases_;
 
   // Retirement is postponed while the free list is at or below the GC
   // reserve: retiring now would consume the relocation slack GC itself needs
@@ -631,7 +684,11 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
   // Retired from this pool.
   pool.blocks.erase(block_id);
   ++pool.retired;
-  ++stats_.retired_blocks;
+  ++pool.stats.retired_blocks_;
+  Trace(obs::TraceEvent{clock_->now(), "ftl.block.retired"}
+            .With("pool", pool.config.name)
+            .WithU64("block", block_id)
+            .WithU64("pec", nand_.block_info(block_id).pec));
 
   if (pool.resuscitate_pool.has_value()) {
     Pool& target = pools_[*pool.resuscitate_pool];
@@ -642,7 +699,11 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
       blk.page_lba.assign(PagesPerBlock(target), kLbaInvalid);
       target.blocks.emplace(block_id, std::move(blk));
       target.free_blocks.push_back(block_id);
-      ++stats_.resuscitated_blocks;
+      ++pool.stats.resuscitated_blocks_;
+      Trace(obs::TraceEvent{clock_->now(), "ftl.block.resuscitated"}
+                .With("from", pool.config.name)
+                .With("to", target.config.name)
+                .WithU64("block", block_id));
     }
   }
   NotifyCapacity();
@@ -651,6 +712,30 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
 // ---------------------------------------------------------------------------
 // Capacity and introspection.
 // ---------------------------------------------------------------------------
+
+FtlStats Ftl::stats() const {
+  FtlStats total;
+  for (const auto& pool : pools_) {
+    total.Accumulate(pool.stats);
+  }
+  return total;
+}
+
+void Ftl::ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) const {
+  stats().ToMetrics(registry, prefix);
+  for (const auto& pool : pools_) {
+    pool.stats.ToMetrics(registry, prefix + "pool." + pool.config.name + ".");
+  }
+  registry.SetHistogram(prefix + "read.latency_us", read_latency_);
+  registry.SetHistogram(prefix + "write.latency_us", write_latency_);
+  registry.SetHistogram(prefix + "gc.latency_us", gc_latency_);
+}
+
+void Ftl::Trace(obs::TraceEvent event) {
+  if (trace_ != nullptr) {
+    trace_->Emit(std::move(event));
+  }
+}
 
 uint64_t Ftl::ExportedPages() const {
   uint64_t exported = 0;

@@ -49,6 +49,8 @@
 #include "src/common/status.h"
 #include "src/ecc/ecc_scheme.h"
 #include "src/flash/nand_device.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sos {
 
@@ -109,28 +111,65 @@ struct FtlReadResult {
   uint32_t pool_id = 0;
 };
 
-struct FtlStats {
-  uint64_t host_writes = 0;      // host data pages accepted
-  uint64_t nand_writes = 0;      // physical pages programmed (all causes)
-  uint64_t parity_writes = 0;
-  uint64_t gc_relocations = 0;
-  uint64_t wl_relocations = 0;
-  uint64_t migrations = 0;       // cross-pool moves
-  uint64_t refreshes = 0;        // in-place scrub rewrites
-  uint64_t gc_erases = 0;
-  uint64_t background_collections = 0;  // victims collected during idle GC
-  uint64_t retired_blocks = 0;
-  uint64_t resuscitated_blocks = 0;
-  uint64_t ecc_failures = 0;     // pages whose ECC decode failed
-  uint64_t retry_recoveries = 0; // failures recovered by read-retry
-  uint64_t parity_rescues = 0;
-  uint64_t degraded_reads = 0;   // reads returned with residual errors
+// Cumulative FTL operation counters. One instance lives inside each pool;
+// Ftl::stats() sums them into the device-wide aggregate and
+// Ftl::pool_stats() exposes the per-pool view. Mutation is confined to the
+// owning Ftl (friend); everything else reads through the accessors or
+// exports via Snapshot()/ToMetrics().
+class FtlStats {
+ public:
+  uint64_t host_writes() const { return host_writes_; }      // host data pages accepted
+  uint64_t nand_writes() const { return nand_writes_; }      // physical pages programmed (all causes)
+  uint64_t parity_writes() const { return parity_writes_; }
+  uint64_t gc_relocations() const { return gc_relocations_; }
+  uint64_t wl_relocations() const { return wl_relocations_; }
+  uint64_t migrations() const { return migrations_; }        // cross-pool moves
+  uint64_t refreshes() const { return refreshes_; }          // in-place scrub rewrites
+  uint64_t gc_erases() const { return gc_erases_; }
+  uint64_t background_collections() const { return background_collections_; }  // idle-GC victims
+  uint64_t retired_blocks() const { return retired_blocks_; }
+  uint64_t resuscitated_blocks() const { return resuscitated_blocks_; }
+  uint64_t ecc_failures() const { return ecc_failures_; }    // pages whose ECC decode failed
+  uint64_t retry_recoveries() const { return retry_recoveries_; }  // recovered by read-retry
+  uint64_t parity_rescues() const { return parity_rescues_; }
+  uint64_t degraded_reads() const { return degraded_reads_; }  // reads returned with residual errors
 
   double WriteAmplification() const {
-    return host_writes > 0
-               ? static_cast<double>(nand_writes) / static_cast<double>(host_writes)
+    return host_writes_ > 0
+               ? static_cast<double>(nand_writes_) / static_cast<double>(host_writes_)
                : 0.0;
   }
+
+  // Point-in-time copy; names the intent at call sites that stash stats.
+  FtlStats Snapshot() const { return *this; }
+
+  // Registers one counter per field under `prefix` ("ftl." for the
+  // aggregate, "ftl.pool.<name>." per pool) plus a write-amplification
+  // gauge. Field order here is the export order.
+  void ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) const;
+
+  bool operator==(const FtlStats&) const = default;
+
+ private:
+  friend class Ftl;
+
+  void Accumulate(const FtlStats& other);
+
+  uint64_t host_writes_ = 0;
+  uint64_t nand_writes_ = 0;
+  uint64_t parity_writes_ = 0;
+  uint64_t gc_relocations_ = 0;
+  uint64_t wl_relocations_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t refreshes_ = 0;
+  uint64_t gc_erases_ = 0;
+  uint64_t background_collections_ = 0;
+  uint64_t retired_blocks_ = 0;
+  uint64_t resuscitated_blocks_ = 0;
+  uint64_t ecc_failures_ = 0;
+  uint64_t retry_recoveries_ = 0;
+  uint64_t parity_rescues_ = 0;
+  uint64_t degraded_reads_ = 0;
 };
 
 // Point-in-time view of one pool, for benches and the SOS daemons.
@@ -199,9 +238,21 @@ class Ftl {
 
   uint32_t PoolIdByName(const std::string& name) const;
   PoolSnapshot Snapshot(uint32_t pool_id) const;
-  const FtlStats& stats() const { return stats_; }
+  // Device-wide aggregate: the sum of every pool's counters.
+  FtlStats stats() const;
+  // Counters of one pool (GC/WL/migration activity is naturally per-pool).
+  uint32_t num_pools() const { return static_cast<uint32_t>(pools_.size()); }
+  const FtlStats& pool_stats(uint32_t pool_id) const { return pools_[pool_id].stats; }
   NandDevice& nand() { return nand_; }
   const NandDevice& nand() const { return nand_; }
+
+  // Registers aggregate + per-pool counters and the simulated-latency
+  // histograms under `prefix` (metric names: ftl.*, ftl.pool.<name>.*).
+  void ToMetrics(obs::MetricRegistry& registry, const std::string& prefix = "ftl.") const;
+
+  // Optional event trace (GC victim picks, migrations, block retirement and
+  // resuscitation). `sink` must outlive the FTL; null disables tracing.
+  void SetTraceSink(obs::TraceSink* sink) { trace_ = sink; }
 
   bool IsMapped(uint64_t lba) const { return map_.contains(lba); }
   uint32_t PoolOf(uint64_t lba) const;
@@ -274,6 +325,7 @@ class Ftl {
     uint32_t retired = 0;
     uint64_t valid_pages = 0;
     std::optional<uint32_t> resuscitate_pool;  // resolved target pool id
+    FtlStats stats;                     // this pool's share of the counters
 
     bool IsActive(uint32_t id) const {
       return (active_host.block.has_value() && *active_host.block == id) ||
@@ -330,13 +382,21 @@ class Ftl {
   // degradation bookkeeping.
   [[nodiscard]] Result<FtlReadResult> ReadInternal(uint64_t lba, bool count_stats);
 
+  // Emits one trace event (no-op when no sink is attached).
+  void Trace(obs::TraceEvent event);
+
   FtlConfig config_;
   SimClock* clock_;
   NandDevice nand_;
   std::vector<Pool> pools_;
   std::unordered_map<uint64_t, PhysLoc> map_;
-  FtlStats stats_;
   CapacityListener capacity_listener_;
+  obs::TraceSink* trace_ = nullptr;
+  // Simulated-time latency distributions for the host-facing entry points
+  // and for whole GC passes (see obs/scoped_latency.h).
+  obs::Histogram read_latency_ = obs::Histogram::LatencyUs();
+  obs::Histogram write_latency_ = obs::Histogram::LatencyUs();
+  obs::Histogram gc_latency_ = obs::Histogram::LatencyUs();
   bool in_relocation_ = false;  // guards GC re-entry
   uint64_t last_exported_pages_ = 0;
 };

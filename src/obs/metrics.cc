@@ -1,0 +1,269 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/obs/metrics.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace sos::obs {
+
+namespace {
+
+constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendRow(std::string& out, const MetricRow& row) {
+  out += "    {\"name\": \"";
+  AppendEscaped(out, row.name);
+  out += "\", ";
+  switch (row.kind) {
+    case MetricKind::kCounter:
+      out += "\"kind\": \"counter\", \"value\": ";
+      AppendU64(out, row.counter);
+      break;
+    case MetricKind::kGauge:
+      out += "\"kind\": \"gauge\", \"value\": ";
+      out += FormatJsonDouble(row.gauge);
+      break;
+    case MetricKind::kHistogram: {
+      out += "\"kind\": \"histogram\", \"count\": ";
+      AppendU64(out, row.count);
+      out += ", \"sum\": ";
+      out += FormatJsonDouble(row.sum);
+      out += ", \"buckets\": [";
+      assert(row.buckets.size() == row.bounds.size() + 1);
+      for (size_t i = 0; i < row.buckets.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += "{\"le\": ";
+        if (i < row.bounds.size()) {
+          out += FormatJsonDouble(row.bounds[i]);
+        } else {
+          out += "\"inf\"";
+        }
+        out += ", \"count\": ";
+        AppendU64(out, row.buckets[i]);
+        out += "}";
+      }
+      out += "]";
+      break;
+    }
+  }
+  out += "}";
+}
+
+}  // namespace
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i] && "histogram bounds must be strictly ascending");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double v) {
+  size_t bucket = bounds_.size();  // overflow unless a bound catches it
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+Histogram Histogram::LatencyUs() {
+  return Histogram({10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+                    25000.0, 50000.0, 100000.0});
+}
+
+Histogram Histogram::Rber() {
+  return Histogram({1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1});
+}
+
+Histogram Histogram::FromParts(std::vector<double> bounds, std::vector<uint64_t> buckets,
+                               uint64_t count, double sum) {
+  Histogram h(std::move(bounds));
+  assert(buckets.size() == h.bounds_.size() + 1 && "bucket count must match bounds + overflow");
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.sum_ = sum;
+  return h;
+}
+
+// --- MetricRegistry ----------------------------------------------------------
+
+size_t MetricRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+MetricRegistry::Entry& MetricRegistry::NewEntry(const std::string& name, MetricKind kind) {
+  assert(!name.empty() && "metric names must be non-empty");
+  assert(Find(name) == kNotFound && "metric registered twice");
+  Entry entry;
+  entry.name = name;
+  entry.kind = kind;
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+Counter* MetricRegistry::AddCounter(const std::string& name) {
+  Entry& entry = NewEntry(name, MetricKind::kCounter);
+  entry.counter = std::make_unique<Counter>();
+  return entry.counter.get();
+}
+
+Gauge* MetricRegistry::AddGauge(const std::string& name) {
+  Entry& entry = NewEntry(name, MetricKind::kGauge);
+  entry.gauge = std::make_unique<Gauge>();
+  return entry.gauge.get();
+}
+
+Histogram* MetricRegistry::AddHistogram(const std::string& name,
+                                        std::vector<double> upper_bounds) {
+  Entry& entry = NewEntry(name, MetricKind::kHistogram);
+  entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  return entry.histogram.get();
+}
+
+void MetricRegistry::SetCounter(const std::string& name, uint64_t value) {
+  const size_t at = Find(name);
+  Counter* counter = at == kNotFound ? AddCounter(name) : entries_[at].counter.get();
+  assert(counter != nullptr && "metric kind mismatch");
+  counter->Add(value - counter->value());
+}
+
+void MetricRegistry::SetGauge(const std::string& name, double value) {
+  const size_t at = Find(name);
+  Gauge* gauge = at == kNotFound ? AddGauge(name) : entries_[at].gauge.get();
+  assert(gauge != nullptr && "metric kind mismatch");
+  gauge->Set(value);
+}
+
+void MetricRegistry::SetHistogram(const std::string& name, const Histogram& histogram) {
+  const size_t at = Find(name);
+  Histogram* target =
+      at == kNotFound ? AddHistogram(name, histogram.bounds()) : entries_[at].histogram.get();
+  assert(target != nullptr && "metric kind mismatch");
+  *target = histogram;
+}
+
+void MetricRegistry::Append(const MetricsSnapshot& snapshot, const std::string& prefix) {
+  for (const MetricRow& row : snapshot) {
+    const std::string name = prefix + row.name;
+    switch (row.kind) {
+      case MetricKind::kCounter:
+        SetCounter(name, row.counter);
+        break;
+      case MetricKind::kGauge:
+        SetGauge(name, row.gauge);
+        break;
+      case MetricKind::kHistogram:
+        SetHistogram(name,
+                     Histogram::FromParts(row.bounds, row.buckets, row.count, row.sum));
+        break;
+    }
+  }
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    MetricRow row;
+    row.name = entry.name;
+    row.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        row.counter = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        row.gauge = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        row.bounds = entry.histogram->bounds();
+        row.buckets = entry.histogram->buckets();
+        row.count = entry.histogram->count();
+        row.sum = entry.histogram->sum();
+        break;
+    }
+    snapshot.push_back(std::move(row));
+  }
+  return snapshot;
+}
+
+std::string MetricRegistry::ToJson() const { return MetricsToJson(Snapshot()); }
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [\n";
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    AppendRow(out, snapshot[i]);
+    if (i + 1 < snapshot.size()) {
+      out += ",";
+    }
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string FormatJsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(StatusCode::kUnavailable, "cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return Status(StatusCode::kUnavailable, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sos::obs

@@ -1,0 +1,178 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Deterministic metrics layer (DESIGN.md §9).
+//
+// Every quantitative signal the simulator emits beyond its ASCII reports
+// flows through a MetricRegistry: named counters, gauges and fixed-bucket
+// histograms whose *registration order is the export order*. That single
+// rule is what makes telemetry part of the repo's determinism contract --
+// the JSON rendered from a registry is byte-identical across reruns and for
+// any --jobs value, because nothing about it depends on hash order, wall
+// clock, or thread scheduling. Names follow `layer.component.metric`
+// (e.g. "ftl.pool.SYS.gc_relocations", "flash.die.read.rber").
+//
+// Time never enters this layer except as *simulated* time carried in by the
+// caller (see scoped_latency.h); soslint R2 applies to obs like any other
+// library.
+
+#ifndef SOS_SRC_OBS_METRICS_H_
+#define SOS_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace sos::obs {
+
+// Monotonic event count. Wraps a plain integer so call sites read as
+// telemetry, and so a future sharded registry can swap the representation.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Last-write-wins instantaneous value (free blocks, quality score, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram. Buckets are defined by ascending inclusive upper
+// bounds; one implicit overflow bucket catches everything above the last
+// bound. Bounds are fixed at construction -- never derived from observed
+// data -- so two runs that see the same samples render the same buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  // Records `v` in the first bucket whose bound >= v (overflow bucket
+  // otherwise).
+  void Observe(double v);
+
+  // bounds().size() + 1 counts; the last one is the overflow bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  // Canonical bucket sets. Latency buckets cover device ops (~10us page
+  // reads) through multi-ms erases and GC stalls; RBER buckets cover the
+  // error model's 1e-8 .. 1e-1 range in decade steps.
+  static Histogram LatencyUs();
+  static Histogram Rber();
+
+  // Rebuilds a histogram from exported state (bounds/buckets/count/sum as a
+  // MetricRow carries them). Used when replaying snapshots into a registry;
+  // Observe() cannot reproduce exact per-bucket counts.
+  static Histogram FromParts(std::vector<double> bounds, std::vector<uint64_t> buckets,
+                             uint64_t count, double sum);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;  // bounds_.size() + 1, last = overflow
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+// One exported metric row: a point-in-time value detached from the live
+// objects above. A vector of these is the portable form results carry
+// across threads (LifetimeResult::device_metrics) and what the JSON
+// renderer consumes.
+struct MetricRow {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter = 0;               // kCounter
+  double gauge = 0.0;                 // kGauge
+  std::vector<double> bounds;         // kHistogram
+  std::vector<uint64_t> buckets;      // kHistogram (bounds.size() + 1)
+  uint64_t count = 0;                 // kHistogram
+  double sum = 0.0;                   // kHistogram
+
+  bool operator==(const MetricRow& other) const = default;
+};
+
+using MetricsSnapshot = std::vector<MetricRow>;
+
+// Named metric container. Registration order is stable export order; names
+// must be unique (re-registering a name asserts -- a duplicate would make
+// export order depend on call-site luck). The name index is a hash map used
+// for lookup only; every walk of the registry goes through the ordered
+// entry vector (soslint R1).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Live instruments, owned by the registry. Pointers stay valid for the
+  // registry's lifetime.
+  Counter* AddCounter(const std::string& name);
+  Gauge* AddGauge(const std::string& name);
+  Histogram* AddHistogram(const std::string& name, std::vector<double> upper_bounds);
+
+  // Export-time value setters: register-and-assign in one step. Used by
+  // ToMetrics()/ExportMetrics() implementations that keep their counters as
+  // plain struct fields and only materialize metric rows on demand.
+  void SetCounter(const std::string& name, uint64_t value);
+  void SetGauge(const std::string& name, double value);
+  void SetHistogram(const std::string& name, const Histogram& histogram);
+
+  // Replays snapshot rows into this registry (each name prefixed with
+  // `prefix`), preserving their order. Lets a result captured in a worker
+  // thread be merged into a report registry deterministically.
+  void Append(const MetricsSnapshot& snapshot, const std::string& prefix = "");
+
+  size_t size() const { return entries_.size(); }
+
+  // Rows in registration order.
+  MetricsSnapshot Snapshot() const;
+
+  // Deterministic JSON document (see DESIGN.md §9 for the schema). Doubles
+  // are rendered with %.17g so the round trip is exact and byte-stable.
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& NewEntry(const std::string& name, MetricKind kind);
+  // Returns the entry index for `name`, or SIZE_MAX.
+  size_t Find(const std::string& name) const;
+
+  std::vector<Entry> entries_;                      // export order
+  std::unordered_map<std::string, size_t> index_;   // lookup only, never iterated
+};
+
+// Renders one snapshot as the same JSON document ToJson() produces.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+// %.17g double formatting shared by the JSON emitters (exact round trip,
+// byte-stable across reruns on one platform).
+std::string FormatJsonDouble(double v);
+
+// Writes `json` to `path` atomically enough for bench use (truncate +
+// write + close). kUnavailable on any I/O failure.
+[[nodiscard]] Status WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace sos::obs
+
+#endif  // SOS_SRC_OBS_METRICS_H_

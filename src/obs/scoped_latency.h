@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// RAII latency timer over *simulated* time.
+//
+// ScopedLatency snapshots SimClock::now() at construction and, on
+// destruction, observes the elapsed simulated microseconds into a Histogram.
+// Because the clock only advances by modeled device latency, the recorded
+// distribution is a property of the workload + device model -- identical
+// across reruns and --jobs values -- never of host scheduling. This is the
+// only sanctioned way to time an operation in telemetry code (soslint R2
+// bans wall-clock in libraries).
+
+#ifndef SOS_SRC_OBS_SCOPED_LATENCY_H_
+#define SOS_SRC_OBS_SCOPED_LATENCY_H_
+
+#include "src/common/sim_clock.h"
+#include "src/obs/metrics.h"
+
+namespace sos::obs {
+
+class ScopedLatency {
+ public:
+  // Either pointer may be null, making the timer a no-op; call sites guard
+  // once at construction instead of around every timed region.
+  ScopedLatency(const SimClock* clock, Histogram* histogram)
+      : clock_(clock), histogram_(histogram), start_us_(clock ? clock->now() : 0) {}
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+  ~ScopedLatency() {
+    if (clock_ != nullptr && histogram_ != nullptr) {
+      histogram_->Observe(static_cast<double>(clock_->now() - start_us_));
+    }
+  }
+
+ private:
+  const SimClock* clock_;
+  Histogram* histogram_;
+  SimTimeUs start_us_;
+};
+
+}  // namespace sos::obs
+
+#endif  // SOS_SRC_OBS_SCOPED_LATENCY_H_

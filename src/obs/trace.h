@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Bounded, deterministic event trace (DESIGN.md §9).
+//
+// A TraceSink records discrete simulator events -- GC victim picks, pool
+// migrations, block retirement/resuscitation, auto-delete trims -- as a
+// bounded stream rendered to JSONL. Fields are an *ordered* key/value list
+// (insertion order = export order) so a trace line never depends on hash
+// order. Timestamps are simulated time only; components stamp events with
+// SimClock::now() at the emit site.
+//
+// Overflow policy: keep-first / drop-newest. Once `capacity` events are
+// buffered, further Emit() calls only bump the dropped counter. The first N
+// events of a run are therefore identical no matter how much pressure later
+// phases generate -- the bounded trace itself stays deterministic.
+
+#ifndef SOS_SRC_OBS_TRACE_H_
+#define SOS_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace sos::obs {
+
+// One discrete simulator event. `type` follows the metric naming scheme
+// (`layer.component.event`, e.g. "ftl.gc.victim"); `fields` render in
+// insertion order.
+struct TraceEvent {
+  TraceEvent() = default;
+  TraceEvent(SimTimeUs t, std::string event_type) : t_us(t), type(std::move(event_type)) {}
+
+  SimTimeUs t_us = 0;
+  std::string type;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  bool operator==(const TraceEvent& other) const = default;
+
+  // Field helpers render values deterministically (decimal u64/i64, %.17g
+  // doubles) and return *this for chaining at the emit site.
+  TraceEvent& With(const std::string& key, const std::string& value);
+  TraceEvent& WithU64(const std::string& key, uint64_t value);
+  TraceEvent& WithI64(const std::string& key, int64_t value);
+  TraceEvent& WithF64(const std::string& key, double value);
+};
+
+// Bounded collector for TraceEvents. Not thread-safe by design: each worker
+// owns its sink and results carry the recorded events across threads.
+class TraceSink {
+ public:
+  // `capacity` bounds the number of retained events (see overflow policy
+  // above). Defaults generously for a full LifetimeSim run.
+  explicit TraceSink(size_t capacity = kDefaultCapacity);
+
+  // Records `event` if the sink has room, else counts it as dropped.
+  void Emit(TraceEvent event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+  static constexpr size_t kDefaultCapacity = 65536;
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+// One JSONL line (no trailing newline): {"t_us": ..., "type": "...", k: v, ...}.
+std::string TraceEventToJson(const TraceEvent& event);
+
+// All events, one JSON object per line, newline-terminated. A final
+// "trace.dropped" summary line records the overflow count when non-zero.
+std::string TraceToJsonl(const std::vector<TraceEvent>& events, uint64_t dropped);
+
+// Renders `sink` with TraceToJsonl and writes it to `path`.
+[[nodiscard]] Status WriteTraceFile(const std::string& path, const TraceSink& sink);
+
+}  // namespace sos::obs
+
+#endif  // SOS_SRC_OBS_TRACE_H_

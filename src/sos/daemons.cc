@@ -169,10 +169,15 @@ double AutoDeleteManager::FreeFraction() const {
 
 AutoDeleteManager::RunStats AutoDeleteManager::RunOnce(SimTimeUs now) {
   RunStats stats;
-  if (FreeFraction() >= config_.low_water_free) {
+  const double free_before = FreeFraction();
+  if (free_before >= config_.low_water_free) {
     return stats;
   }
   ++stats.activations;
+  if (trace_ != nullptr) {
+    trace_->Emit(obs::TraceEvent{now, "sos.autodelete.activated"}
+                     .WithF64("free_fraction", free_before));
+  }
 
   // Rank SPARE-resident files by predicted deletion likelihood. SYS files
   // are never auto-deleted (they are, by classification, critical).
@@ -214,6 +219,12 @@ AutoDeleteManager::RunStats AutoDeleteManager::RunOnce(SimTimeUs now) {
       if (fs_->DeleteFile(c.id).ok()) {
         ++stats.files_deleted;
         stats.bytes_freed += c.bytes;
+        if (trace_ != nullptr) {
+          trace_->Emit(obs::TraceEvent{now, "sos.autodelete.trim"}
+                           .WithU64("file_id", c.id)
+                           .WithF64("score", c.score)
+                           .WithU64("bytes", c.bytes));
+        }
       }
     }
     if (FreeFraction() >= config_.high_water_free) {

@@ -29,6 +29,7 @@
 
 #include "src/classify/classifier.h"
 #include "src/host/file_system.h"
+#include "src/obs/trace.h"
 #include "src/sos/sos_device.h"
 
 namespace sos {
@@ -176,6 +177,10 @@ class AutoDeleteManager {
 
   const RunStats& lifetime_stats() const { return lifetime_; }
 
+  // Optional event trace of activations and per-file trims. `sink` must
+  // outlive the manager; null disables tracing.
+  void SetTraceSink(obs::TraceSink* sink) { trace_ = sink; }
+
  private:
   double FreeFraction() const;
 
@@ -183,6 +188,7 @@ class AutoDeleteManager {
   const BinaryClassifier* deletion_model_;
   AutoDeleteConfig config_;
   RunStats lifetime_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace sos

@@ -5,6 +5,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace sos {
 
 ExperimentDriver::ExperimentDriver(size_t jobs)
@@ -54,17 +57,39 @@ std::vector<ExperimentJob> SeedSweep(const LifetimeSimConfig& base,
 LifetimeAggregate Aggregate(const std::vector<LifetimeResult>& results) {
   LifetimeAggregate agg;
   for (const LifetimeResult& r : results) {
-    agg.host_bytes_written.Add(static_cast<double>(r.host_bytes_written));
-    agg.max_wear_ratio.Add(r.final_max_wear_ratio);
-    agg.mean_wear_ratio.Add(r.final_mean_wear_ratio);
-    agg.projected_lifetime_years.Add(r.projected_lifetime_years);
-    agg.exported_pages.Add(static_cast<double>(r.final_exported_pages));
-    agg.create_failures.Add(static_cast<double>(r.create_failures));
-    agg.spare_quality.Add(r.final_spare_quality);
-    agg.write_amplification.Add(r.ftl.WriteAmplification());
-    agg.files_deleted.Add(static_cast<double>(r.autodelete.files_deleted));
+    agg.host_bytes_written.Add(static_cast<double>(r.host_bytes_written()));
+    agg.max_wear_ratio.Add(r.final_max_wear_ratio());
+    agg.mean_wear_ratio.Add(r.final_mean_wear_ratio());
+    agg.projected_lifetime_years.Add(r.projected_lifetime_years());
+    agg.exported_pages.Add(static_cast<double>(r.final_exported_pages()));
+    agg.create_failures.Add(static_cast<double>(r.create_failures()));
+    agg.spare_quality.Add(r.final_spare_quality());
+    agg.write_amplification.Add(r.ftl().WriteAmplification());
+    agg.files_deleted.Add(static_cast<double>(r.autodelete().files_deleted));
   }
   return agg;
+}
+
+std::string BatchMetricsJson(const std::vector<LifetimeResult>& results) {
+  obs::MetricRegistry registry;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const std::string prefix =
+        "run." + std::to_string(i) + "." + DeviceKindSlug(results[i].kind()) + ".";
+    results[i].ToMetrics(registry, prefix);
+  }
+  return registry.ToJson();
+}
+
+std::string BatchTraceJsonl(const std::vector<LifetimeResult>& results) {
+  std::string out;
+  for (size_t i = 0; i < results.size(); ++i) {
+    obs::TraceEvent header{0, "trace.run"};
+    header.WithU64("run", i).With("device", DeviceKindSlug(results[i].kind()));
+    out += obs::TraceEventToJson(header);
+    out += '\n';
+    out += obs::TraceToJsonl(results[i].trace(), results[i].trace_dropped());
+  }
+  return out;
 }
 
 std::string FormatMeanStddev(const RunningStats& stats, int digits) {

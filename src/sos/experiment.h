@@ -108,6 +108,17 @@ struct LifetimeAggregate {
 
 LifetimeAggregate Aggregate(const std::vector<LifetimeResult>& results);
 
+// Serializes every result's telemetry into one metrics JSON document. Run i's
+// rows are prefixed "run.<i>.<kind-slug>." and registered in job order, so
+// the bytes depend only on the results -- never on how the batch was
+// scheduled (--jobs=1 and --jobs=N produce identical files).
+std::string BatchMetricsJson(const std::vector<LifetimeResult>& results);
+
+// One JSONL stream of every result's trace: a "trace.run" header line per
+// run, then its events in emission order (plus a "trace.dropped" line when
+// the sink overflowed). Deterministic for the same reason as the metrics.
+std::string BatchTraceJsonl(const std::vector<LifetimeResult>& results);
+
 // "mean +/- stddev" with `digits` fractional digits, e.g. "12.40 +/- 0.31".
 std::string FormatMeanStddev(const RunningStats& stats, int digits);
 

@@ -64,8 +64,9 @@ DeviceHealthReport CollectHealth(const SosDevice& device, double elapsed_years,
           ? static_cast<double>(report.exported_pages) /
                 static_cast<double>(initial_exported_pages)
           : 1.0;
-  report.host_writes = ftl.stats().host_writes;
-  report.write_amplification = ftl.stats().WriteAmplification();
+  const FtlStats stats = ftl.stats();
+  report.host_writes = stats.host_writes();
+  report.write_amplification = stats.WriteAmplification();
   report.projected_remaining_years =
       worst_wear > 0.0 && elapsed_years > 0.0
           ? elapsed_years * (1.0 - worst_wear) / worst_wear

@@ -25,6 +25,62 @@ const char* DeviceKindName(DeviceKind kind) {
   return "???";
 }
 
+const char* DeviceKindSlug(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kSos:
+      return "sos";
+    case DeviceKind::kTlcBaseline:
+      return "tlc";
+    case DeviceKind::kQlcBaseline:
+      return "qlc";
+    case DeviceKind::kPlcNaive:
+      return "plc_naive";
+  }
+  return "unknown";
+}
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kWorn:
+      return "worn";
+    case HealthState::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+void LifetimeResult::ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) const {
+  registry.SetCounter(prefix + "sim.host_bytes_written", host_bytes_written_);
+  registry.SetCounter(prefix + "sim.create_failures", create_failures_);
+  registry.SetGauge(prefix + "sim.final_max_wear_ratio", final_max_wear_ratio_);
+  registry.SetGauge(prefix + "sim.final_mean_wear_ratio", final_mean_wear_ratio_);
+  registry.SetCounter(prefix + "sim.initial_exported_pages", initial_exported_pages_);
+  registry.SetCounter(prefix + "sim.final_exported_pages", final_exported_pages_);
+  registry.SetGauge(prefix + "sim.final_spare_quality", final_spare_quality_);
+  registry.SetCounter(prefix + "sim.files_alive", files_alive_);
+  registry.SetCounter(prefix + "sim.retrainings", retrainings_);
+  registry.SetGauge(prefix + "sim.projected_lifetime_years", projected_lifetime_years_);
+  registry.SetCounter(prefix + "sos.daemon.activations", daemon_activations_);
+  registry.SetCounter(prefix + "sos.health.transitions", health_transitions_);
+  registry.SetCounter(prefix + "sos.migration.scanned", migration_.scanned);
+  registry.SetCounter(prefix + "sos.migration.demoted", migration_.demoted);
+  registry.SetCounter(prefix + "sos.migration.promoted", migration_.promoted);
+  registry.SetCounter(prefix + "sos.migration.demote_failures", migration_.demote_failures);
+  registry.SetCounter(prefix + "sos.monitor.pages_scanned", monitor_.pages_scanned);
+  registry.SetCounter(prefix + "sos.monitor.pages_refreshed", monitor_.pages_refreshed);
+  registry.SetCounter(prefix + "sos.monitor.files_repaired", monitor_.files_repaired);
+  registry.SetCounter(prefix + "sos.monitor.files_at_risk", monitor_.files_at_risk);
+  registry.SetCounter(prefix + "sos.autodelete.activations", autodelete_.activations);
+  registry.SetCounter(prefix + "sos.autodelete.files_deleted", autodelete_.files_deleted);
+  registry.SetCounter(prefix + "sos.autodelete.bytes_freed", autodelete_.bytes_freed);
+  registry.SetCounter(prefix + "sos.autodelete.exhausted", autodelete_.exhausted);
+  registry.SetCounter(prefix + "obs.trace.events", trace_.size());
+  registry.SetCounter(prefix + "obs.trace.dropped", trace_dropped_);
+  registry.Append(device_metrics_, prefix);
+}
+
 Ftl& FtlOf(SosDevice* sos_dev, BaselineDevice* baseline) {
   assert(sos_dev != nullptr || baseline != nullptr);
   return sos_dev != nullptr ? sos_dev->ftl() : baseline->ftl();
@@ -90,8 +146,10 @@ LifetimeSim::LifetimeSim(const LifetimeSimConfig& config) : config_(config) {
   if (config_.enable_autodelete) {
     autodelete_ = std::make_unique<AutoDeleteManager>(fs_.get(), deletion_model_.get(),
                                                       config_.autodelete);
+    autodelete_->SetTraceSink(&trace_);
   }
-  result_.kind = config_.kind;
+  FtlOf(sos_device_.get(), baseline_device_.get()).SetTraceSink(&trace_);
+  result_.kind_ = config_.kind;
 }
 
 std::vector<uint8_t> LifetimeSim::ContentFor(uint64_t ref, uint64_t bytes) {
@@ -124,12 +182,12 @@ void LifetimeSim::ApplyEvent(const WorkloadEvent& event) {
         created = fs_->CreateFile(meta, content, StreamClass::kSys);
       }
       if (!created.ok()) {
-        ++result_.create_failures;
+        ++result_.create_failures_;
         workload_->DropRef(event.file_ref);
         return;
       }
       ref_to_fsid_[event.file_ref] = created.value();
-      result_.host_bytes_written += meta.size_bytes;
+      result_.host_bytes_written_ += meta.size_bytes;
       if (cloud_ != nullptr && !content.empty()) {
         cloud_->Store(created.value(), content);
       }
@@ -156,7 +214,7 @@ void LifetimeSim::ApplyEvent(const WorkloadEvent& event) {
       const uint64_t bytes = std::min(meta->size_bytes, config_.file_size_cap);
       const std::vector<uint8_t> content = ContentFor(event.file_ref, bytes);
       if (fs_->OverwriteFile(it->second, content).ok()) {
-        result_.host_bytes_written += bytes;
+        result_.host_bytes_written_ += bytes;
         if (cloud_ != nullptr && !content.empty()) {
           cloud_->Store(it->second, content);
         }
@@ -196,19 +254,49 @@ void LifetimeSim::RunDaemons(uint32_t day) {
     if (files.size() >= 200) {
       *priority_model_ = LogisticClassifier::Train(files, &ExpendableLabel, clock_.now());
       *deletion_model_ = LogisticClassifier::Train(files, &DeletionLabel, clock_.now());
-      ++result_.retrainings;
+      ++result_.retrainings_;
     }
   }
   if (migration_ != nullptr && config_.classify_period_days > 0 &&
       day % config_.classify_period_days == 0) {
     migration_->RunOnce(clock_.now());
+    ++result_.daemon_activations_;
   }
   if (monitor_ != nullptr && config_.scrub_period_days > 0 &&
       day % config_.scrub_period_days == 0 && day > 0) {
     monitor_->RunOnce(clock_.now());
+    ++result_.daemon_activations_;
   }
   if (autodelete_ != nullptr) {
     autodelete_->RunOnce(clock_.now());
+    ++result_.daemon_activations_;
+  }
+  UpdateHealthState(day);
+}
+
+void LifetimeSim::UpdateHealthState(uint32_t day) {
+  const Ftl& ftl = sos_device_ != nullptr ? sos_device_->ftl() : baseline_device_->ftl();
+  const double wear = ftl.nand().MaxWearRatio();
+  const double capacity_retained =
+      result_.initial_exported_pages_ > 0
+          ? static_cast<double>(ftl.ExportedPages()) /
+                static_cast<double>(result_.initial_exported_pages_)
+          : 1.0;
+  HealthState next = HealthState::kHealthy;
+  if (wear >= 1.0 || capacity_retained <= 0.7) {
+    next = HealthState::kCritical;
+  } else if (wear >= 0.5 || capacity_retained <= 0.9) {
+    next = HealthState::kWorn;
+  }
+  if (next != health_state_) {
+    ++result_.health_transitions_;
+    trace_.Emit(obs::TraceEvent{clock_.now(), "sos.health.transition"}
+                    .WithU64("day", day)
+                    .With("from", HealthStateName(health_state_))
+                    .With("to", HealthStateName(next))
+                    .WithF64("max_wear_ratio", wear)
+                    .WithF64("capacity_retained", capacity_retained));
+    health_state_ = next;
   }
 }
 
@@ -256,13 +344,13 @@ DaySample LifetimeSim::Sample(uint32_t day) const {
                 static_cast<double>(fs_stats.capacity_blocks)
           : 0.0;
   sample.live_files = fs_stats.files;
-  sample.retired_blocks = ftl.stats().retired_blocks;
+  sample.retired_blocks = ftl.stats().retired_blocks();
   sample.spare_quality = EstimateSpareQuality(&sample.spare_pages);
   return sample;
 }
 
 LifetimeResult LifetimeSim::Run() {
-  result_.initial_exported_pages =
+  result_.initial_exported_pages_ =
       (sos_device_ != nullptr ? sos_device_->ftl() : baseline_device_->ftl()).ExportedPages();
 
   for (uint32_t day = 0; day < config_.days; ++day) {
@@ -275,20 +363,20 @@ LifetimeResult LifetimeSim::Run() {
     }
     RunDaemons(day);
     if (config_.sample_period_days > 0 && day % config_.sample_period_days == 0) {
-      result_.samples.push_back(Sample(day));
+      result_.samples_.push_back(Sample(day));
     }
   }
 
   const Ftl& ftl = sos_device_ != nullptr ? sos_device_->ftl() : baseline_device_->ftl();
-  result_.ftl = ftl.stats();
-  result_.final_max_wear_ratio = ftl.nand().MaxWearRatio();
+  result_.ftl_ = ftl.stats();
+  result_.final_max_wear_ratio_ = ftl.nand().MaxWearRatio();
   // Mean wear ratio across the die: mean PEC over the *native-mode* rated
   // endurance is not meaningful for mixed-mode dies, so use max-wear pool
   // snapshots instead. Approximate with max ratio scaled by mean/max PEC.
   const double mean_pec = ftl.nand().MeanPec();
-  result_.final_mean_wear_ratio =
-      result_.final_max_wear_ratio > 0.0 && mean_pec > 0.0
-          ? result_.final_max_wear_ratio * mean_pec /
+  result_.final_mean_wear_ratio_ =
+      result_.final_max_wear_ratio_ > 0.0 && mean_pec > 0.0
+          ? result_.final_max_wear_ratio_ * mean_pec /
                 std::max(1.0, static_cast<double>([&] {
                            uint32_t max_pec = 0;
                            for (uint32_t b = 0; b < ftl.nand().config().num_blocks; ++b) {
@@ -297,22 +385,31 @@ LifetimeResult LifetimeSim::Run() {
                            return max_pec;
                          }()))
           : 0.0;
-  result_.final_exported_pages = ftl.ExportedPages();
-  result_.final_spare_quality = EstimateSpareQuality(nullptr);
+  result_.final_exported_pages_ = ftl.ExportedPages();
+  result_.final_spare_quality_ = EstimateSpareQuality(nullptr);
   if (migration_ != nullptr) {
-    result_.migration = migration_->lifetime_stats();
+    result_.migration_ = migration_->lifetime_stats();
   }
   if (autodelete_ != nullptr) {
-    result_.autodelete = autodelete_->lifetime_stats();
+    result_.autodelete_ = autodelete_->lifetime_stats();
   }
   if (monitor_ != nullptr) {
-    result_.monitor = monitor_->lifetime_stats();
+    result_.monitor_ = monitor_->lifetime_stats();
   }
-  result_.files_alive = fs_->Stats().files;
+  result_.files_alive_ = fs_->Stats().files;
 
   const double years = static_cast<double>(config_.days) / 365.0;
-  result_.projected_lifetime_years =
-      result_.final_max_wear_ratio > 0.0 ? years / result_.final_max_wear_ratio : 1e6;
+  result_.projected_lifetime_years_ =
+      result_.final_max_wear_ratio_ > 0.0 ? years / result_.final_max_wear_ratio_ : 1e6;
+
+  // Capture the device-side telemetry into the portable result so exports
+  // can happen on any thread after the simulator is gone.
+  obs::MetricRegistry device_registry;
+  ftl.ToMetrics(device_registry, "ftl.");
+  ftl.nand().ToMetrics(device_registry, "flash.die.");
+  result_.device_metrics_ = device_registry.Snapshot();
+  result_.trace_ = trace_.events();
+  result_.trace_dropped_ = trace_.dropped();
   return result_;
 }
 

@@ -26,6 +26,8 @@
 
 #include "src/classify/logistic.h"
 #include "src/host/workload.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sos/daemons.h"
 #include "src/sos/sos_device.h"
 
@@ -39,6 +41,15 @@ enum class DeviceKind : uint8_t {
 };
 
 const char* DeviceKindName(DeviceKind kind);
+
+// Short identifier safe for metric names and file paths ("sos", "tlc", ...).
+const char* DeviceKindSlug(DeviceKind kind);
+
+// Coarse device condition derived from wear and retained capacity; the
+// simulation counts transitions between these states (health telemetry).
+enum class HealthState : uint8_t { kHealthy, kWorn, kCritical };
+
+const char* HealthStateName(HealthState state);
 
 struct LifetimeSimConfig {
   DeviceKind kind = DeviceKind::kSos;
@@ -101,27 +112,79 @@ struct DaySample {
   uint64_t spare_pages = 0;
 };
 
-struct LifetimeResult {
-  DeviceKind kind = DeviceKind::kSos;
-  std::vector<DaySample> samples;
-  FtlStats ftl;
-  uint64_t host_bytes_written = 0;
-  uint64_t create_failures = 0;   // files rejected even after auto-delete
-  double final_max_wear_ratio = 0.0;
-  double final_mean_wear_ratio = 0.0;
-  uint64_t final_exported_pages = 0;
-  uint64_t initial_exported_pages = 0;
-  double final_spare_quality = 1.0;
-  MigrationDaemon::RunStats migration;
-  AutoDeleteManager::RunStats autodelete;
-  DegradationMonitor::RunStats monitor;
-  uint64_t files_alive = 0;
-  uint64_t retrainings = 0;
+// Outcome of one lifetime run. Mutation is confined to the owning
+// LifetimeSim (friend); consumers read through the accessors or export via
+// Snapshot()/ToMetrics(). The result is a plain value: it carries its
+// telemetry (metric rows + trace events) across worker threads, so batch
+// exports stay independent of scheduling.
+class LifetimeResult {
+ public:
+  DeviceKind kind() const { return kind_; }
+  const std::vector<DaySample>& samples() const { return samples_; }
+  const FtlStats& ftl() const { return ftl_; }
+  uint64_t host_bytes_written() const { return host_bytes_written_; }
+  uint64_t create_failures() const { return create_failures_; }  // rejected even after auto-delete
+  double final_max_wear_ratio() const { return final_max_wear_ratio_; }
+  double final_mean_wear_ratio() const { return final_mean_wear_ratio_; }
+  uint64_t final_exported_pages() const { return final_exported_pages_; }
+  uint64_t initial_exported_pages() const { return initial_exported_pages_; }
+  double final_spare_quality() const { return final_spare_quality_; }
+  const MigrationDaemon::RunStats& migration() const { return migration_; }
+  const AutoDeleteManager::RunStats& autodelete() const { return autodelete_; }
+  const DegradationMonitor::RunStats& monitor() const { return monitor_; }
+  uint64_t files_alive() const { return files_alive_; }
+  uint64_t retrainings() const { return retrainings_; }
 
   // Years of identical use until the worst block reaches its endurance,
   // extrapolated from the final wear slope. The paper's order-of-magnitude
   // wear-gap claim (§2.3.2) reads directly off this.
-  double projected_lifetime_years = 0.0;
+  double projected_lifetime_years() const { return projected_lifetime_years_; }
+
+  // --- Telemetry captured during the run (DESIGN.md §9) --------------------
+
+  // Device metric rows (ftl.*, flash.die.*) snapshotted at end of run.
+  const obs::MetricsSnapshot& device_metrics() const { return device_metrics_; }
+  // FTL + daemon event trace, bounded (keep-first) with overflow count.
+  const std::vector<obs::TraceEvent>& trace() const { return trace_; }
+  uint64_t trace_dropped() const { return trace_dropped_; }
+  // Total daemon RunOnce invocations (migration + monitor + auto-delete).
+  uint64_t daemon_activations() const { return daemon_activations_; }
+  // Coarse health-state changes observed over the run (see HealthState).
+  uint64_t health_transitions() const { return health_transitions_; }
+
+  // Point-in-time copy; names the intent at call sites that stash results.
+  LifetimeResult Snapshot() const { return *this; }
+
+  // Registers the run's scalar outcomes (sim.*), daemon counters (sos.*)
+  // and the captured device rows, each name prefixed with `prefix`.
+  // Registration order is fixed by this function, so the export is
+  // byte-stable for a given build.
+  void ToMetrics(obs::MetricRegistry& registry, const std::string& prefix = "") const;
+
+ private:
+  friend class LifetimeSim;
+
+  DeviceKind kind_ = DeviceKind::kSos;
+  std::vector<DaySample> samples_;
+  FtlStats ftl_;
+  uint64_t host_bytes_written_ = 0;
+  uint64_t create_failures_ = 0;
+  double final_max_wear_ratio_ = 0.0;
+  double final_mean_wear_ratio_ = 0.0;
+  uint64_t final_exported_pages_ = 0;
+  uint64_t initial_exported_pages_ = 0;
+  double final_spare_quality_ = 1.0;
+  MigrationDaemon::RunStats migration_;
+  AutoDeleteManager::RunStats autodelete_;
+  DegradationMonitor::RunStats monitor_;
+  uint64_t files_alive_ = 0;
+  uint64_t retrainings_ = 0;
+  double projected_lifetime_years_ = 0.0;
+  obs::MetricsSnapshot device_metrics_;
+  std::vector<obs::TraceEvent> trace_;
+  uint64_t trace_dropped_ = 0;
+  uint64_t daemon_activations_ = 0;
+  uint64_t health_transitions_ = 0;
 };
 
 class LifetimeSim {
@@ -138,6 +201,8 @@ class LifetimeSim {
   DaySample Sample(uint32_t day) const;
   double EstimateSpareQuality(uint64_t* pages_out) const;
   std::vector<uint8_t> ContentFor(uint64_t ref, uint64_t bytes);
+  // Re-derives the coarse health state and counts/traces transitions.
+  void UpdateHealthState(uint32_t day);
 
   LifetimeSimConfig config_;
   SimClock clock_;
@@ -157,6 +222,8 @@ class LifetimeSim {
   // R1). Iteration over live files goes through fs_->ScanFiles(), which is
   // id-ordered.
   std::unordered_map<uint64_t, uint64_t> ref_to_fsid_;
+  obs::TraceSink trace_;
+  HealthState health_state_ = HealthState::kHealthy;
   LifetimeResult result_;
 };
 

@@ -111,7 +111,7 @@ TEST(CapacityShrinkTest, FsHonorsShrunkCapacity) {
   junk.type = FileType::kCache;
   junk.size_bytes = 4096;
   std::vector<uint64_t> junk_ids;
-  for (int i = 0; i < 30000 && device.ftl().stats().retired_blocks < 4; ++i) {
+  for (int i = 0; i < 30000 && device.ftl().stats().retired_blocks() < 4; ++i) {
     if (!junk_ids.empty() && rng.NextBool(0.6)) {
       const size_t idx = static_cast<size_t>(rng.NextBounded(junk_ids.size()));
       IgnoreResult(fs.DeleteFile(junk_ids[idx]));
@@ -124,7 +124,7 @@ TEST(CapacityShrinkTest, FsHonorsShrunkCapacity) {
       }
     }
   }
-  ASSERT_GT(device.ftl().stats().retired_blocks, 0u);
+  ASSERT_GT(device.ftl().stats().retired_blocks(), 0u);
   const FsStats stats = fs.Stats();
   EXPECT_LT(stats.capacity_blocks, device.ftl().nand().config().num_blocks * 40u);
   // The keeper file survived the shrink.
@@ -166,10 +166,10 @@ TEST(EdgeCaseTest, RetryOnEcclessPoolIsConsistent) {
   }
   // Accounting closes: every first-sense ECC failure ends as either a retry
   // recovery or a degraded read (no parity on this pool).
-  EXPECT_EQ(ftl.stats().ecc_failures, ftl.stats().retry_recoveries + degraded);
+  EXPECT_EQ(ftl.stats().ecc_failures(), ftl.stats().retry_recoveries() + degraded);
   // At 5 years the first sense almost always carries errors, and the
   // drift-tracked retries recover nearly all of them.
-  EXPECT_GT(ftl.stats().retry_recoveries, 10u);
+  EXPECT_GT(ftl.stats().retry_recoveries(), 10u);
   EXPECT_TRUE(ftl.CheckInvariants().ok());
 }
 
@@ -221,6 +221,97 @@ TEST(EdgeCaseTest, HealthIncludesStagePool) {
   ASSERT_EQ(report.pools.size(), 4u);
   EXPECT_EQ(report.pools.front().name, "STAGE");
   EXPECT_EQ(report.pools.front().mode, CellTech::kSlc);
+}
+
+// --- Stats-surface redesign (FtlStats accessors / Snapshot / ToMetrics) --------
+
+TEST(StatsSurfaceTest, AggregateStatsAreSumOfPoolStats) {
+  SimClock clock;
+  SosDeviceConfig config;
+  config.nand.num_blocks = 32;
+  config.nand.wordlines_per_block = 4;
+  config.nand.page_size_bytes = 512;
+  SosDevice device(config, &clock);
+  ExtentFileSystem fs(&device, &clock);
+  FileMeta meta;
+  meta.type = FileType::kPhoto;
+  meta.size_bytes = 4096;
+  for (int i = 0; i < 20; ++i) {
+    IgnoreResult(fs.CreateFile(meta, {}, i % 2 == 0 ? StreamClass::kSys : StreamClass::kSpare));
+  }
+
+  const Ftl& ftl = device.ftl();
+  const FtlStats total = ftl.stats();
+  uint64_t pool_host_writes = 0;
+  uint64_t pool_nand_writes = 0;
+  for (uint32_t p = 0; p < ftl.num_pools(); ++p) {
+    pool_host_writes += ftl.pool_stats(p).host_writes();
+    pool_nand_writes += ftl.pool_stats(p).nand_writes();
+  }
+  EXPECT_GT(total.host_writes(), 0u);
+  EXPECT_EQ(total.host_writes(), pool_host_writes);
+  EXPECT_EQ(total.nand_writes(), pool_nand_writes);
+
+  // Snapshot() is a detached value: mutating the device afterwards must not
+  // change an already-taken snapshot.
+  const FtlStats before = ftl.stats().Snapshot();
+  IgnoreResult(fs.CreateFile(meta, {}, StreamClass::kSys));
+  EXPECT_GT(ftl.stats().host_writes(), before.host_writes());
+  EXPECT_TRUE(before == before.Snapshot());
+}
+
+TEST(StatsSurfaceTest, FtlToMetricsExportsPoolsAndLatencies) {
+  SimClock clock;
+  SosDeviceConfig config;
+  config.nand.num_blocks = 32;
+  config.nand.wordlines_per_block = 4;
+  config.nand.page_size_bytes = 512;
+  SosDevice device(config, &clock);
+  ExtentFileSystem fs(&device, &clock);
+  FileMeta meta;
+  meta.type = FileType::kPhoto;
+  meta.size_bytes = 4096;
+  auto id = fs.CreateFile(meta, {}, StreamClass::kSys);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(fs.ReadFile(id.value()).ok());
+
+  obs::MetricRegistry registry;
+  device.ftl().ToMetrics(registry, "ftl.");
+  device.ftl().nand().ToMetrics(registry, "flash.die.");
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"ftl.host_writes\""), std::string::npos);
+  EXPECT_NE(json.find("\"ftl.pool.SYS.host_writes\""), std::string::npos);
+  EXPECT_NE(json.find("\"ftl.pool.SPARE.host_writes\""), std::string::npos);
+  EXPECT_NE(json.find("\"ftl.write_amplification\""), std::string::npos);
+  EXPECT_NE(json.find("\"ftl.write.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"flash.die.read.rber\""), std::string::npos);
+
+  // Two exports of the same device state are byte-identical.
+  obs::MetricRegistry again;
+  device.ftl().ToMetrics(again, "ftl.");
+  device.ftl().nand().ToMetrics(again, "flash.die.");
+  EXPECT_EQ(json, again.ToJson());
+}
+
+TEST(StatsSurfaceTest, LifetimeResultToMetricsCarriesDeviceRows) {
+  LifetimeSimConfig config;
+  config.days = 10;
+  config.nand.num_blocks = 64;
+  config.training_files = 500;
+  config.sample_period_days = 5;
+  LifetimeSim sim(config);
+  const LifetimeResult result = sim.Run();
+
+  obs::MetricRegistry registry;
+  result.ToMetrics(registry, "dev.");
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"dev.sim.host_bytes_written\""), std::string::npos);
+  EXPECT_NE(json.find("\"dev.sos.daemon.activations\""), std::string::npos);
+  EXPECT_NE(json.find("\"dev.ftl.pool."), std::string::npos);
+  EXPECT_NE(json.find("\"dev.flash.die.read.rber\""), std::string::npos);
+  EXPECT_NE(json.find("\"dev.obs.trace.events\""), std::string::npos);
+  // 10 days x 3 daemons (migration + monitor + autodelete run checks daily).
+  EXPECT_GT(result.daemon_activations(), 0u);
 }
 
 }  // namespace

@@ -46,51 +46,60 @@ LifetimeResult RunSerial(const LifetimeSimConfig& config) {
 // results come from the same binary, so any difference means real
 // nondeterminism, not rounding.
 void ExpectBitIdentical(const LifetimeResult& a, const LifetimeResult& b) {
-  EXPECT_EQ(a.kind, b.kind);
-  EXPECT_EQ(a.host_bytes_written, b.host_bytes_written);
-  EXPECT_EQ(a.create_failures, b.create_failures);
-  EXPECT_EQ(a.final_max_wear_ratio, b.final_max_wear_ratio);
-  EXPECT_EQ(a.final_mean_wear_ratio, b.final_mean_wear_ratio);
-  EXPECT_EQ(a.final_exported_pages, b.final_exported_pages);
-  EXPECT_EQ(a.initial_exported_pages, b.initial_exported_pages);
-  EXPECT_EQ(a.final_spare_quality, b.final_spare_quality);
-  EXPECT_EQ(a.files_alive, b.files_alive);
-  EXPECT_EQ(a.retrainings, b.retrainings);
-  EXPECT_EQ(a.projected_lifetime_years, b.projected_lifetime_years);
+  EXPECT_EQ(a.kind(), b.kind());
+  EXPECT_EQ(a.host_bytes_written(), b.host_bytes_written());
+  EXPECT_EQ(a.create_failures(), b.create_failures());
+  EXPECT_EQ(a.final_max_wear_ratio(), b.final_max_wear_ratio());
+  EXPECT_EQ(a.final_mean_wear_ratio(), b.final_mean_wear_ratio());
+  EXPECT_EQ(a.final_exported_pages(), b.final_exported_pages());
+  EXPECT_EQ(a.initial_exported_pages(), b.initial_exported_pages());
+  EXPECT_EQ(a.final_spare_quality(), b.final_spare_quality());
+  EXPECT_EQ(a.files_alive(), b.files_alive());
+  EXPECT_EQ(a.retrainings(), b.retrainings());
+  EXPECT_EQ(a.projected_lifetime_years(), b.projected_lifetime_years());
 
-  EXPECT_EQ(a.ftl.host_writes, b.ftl.host_writes);
-  EXPECT_EQ(a.ftl.nand_writes, b.ftl.nand_writes);
-  EXPECT_EQ(a.ftl.parity_writes, b.ftl.parity_writes);
-  EXPECT_EQ(a.ftl.gc_relocations, b.ftl.gc_relocations);
-  EXPECT_EQ(a.ftl.wl_relocations, b.ftl.wl_relocations);
-  EXPECT_EQ(a.ftl.migrations, b.ftl.migrations);
-  EXPECT_EQ(a.ftl.refreshes, b.ftl.refreshes);
-  EXPECT_EQ(a.ftl.gc_erases, b.ftl.gc_erases);
-  EXPECT_EQ(a.ftl.background_collections, b.ftl.background_collections);
-  EXPECT_EQ(a.ftl.retired_blocks, b.ftl.retired_blocks);
-  EXPECT_EQ(a.ftl.resuscitated_blocks, b.ftl.resuscitated_blocks);
-  EXPECT_EQ(a.ftl.ecc_failures, b.ftl.ecc_failures);
-  EXPECT_EQ(a.ftl.retry_recoveries, b.ftl.retry_recoveries);
-  EXPECT_EQ(a.ftl.parity_rescues, b.ftl.parity_rescues);
-  EXPECT_EQ(a.ftl.degraded_reads, b.ftl.degraded_reads);
+  EXPECT_EQ(a.ftl().host_writes(), b.ftl().host_writes());
+  EXPECT_EQ(a.ftl().nand_writes(), b.ftl().nand_writes());
+  EXPECT_EQ(a.ftl().parity_writes(), b.ftl().parity_writes());
+  EXPECT_EQ(a.ftl().gc_relocations(), b.ftl().gc_relocations());
+  EXPECT_EQ(a.ftl().wl_relocations(), b.ftl().wl_relocations());
+  EXPECT_EQ(a.ftl().migrations(), b.ftl().migrations());
+  EXPECT_EQ(a.ftl().refreshes(), b.ftl().refreshes());
+  EXPECT_EQ(a.ftl().gc_erases(), b.ftl().gc_erases());
+  EXPECT_EQ(a.ftl().background_collections(), b.ftl().background_collections());
+  EXPECT_EQ(a.ftl().retired_blocks(), b.ftl().retired_blocks());
+  EXPECT_EQ(a.ftl().resuscitated_blocks(), b.ftl().resuscitated_blocks());
+  EXPECT_EQ(a.ftl().ecc_failures(), b.ftl().ecc_failures());
+  EXPECT_EQ(a.ftl().retry_recoveries(), b.ftl().retry_recoveries());
+  EXPECT_EQ(a.ftl().parity_rescues(), b.ftl().parity_rescues());
+  EXPECT_EQ(a.ftl().degraded_reads(), b.ftl().degraded_reads());
 
-  EXPECT_EQ(a.migration.scanned, b.migration.scanned);
-  EXPECT_EQ(a.migration.demoted, b.migration.demoted);
-  EXPECT_EQ(a.migration.promoted, b.migration.promoted);
-  EXPECT_EQ(a.migration.demote_failures, b.migration.demote_failures);
-  EXPECT_EQ(a.autodelete.activations, b.autodelete.activations);
-  EXPECT_EQ(a.autodelete.files_deleted, b.autodelete.files_deleted);
-  EXPECT_EQ(a.autodelete.bytes_freed, b.autodelete.bytes_freed);
-  EXPECT_EQ(a.autodelete.exhausted, b.autodelete.exhausted);
-  EXPECT_EQ(a.monitor.pages_scanned, b.monitor.pages_scanned);
-  EXPECT_EQ(a.monitor.pages_refreshed, b.monitor.pages_refreshed);
-  EXPECT_EQ(a.monitor.files_repaired, b.monitor.files_repaired);
-  EXPECT_EQ(a.monitor.files_at_risk, b.monitor.files_at_risk);
+  EXPECT_EQ(a.migration().scanned, b.migration().scanned);
+  EXPECT_EQ(a.migration().demoted, b.migration().demoted);
+  EXPECT_EQ(a.migration().promoted, b.migration().promoted);
+  EXPECT_EQ(a.migration().demote_failures, b.migration().demote_failures);
+  EXPECT_EQ(a.autodelete().activations, b.autodelete().activations);
+  EXPECT_EQ(a.autodelete().files_deleted, b.autodelete().files_deleted);
+  EXPECT_EQ(a.autodelete().bytes_freed, b.autodelete().bytes_freed);
+  EXPECT_EQ(a.autodelete().exhausted, b.autodelete().exhausted);
+  EXPECT_EQ(a.monitor().pages_scanned, b.monitor().pages_scanned);
+  EXPECT_EQ(a.monitor().pages_refreshed, b.monitor().pages_refreshed);
+  EXPECT_EQ(a.monitor().files_repaired, b.monitor().files_repaired);
+  EXPECT_EQ(a.monitor().files_at_risk, b.monitor().files_at_risk);
 
-  ASSERT_EQ(a.samples.size(), b.samples.size());
-  for (size_t i = 0; i < a.samples.size(); ++i) {
-    const DaySample& sa = a.samples[i];
-    const DaySample& sb = b.samples[i];
+  // Telemetry rides the same contract: metric rows and trace events are part
+  // of the result, so they must be bit-identical too (operator== on the rows
+  // compares every bound, bucket and field).
+  EXPECT_EQ(a.daemon_activations(), b.daemon_activations());
+  EXPECT_EQ(a.health_transitions(), b.health_transitions());
+  EXPECT_EQ(a.trace_dropped(), b.trace_dropped());
+  EXPECT_TRUE(a.device_metrics() == b.device_metrics());
+  EXPECT_TRUE(a.trace() == b.trace());
+
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (size_t i = 0; i < a.samples().size(); ++i) {
+    const DaySample& sa = a.samples()[i];
+    const DaySample& sb = b.samples()[i];
     EXPECT_EQ(sa.day, sb.day) << "sample " << i;
     EXPECT_EQ(sa.max_wear_ratio, sb.max_wear_ratio) << "sample " << i;
     EXPECT_EQ(sa.mean_pec, sb.mean_pec) << "sample " << i;
@@ -130,7 +139,7 @@ TEST(DeterminismTest, SerialRerunAndParallelDriverAreBitIdentical) {
   EXPECT_EQ(batch.jobs_used, 4u);
   for (size_t i = 0; i < configs.size(); ++i) {
     SCOPED_TRACE(DeviceKindName(configs[i].kind));
-    EXPECT_EQ(batch.results[i].kind, configs[i].kind);  // job order, not completion order
+    EXPECT_EQ(batch.results[i].kind(), configs[i].kind);  // job order, not completion order
     ExpectBitIdentical(serial[i], batch.results[i]);
   }
 }
@@ -149,7 +158,42 @@ TEST(DeterminismTest, SeedSweepBatchMatchesIndividualRuns) {
     ExpectBitIdentical(RunSerial(jobs[i].config), batch.results[i]);
   }
   // Different seeds must actually produce different workloads.
-  EXPECT_NE(batch.results[0].host_bytes_written, batch.results[1].host_bytes_written);
+  EXPECT_NE(batch.results[0].host_bytes_written(), batch.results[1].host_bytes_written());
+}
+
+// The exported artifacts themselves -- the metrics JSON and trace JSONL a
+// bench writes with --metrics-out / --trace-out -- must be byte-identical
+// whether the batch ran serially or across workers, for every device kind.
+// This is the telemetry determinism contract (DESIGN.md §9) at the level CI
+// diffs: rendered bytes, not parsed fields.
+TEST(DeterminismTest, TelemetryExportBytesAreScheduleInvariant) {
+  for (const uint64_t seed : {uint64_t{5}, uint64_t{99}}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::vector<LifetimeSimConfig> configs;
+    for (DeviceKind kind : kAllKinds) {
+      configs.push_back(QuickConfig(kind, seed, 30));
+    }
+
+    std::vector<LifetimeResult> serial;
+    for (const LifetimeSimConfig& config : configs) {
+      serial.push_back(RunSerial(config));
+    }
+    ExperimentDriver driver(4);
+    const ExperimentBatch batch = driver.Run(configs);
+    ASSERT_EQ(batch.results.size(), serial.size());
+
+    const std::string serial_metrics = BatchMetricsJson(serial);
+    const std::string parallel_metrics = BatchMetricsJson(batch.results);
+    EXPECT_EQ(serial_metrics, parallel_metrics);
+    EXPECT_EQ(BatchTraceJsonl(serial), BatchTraceJsonl(batch.results));
+
+    // The export must actually contain the instrumented layers, not vacuously
+    // match as two empty documents.
+    EXPECT_NE(serial_metrics.find("sim.host_bytes_written"), std::string::npos);
+    EXPECT_NE(serial_metrics.find("ftl.pool."), std::string::npos);
+    EXPECT_NE(serial_metrics.find("flash.die.read.rber"), std::string::npos);
+    EXPECT_NE(serial_metrics.find("sos.daemon.activations"), std::string::npos);
+  }
 }
 
 // Golden summaries for two fixed seeds. These values were produced by this
@@ -187,21 +231,21 @@ TEST(DeterminismTest, GoldenSummariesForFixedSeeds) {
     const LifetimeResult r = RunSerial(QuickConfig(DeviceKind::kSos, golden.seed));
     std::printf("golden{seed=%llu}: {%llu, %llu, %llu, %llu, %llu, %llu, %.17g, %.17g}\n",
                 static_cast<unsigned long long>(golden.seed),
-                static_cast<unsigned long long>(r.host_bytes_written),
-                static_cast<unsigned long long>(r.ftl.nand_writes),
-                static_cast<unsigned long long>(r.ftl.gc_erases),
-                static_cast<unsigned long long>(r.migration.demoted),
-                static_cast<unsigned long long>(r.files_alive),
-                static_cast<unsigned long long>(r.final_exported_pages),
-                r.final_max_wear_ratio, r.final_spare_quality);
-    EXPECT_EQ(r.host_bytes_written, golden.host_bytes_written);
-    EXPECT_EQ(r.ftl.nand_writes, golden.nand_writes);
-    EXPECT_EQ(r.ftl.gc_erases, golden.gc_erases);
-    EXPECT_EQ(r.migration.demoted, golden.migration_demoted);
-    EXPECT_EQ(r.files_alive, golden.files_alive);
-    EXPECT_EQ(r.final_exported_pages, golden.final_exported_pages);
-    EXPECT_DOUBLE_EQ(r.final_max_wear_ratio, golden.final_max_wear_ratio);
-    EXPECT_DOUBLE_EQ(r.final_spare_quality, golden.final_spare_quality);
+                static_cast<unsigned long long>(r.host_bytes_written()),
+                static_cast<unsigned long long>(r.ftl().nand_writes()),
+                static_cast<unsigned long long>(r.ftl().gc_erases()),
+                static_cast<unsigned long long>(r.migration().demoted),
+                static_cast<unsigned long long>(r.files_alive()),
+                static_cast<unsigned long long>(r.final_exported_pages()),
+                r.final_max_wear_ratio(), r.final_spare_quality());
+    EXPECT_EQ(r.host_bytes_written(), golden.host_bytes_written);
+    EXPECT_EQ(r.ftl().nand_writes(), golden.nand_writes);
+    EXPECT_EQ(r.ftl().gc_erases(), golden.gc_erases);
+    EXPECT_EQ(r.migration().demoted, golden.migration_demoted);
+    EXPECT_EQ(r.files_alive(), golden.files_alive);
+    EXPECT_EQ(r.final_exported_pages(), golden.final_exported_pages);
+    EXPECT_DOUBLE_EQ(r.final_max_wear_ratio(), golden.final_max_wear_ratio);
+    EXPECT_DOUBLE_EQ(r.final_spare_quality(), golden.final_spare_quality);
   }
 }
 

@@ -68,7 +68,7 @@ TEST(FtlTest, OverwriteReturnsLatest) {
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read.value().data, Page(3));
   // One live mapping, three physical writes.
-  EXPECT_EQ(ftl.stats().host_writes, 3u);
+  EXPECT_EQ(ftl.stats().host_writes(), 3u);
   EXPECT_EQ(ftl.Snapshot(0).valid_pages, 1u);
 }
 
@@ -98,8 +98,8 @@ TEST(FtlTest, GcReclaimsOverwrittenSpace) {
           << "round " << round << " lba " << lba;
     }
   }
-  EXPECT_GT(ftl.stats().gc_erases, 0u);
-  EXPECT_GT(ftl.stats().gc_relocations, 0u);
+  EXPECT_GT(ftl.stats().gc_erases(), 0u);
+  EXPECT_GT(ftl.stats().gc_relocations(), 0u);
   // All data still readable and latest.
   for (uint64_t lba = 0; lba < cold; ++lba) {
     auto read = ftl.Read(lba);
@@ -155,7 +155,7 @@ TEST(FtlTest, CostBenefitGcAlsoWorks) {
     }
     clock.Advance(kUsPerDay);  // age matters for cost-benefit
   }
-  EXPECT_GT(ftl.stats().gc_erases, 0u);
+  EXPECT_GT(ftl.stats().gc_erases(), 0u);
   for (uint64_t lba = 0; lba < 16; ++lba) {
     EXPECT_TRUE(ftl.Read(lba).ok());
   }
@@ -205,7 +205,7 @@ TEST(FtlTest, WearLevelingCostsExtraWrites) {
     for (int i = 0; i < 6000; ++i) {
       EXPECT_TRUE(ftl.Write(cold + rng.NextBounded(8), Page(2), 0).ok());
     }
-    return ftl.stats().nand_writes + ftl.stats().wl_relocations;
+    return ftl.stats().nand_writes() + ftl.stats().wl_relocations();
   };
   EXPECT_LE(total_nand_writes(false), total_nand_writes(true));
 }
@@ -218,7 +218,7 @@ TEST(FtlTest, ParityStripeWritesParityPages) {
   for (uint64_t lba = 0; lba < 30; ++lba) {
     ASSERT_TRUE(ftl.Write(lba, Page(static_cast<uint8_t>(lba)), 0).ok());
   }
-  EXPECT_GT(ftl.stats().parity_writes, 0u);
+  EXPECT_GT(ftl.stats().parity_writes(), 0u);
   // Parity slots shrink exported capacity: 20 pages/block -> 15 data slots.
   const FtlConfig plain = SinglePool();
   SimClock clock2;
@@ -263,7 +263,7 @@ TEST(FtlTest, ParityRescuesFailedPage) {
   }
   EXPECT_GT(rescued + degraded, 0u) << "aging produced no ECC failures; tune the test";
   EXPECT_GT(rescued, 0u);
-  EXPECT_EQ(ftl.stats().parity_rescues, rescued);
+  EXPECT_EQ(ftl.stats().parity_rescues(), rescued);
 }
 
 TEST(FtlTest, NoEccPoolDeliversDegradedBytes) {
@@ -306,7 +306,7 @@ TEST(FtlTest, RetirementShrinksCapacityAndNotifies) {
       break;
     }
   }
-  EXPECT_GT(ftl.stats().retired_blocks, 0u);
+  EXPECT_GT(ftl.stats().retired_blocks(), 0u);
   EXPECT_GT(notifications, 0);
   EXPECT_LT(ftl.ExportedPages(), ftl.Snapshot(0).exported_pages + last_capacity);
 }
@@ -341,8 +341,8 @@ TEST(FtlTest, ResuscitationMovesWornBlocksToSparserPool) {
       break;
     }
   }
-  EXPECT_GT(ftl.stats().retired_blocks, 0u);
-  EXPECT_GT(ftl.stats().resuscitated_blocks, 0u);
+  EXPECT_GT(ftl.stats().retired_blocks(), 0u);
+  EXPECT_GT(ftl.stats().resuscitated_blocks(), 0u);
   EXPECT_GT(ftl.Snapshot(second_id).total_blocks, 0u);
   // Resuscitated blocks are writable through the second pool.
   EXPECT_TRUE(ftl.Write(1000, Page(7), second_id).ok());
@@ -370,7 +370,7 @@ TEST(FtlTest, MigrateMovesBetweenPools) {
   EXPECT_EQ(ftl.PoolOf(5), 0u);
   ASSERT_TRUE(ftl.Migrate(5, 1).ok());
   EXPECT_EQ(ftl.PoolOf(5), 1u);
-  EXPECT_EQ(ftl.stats().migrations, 1u);
+  EXPECT_EQ(ftl.stats().migrations(), 1u);
   auto read = ftl.Read(5);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read.value().data, Page(0x42));
@@ -378,7 +378,7 @@ TEST(FtlTest, MigrateMovesBetweenPools) {
   EXPECT_EQ(ftl.Snapshot(1).valid_pages, 1u);
   // Migrating to the same pool is a no-op.
   ASSERT_TRUE(ftl.Migrate(5, 1).ok());
-  EXPECT_EQ(ftl.stats().migrations, 1u);
+  EXPECT_EQ(ftl.stats().migrations(), 1u);
 }
 
 TEST(FtlTest, RefreshResetsRetention) {
@@ -390,7 +390,7 @@ TEST(FtlTest, RefreshResetsRetention) {
   ASSERT_TRUE(ftl.Refresh(5).ok());
   const double after = ftl.PredictLbaRber(5, 0.0).value();
   EXPECT_LT(after, before);
-  EXPECT_EQ(ftl.stats().refreshes, 1u);
+  EXPECT_EQ(ftl.stats().refreshes(), 1u);
 }
 
 TEST(FtlTest, SnapshotConsistency) {
@@ -451,7 +451,7 @@ TEST(FtlTest, HotColdSeparationSlowsRetirementCascade) {
       }
     }
     EXPECT_TRUE(ftl.CheckInvariants().ok());
-    return Outcome{ftl.stats().WriteAmplification(), ftl.stats().retired_blocks};
+    return Outcome{ftl.stats().WriteAmplification(), ftl.stats().retired_blocks()};
   };
   const Outcome with_sep = run(true);
   const Outcome without = run(false);
@@ -517,14 +517,14 @@ TEST(FtlTest, BackgroundCollectPrepaysGc) {
   // Idle housekeeping reclaims blocks beyond the foreground threshold.
   const uint32_t collected = ftl.BackgroundCollect(8);
   EXPECT_GT(collected, 0u);
-  EXPECT_EQ(ftl.stats().background_collections, collected);
+  EXPECT_EQ(ftl.stats().background_collections(), collected);
   EXPECT_TRUE(ftl.CheckInvariants().ok());
   // Foreground writes right after idle GC proceed without new collections.
-  const uint64_t erases_before = ftl.stats().gc_erases;
+  const uint64_t erases_before = ftl.stats().gc_erases();
   for (uint64_t lba = 0; lba < 10; ++lba) {
     ASSERT_TRUE(ftl.Write(lba, {}, 0).ok());
   }
-  EXPECT_EQ(ftl.stats().gc_erases, erases_before);
+  EXPECT_EQ(ftl.stats().gc_erases(), erases_before);
 }
 
 TEST(FtlTest, DeterministicAcrossRuns) {
@@ -545,7 +545,7 @@ TEST(FtlTest, DeterministicAcrossRuns) {
         }
       }
     }
-    return std::make_tuple(checksum, ftl.stats().nand_writes, ftl.stats().gc_erases);
+    return std::make_tuple(checksum, ftl.stats().nand_writes(), ftl.stats().gc_erases());
   };
   EXPECT_EQ(run(), run());
 }

@@ -42,12 +42,12 @@ TEST(IntegrationTest, EndToEndPipelineMovesMostMediaToSpare) {
   // (media dominates bytes and most media is low-priority).
   LifetimeSim sim(YearSim(DeviceKind::kSos));
   const LifetimeResult result = sim.Run();
-  ASSERT_FALSE(result.samples.empty());
-  const DaySample& last = result.samples.back();
+  ASSERT_FALSE(result.samples().empty());
+  const DaySample& last = result.samples().back();
   EXPECT_GT(last.spare_pages, 0u);
-  EXPECT_GT(result.migration.demoted, result.migration.promoted);
+  EXPECT_GT(result.migration().demoted, result.migration().promoted);
   // Quality of degradable data stays high under typical use.
-  EXPECT_GT(result.final_spare_quality, 0.9);
+  EXPECT_GT(result.final_spare_quality(), 0.9);
 }
 
 TEST(IntegrationTest, WearGapClaim) {
@@ -58,9 +58,9 @@ TEST(IntegrationTest, WearGapClaim) {
   const LifetimeResult result = sim.Run();
   // One year of typical use consumes a small fraction of endurance even on
   // low-endurance PLC-based SOS.
-  EXPECT_LT(result.final_max_wear_ratio, 0.15);
+  EXPECT_LT(result.final_max_wear_ratio(), 0.15);
   // Extrapolated flash lifetime comfortably exceeds a 3-year service life.
-  EXPECT_GT(result.projected_lifetime_years, 5.0);
+  EXPECT_GT(result.projected_lifetime_years(), 5.0);
 }
 
 TEST(IntegrationTest, SosMatchesTlcOnSurvivalBeatsItOnCarbon) {
@@ -69,25 +69,25 @@ TEST(IntegrationTest, SosMatchesTlcOnSurvivalBeatsItOnCarbon) {
   const LifetimeResult tlc_result = LifetimeSim(YearSim(DeviceKind::kTlcBaseline)).Run();
 
   // Both survive the year without rejecting user data.
-  EXPECT_EQ(sos_result.create_failures, 0u);
-  EXPECT_EQ(tlc_result.create_failures, 0u);
+  EXPECT_EQ(sos_result.create_failures(), 0u);
+  EXPECT_EQ(tlc_result.create_failures(), 0u);
 
   // The SOS die exports more capacity from the same cells...
-  EXPECT_GT(sos_result.initial_exported_pages, tlc_result.initial_exported_pages);
+  EXPECT_GT(sos_result.initial_exported_pages(), tlc_result.initial_exported_pages());
 
   // ...which is exactly the embodied-carbon saving: same capacity needs
   // ~1/3 fewer cells (paper: 50% density gain vs TLC).
-  const double gain = static_cast<double>(sos_result.initial_exported_pages) /
-                      static_cast<double>(tlc_result.initial_exported_pages);
+  const double gain = static_cast<double>(sos_result.initial_exported_pages()) /
+                      static_cast<double>(tlc_result.initial_exported_pages());
   EXPECT_GT(gain, 1.3);
   EXPECT_LT(gain, 1.7);
 }
 
 TEST(IntegrationTest, FullStackDeterminism) {
   auto fingerprint = [](const LifetimeResult& r) {
-    return std::make_tuple(r.host_bytes_written, r.ftl.nand_writes, r.ftl.gc_erases,
-                           r.ftl.migrations, r.migration.demoted, r.final_max_wear_ratio,
-                           r.final_spare_quality);
+    return std::make_tuple(r.host_bytes_written(), r.ftl().nand_writes(), r.ftl().gc_erases(),
+                           r.ftl().migrations(), r.migration().demoted, r.final_max_wear_ratio(),
+                           r.final_spare_quality());
   };
   const auto a = fingerprint(LifetimeSim(YearSim(DeviceKind::kSos, 120)).Run());
   const auto b = fingerprint(LifetimeSim(YearSim(DeviceKind::kSos, 120)).Run());
@@ -124,11 +124,11 @@ TEST(IntegrationTest, HeavyWorkloadTriggersFallbacks) {
   config.workload.intensity = 6.0;  // pathological power user
   config.workload.photos_per_day = 20.0;
   const LifetimeResult result = LifetimeSim(config).Run();
-  EXPECT_GT(result.autodelete.activations, 0u);
-  EXPECT_GT(result.autodelete.files_deleted, 0u);
+  EXPECT_GT(result.autodelete().activations, 0u);
+  EXPECT_GT(result.autodelete().files_deleted, 0u);
   // Wear far above the typical case.
   LifetimeSim typical(YearSim(DeviceKind::kSos, 365));
-  EXPECT_GT(result.final_max_wear_ratio, typical.Run().final_max_wear_ratio);
+  EXPECT_GT(result.final_max_wear_ratio(), typical.Run().final_max_wear_ratio());
 }
 
 TEST(IntegrationTest, SplitSchemeCarbonStoryHolds) {
@@ -136,8 +136,8 @@ TEST(IntegrationTest, SplitSchemeCarbonStoryHolds) {
   // should track the analytic split density, and the carbon saving follows.
   LifetimeSimConfig config = YearSim(DeviceKind::kSos, 1);
   LifetimeSimConfig tlc_cfg = YearSim(DeviceKind::kTlcBaseline, 1);
-  const uint64_t sos_pages = LifetimeSim(config).Run().initial_exported_pages;
-  const uint64_t tlc_pages = LifetimeSim(tlc_cfg).Run().initial_exported_pages;
+  const uint64_t sos_pages = LifetimeSim(config).Run().initial_exported_pages();
+  const uint64_t tlc_pages = LifetimeSim(tlc_cfg).Run().initial_exported_pages();
   const double measured_gain =
       static_cast<double>(sos_pages) / static_cast<double>(tlc_pages);
   const double analytic_gain =

@@ -162,7 +162,7 @@ TEST(SosDeviceTest, StagingHighWaterTriggersAutoFlush) {
   // The stage never overflows: auto-flush kept it at or below high water
   // (modulo the burst between checks), and SYS received the flushed data.
   EXPECT_GT(device.SysSnapshot().valid_pages, 0u);
-  EXPECT_GT(device.ftl().stats().migrations, 0u);
+  EXPECT_GT(device.ftl().stats().migrations(), 0u);
   EXPECT_TRUE(device.ftl().CheckInvariants().ok());
 }
 
@@ -446,14 +446,14 @@ LifetimeSimConfig QuickSim(DeviceKind kind, uint32_t days = 120) {
 TEST(LifetimeSimTest, SosRunsAndWears) {
   LifetimeSim sim(QuickSim(DeviceKind::kSos));
   const LifetimeResult result = sim.Run();
-  EXPECT_GT(result.host_bytes_written, 0u);
-  EXPECT_GT(result.final_max_wear_ratio, 0.0);
-  EXPECT_GT(result.files_alive, 0u);
-  EXPECT_GT(result.migration.demoted, 0u);  // the daemon did its job
-  EXPECT_FALSE(result.samples.empty());
-  EXPECT_EQ(result.create_failures, 0u);
-  EXPECT_GT(result.final_spare_quality, 0.8);
-  EXPECT_GT(result.projected_lifetime_years, 1.0);
+  EXPECT_GT(result.host_bytes_written(), 0u);
+  EXPECT_GT(result.final_max_wear_ratio(), 0.0);
+  EXPECT_GT(result.files_alive(), 0u);
+  EXPECT_GT(result.migration().demoted, 0u);  // the daemon did its job
+  EXPECT_FALSE(result.samples().empty());
+  EXPECT_EQ(result.create_failures(), 0u);
+  EXPECT_GT(result.final_spare_quality(), 0.8);
+  EXPECT_GT(result.projected_lifetime_years(), 1.0);
 }
 
 TEST(LifetimeSimTest, BaselinesRun) {
@@ -461,9 +461,9 @@ TEST(LifetimeSimTest, BaselinesRun) {
        {DeviceKind::kTlcBaseline, DeviceKind::kQlcBaseline, DeviceKind::kPlcNaive}) {
     LifetimeSim sim(QuickSim(kind, 60));
     const LifetimeResult result = sim.Run();
-    EXPECT_GT(result.host_bytes_written, 0u) << DeviceKindName(kind);
-    EXPECT_EQ(result.final_spare_quality, 1.0) << "baselines have no SPARE";
-    EXPECT_EQ(result.migration.demoted, 0u);
+    EXPECT_GT(result.host_bytes_written(), 0u) << DeviceKindName(kind);
+    EXPECT_EQ(result.final_spare_quality(), 1.0) << "baselines have no SPARE";
+    EXPECT_EQ(result.migration().demoted, 0u);
   }
 }
 
@@ -474,19 +474,19 @@ TEST(LifetimeSimTest, DeterministicForSeed) {
   };
   const LifetimeResult a = run();
   const LifetimeResult b = run();
-  EXPECT_EQ(a.host_bytes_written, b.host_bytes_written);
-  EXPECT_EQ(a.ftl.nand_writes, b.ftl.nand_writes);
-  EXPECT_EQ(a.final_max_wear_ratio, b.final_max_wear_ratio);
-  EXPECT_EQ(a.migration.demoted, b.migration.demoted);
+  EXPECT_EQ(a.host_bytes_written(), b.host_bytes_written());
+  EXPECT_EQ(a.ftl().nand_writes(), b.ftl().nand_writes());
+  EXPECT_EQ(a.final_max_wear_ratio(), b.final_max_wear_ratio());
+  EXPECT_EQ(a.migration().demoted, b.migration().demoted);
 }
 
 TEST(LifetimeSimTest, SamplesAreOrderedAndMonotoneInWear) {
   LifetimeSim sim(QuickSim(DeviceKind::kSos));
   const LifetimeResult result = sim.Run();
-  ASSERT_GE(result.samples.size(), 2u);
-  for (size_t i = 1; i < result.samples.size(); ++i) {
-    EXPECT_GT(result.samples[i].day, result.samples[i - 1].day);
-    EXPECT_GE(result.samples[i].mean_pec, result.samples[i - 1].mean_pec);
+  ASSERT_GE(result.samples().size(), 2u);
+  for (size_t i = 1; i < result.samples().size(); ++i) {
+    EXPECT_GT(result.samples()[i].day, result.samples()[i - 1].day);
+    EXPECT_GE(result.samples()[i].mean_pec, result.samples()[i - 1].mean_pec);
   }
 }
 
@@ -495,10 +495,10 @@ TEST(LifetimeSimTest, PeriodicRetrainingRuns) {
   config.retrain_period_days = 30;
   LifetimeSim sim(config);
   const LifetimeResult result = sim.Run();
-  EXPECT_GE(result.retrainings, 2u);
+  EXPECT_GE(result.retrainings(), 2u);
   // The retrained models keep the pipeline functional.
-  EXPECT_GT(result.migration.demoted, 0u);
-  EXPECT_EQ(result.create_failures, 0u);
+  EXPECT_GT(result.migration().demoted, 0u);
+  EXPECT_EQ(result.create_failures(), 0u);
 }
 
 TEST(LifetimeSimTest, NameCoverage) {

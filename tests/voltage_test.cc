@@ -185,7 +185,7 @@ TEST(VoltageFtlTest, ReadRetryRecoversEccFailures) {
       EXPECT_TRUE(read.ok());
       degraded += static_cast<uint64_t>(read.ok() && read.value().degraded ? 1 : 0);
     }
-    return std::make_pair(degraded, ftl.stats().retry_recoveries);
+    return std::make_pair(degraded, ftl.stats().retry_recoveries());
   };
   const auto [degraded_without, recoveries_without] = run(0);
   const auto [degraded_with, recoveries_with] = run(3);
