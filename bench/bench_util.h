@@ -75,6 +75,15 @@ class FlagSet {
     return &flag.path_value;
   }
 
+  // A repeatable string-valued flag: every occurrence appends, in command-line
+  // order, so `--fault=power_cut@1000 --fault=die_fail@2,d3` yields both
+  // specs. Values are opaque strings here; the bench parses them (and rejects
+  // malformed ones) after Parse() returns. Empty values are hard errors.
+  std::vector<std::string>* StringList(const std::string& name, const std::string& help) {
+    Flag& flag = Declare(name, Kind::kList, help + " (repeatable)", "none");
+    return &flag.list_value;
+  }
+
   // Arguments starting with `prefix` are left for another parser (e.g.
   // "--benchmark_" for google-benchmark's Initialize()).
   void Passthrough(const std::string& prefix) { passthrough_.push_back(prefix); }
@@ -151,7 +160,7 @@ class FlagSet {
   }
 
  private:
-  enum class Kind { kSize, kU64, kPath };
+  enum class Kind { kSize, kU64, kPath, kList };
 
   struct Flag {
     std::string name;
@@ -161,6 +170,7 @@ class FlagSet {
     size_t size_value = 0;
     uint64_t u64_value = 0;
     std::string path_value;
+    std::vector<std::string> list_value;
   };
 
   static const char* KindName(Kind kind) {
@@ -170,6 +180,8 @@ class FlagSet {
         return "N";
       case Kind::kPath:
         return "path";
+      case Kind::kList:
+        return "value";
     }
     return "?";
   }
@@ -250,6 +262,13 @@ class FlagSet {
                         "flag --" + flag.name + " requires a non-empty path");
         }
         flag.path_value.assign(value.begin(), value.end());
+        return Status::Ok();
+      case Kind::kList:
+        if (value.empty()) {
+          return Status(StatusCode::kInvalidArgument,
+                        "flag --" + flag.name + " requires a non-empty value");
+        }
+        flag.list_value.emplace_back(value.begin(), value.end());
         return Status::Ok();
     }
     return Status(StatusCode::kInvalidArgument, "unhandled flag kind");

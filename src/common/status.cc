@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kPowerLost:
+      return "POWER_LOST";
   }
   return "UNKNOWN";
 }

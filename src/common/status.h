@@ -25,6 +25,7 @@ enum class StatusCode {
   kWornOut,           // block or device beyond endurance
   kFailedPrecondition,  // e.g. write to a retired block, double free
   kUnavailable,       // transient: resource busy / backup not reachable
+  kPowerLost,         // simulated power cut: device dark until PowerOn()
 };
 
 // Human-readable name for a code ("OK", "DATA_LOSS", ...).

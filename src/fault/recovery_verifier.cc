@@ -1,0 +1,437 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/fault/recovery_verifier.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/container_util.h"
+#include "src/common/rng.h"
+#include "src/common/sim_clock.h"
+#include "src/common/thread_pool.h"
+#include "src/ftl/ftl.h"
+
+namespace sos {
+namespace {
+
+// What the host believes about one LBA. `content` is the last byte string
+// the device *acknowledged* storing; `in_flight` is a write the power cut
+// interrupted (no ack -- either outcome is legal after recovery).
+struct OracleEntry {
+  std::vector<uint8_t> content;
+  bool has_content = false;
+  bool trimmed = false;  // trim acked; the copy may still resurrect
+  // Once a SPARE entry has been served degraded (or relocated tainted), its
+  // stored bytes are no longer predictable from the oracle_map -- relocations
+  // re-encode whatever the read path produced. Exact-match checks stop;
+  // degradation stays counted.
+  bool fuzzy = false;
+  std::optional<std::vector<uint8_t>> in_flight;
+};
+
+FtlConfig BuildVerifierFtlConfig(const VerifierConfig& config) {
+  FtlConfig ftl;
+  ftl.nand.num_blocks = config.num_blocks;
+  ftl.nand.wordlines_per_block = config.wordlines_per_block;
+  ftl.nand.page_size_bytes = config.page_size_bytes;
+  ftl.nand.tech = CellTech::kPlc;
+  ftl.nand.seed = config.seed;
+  ftl.nand.store_payloads = true;  // byte-exact oracle_map comparisons
+
+  // The paper's two reliability domains, scaled down: a strict SYS pool
+  // (pseudo-QLC, strong ECC, parity, retries) and an approximate SPARE pool
+  // (native PLC, no ECC, degradation allowed but flagged).
+  FtlPoolConfig sys;
+  sys.name = "SYS";
+  sys.mode = CellTech::kQlc;
+  sys.ecc = EccScheme::FromPreset(EccPreset::kBch);
+  sys.share = 0.5;
+  sys.wear_leveling = true;
+  sys.parity_stripe = 8;
+  sys.read_retries = 2;
+  sys.strict_fidelity = true;
+
+  FtlPoolConfig spare;
+  spare.name = "SPARE";
+  spare.mode = CellTech::kPlc;
+  spare.ecc = EccScheme::FromPreset(EccPreset::kNone);
+  spare.share = 0.5;
+  spare.wear_leveling = false;
+  spare.retire_rber = 2e-3;
+
+  ftl.pools = {sys, spare};
+  return ftl;
+}
+
+std::vector<uint8_t> PayloadFor(uint64_t seed, uint64_t lba, uint64_t op, uint32_t size) {
+  std::vector<uint8_t> data(size);
+  Rng rng(DeriveSeed({seed, lba, op, 0xDA7Aull}));
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  return data;
+}
+
+// Stable per-LBA classification, independent of op order.
+bool IsSysLba(uint64_t lba, double sys_fraction) {
+  return static_cast<double>(DeriveSeed({lba, 0x515C1A55ull}) % 10000) <
+         sys_fraction * 10000.0;
+}
+
+}  // namespace
+
+Result<VerifierResult> RunRecoveryVerifier(const VerifierConfig& config) {
+  if (config.working_set == 0 || config.total_ops == 0) {
+    return Status(StatusCode::kInvalidArgument, "verifier needs a non-empty workload");
+  }
+  if (config.write_fraction < 0.0 || config.write_fraction > 1.0 ||
+      config.trim_fraction < 0.0 || config.write_fraction + config.trim_fraction > 1.0 ||
+      config.sys_fraction < 0.0 || config.sys_fraction > 1.0) {
+    return Status(StatusCode::kInvalidArgument, "verifier op mix fractions out of range");
+  }
+
+  SimClock clock;
+  Ftl ftl(BuildVerifierFtlConfig(config), &clock);
+  const uint32_t sys_pool = ftl.PoolIdByName("SYS");
+  const uint32_t spare_pool = ftl.PoolIdByName("SPARE");
+
+  FaultPlan plan;
+  plan.seed = config.seed;
+  plan.power_cut_period = config.cut_period;
+  plan.specs = config.extra_faults;
+  FaultInjector injector(plan);
+  ftl.nand().SetFaultHook(&injector);
+
+  VerifierResult res;
+  res.seed = config.seed;
+  std::unordered_map<uint64_t, OracleEntry> oracle_map;
+  Rng rng(DeriveSeed({config.seed, 0xFA5EEDull}));
+
+  // Remount after a power cut and audit every oracle_map entry against the
+  // recovered state. The injector is detached for the duration so audit
+  // reads do not consume fault-schedule op indices. Returns false when the
+  // mount itself failed (fatal for the run).
+  auto remount_and_audit = [&]() -> bool {
+    ++res.power_cuts;
+    ftl.nand().SetFaultHook(nullptr);
+    Status mounted = ftl.RecoverFromFlash();
+    if (!mounted.ok()) {
+      ++res.invariant_failures;
+      return false;
+    }
+    res.replayed_pages += ftl.last_recovery().replayed_pages;
+    res.orphans_reclaimed += ftl.last_recovery().orphans_reclaimed;
+
+    for (const uint64_t lba : SortedKeys(oracle_map)) {
+      OracleEntry& e = oracle_map.at(lba);
+      const bool sys = IsSysLba(lba, config.sys_fraction);
+      const bool mapped = ftl.IsMapped(lba);
+
+      if (e.in_flight.has_value()) {
+        // The cut interrupted a write of this LBA: the device may surface
+        // the new bytes (committed, never acked) or the previous state.
+        if (!mapped) {
+          if (e.has_content && !e.trimmed) {
+            // An acknowledged copy existed and vanished entirely.
+            if (sys) {
+              ++res.sys_loss;
+            } else {
+              ++res.invariant_failures;
+            }
+          } else {
+            ++res.torn_writes_rolled_back;  // first write; nothing was acked
+            e.in_flight.reset();
+            oracle_map.erase(lba);
+            continue;
+          }
+          e.in_flight.reset();
+          continue;
+        }
+        auto read = ftl.Read(lba);
+        ++res.audited_reads;
+        if (read.ok() && read.value().data == *e.in_flight) {
+          ++res.torn_writes_committed;
+          e.content = std::move(*e.in_flight);
+          e.has_content = true;
+          if (e.trimmed) {
+            e.trimmed = false;
+          }
+          e.fuzzy = false;  // committed fresh bytes
+        } else if (e.trimmed) {
+          // Base state was "trimmed": the trim invalidated the newest copy,
+          // so GC may have erased it and *any* older orphan may resurface.
+          // Whatever the device serves now is legal; resync the oracle to it.
+          ++res.torn_writes_rolled_back;
+          ++res.trim_resurrections;
+          if (read.ok() && !read.value().degraded) {
+            e.content = std::move(read.value().data);
+            e.has_content = true;
+            e.trimmed = false;
+            e.fuzzy = read.value().tainted;
+          } else {
+            if (read.ok() && !sys) {
+              ++res.spare_degraded;
+            }
+            e.in_flight.reset();
+            oracle_map.erase(lba);  // unpredictable resurrected bytes
+            continue;
+          }
+        } else if (read.ok() && e.has_content &&
+                   (e.fuzzy || read.value().data == e.content || read.value().degraded)) {
+          ++res.torn_writes_rolled_back;
+          if (!sys && read.value().degraded) {
+            ++res.spare_degraded;
+            e.fuzzy = true;
+          }
+        } else {
+          if (sys) {
+            ++res.sys_loss;  // neither acked nor in-flight bytes: loss
+          } else {
+            ++res.invariant_failures;
+          }
+        }
+        e.in_flight.reset();
+        continue;
+      }
+
+      if (e.trimmed) {
+        if (mapped) {
+          // No trim journal: a copy resurrected -- documented, counted. The
+          // trim invalidated the newest copy, so GC may have erased it and
+          // an *older* orphan can be the surviving winner; resync the oracle
+          // to whatever the device serves now.
+          ++res.trim_resurrections;
+          auto read = ftl.Read(lba);
+          ++res.audited_reads;
+          if (read.ok() && !read.value().degraded) {
+            e.content = std::move(read.value().data);
+            e.has_content = true;
+            e.trimmed = false;
+            e.fuzzy = read.value().tainted;
+          } else {
+            if (read.ok() && !sys) {
+              ++res.spare_degraded;
+            }
+            oracle_map.erase(lba);  // unpredictable resurrected bytes
+          }
+        } else {
+          oracle_map.erase(lba);
+        }
+        continue;
+      }
+
+      if (!e.has_content) {
+        continue;
+      }
+      if (!mapped) {
+        if (sys) {
+          ++res.sys_loss;  // acked SYS data gone from the mapping table
+        } else {
+          ++res.invariant_failures;
+        }
+        continue;
+      }
+      auto read = ftl.Read(lba);
+      ++res.audited_reads;
+      if (!read.ok()) {
+        if (sys) {
+          ++res.sys_loss;  // strict pool errored on acked data
+        } else {
+          ++res.invariant_failures;
+        }
+        continue;
+      }
+      if (sys) {
+        if (read.value().degraded || read.value().data != e.content) {
+          ++res.sys_loss;
+        }
+      } else {
+        if (read.value().degraded) {
+          ++res.spare_degraded;
+          e.fuzzy = true;
+        } else if (read.value().tainted) {
+          e.fuzzy = true;
+        } else if (!e.fuzzy && read.value().data != e.content) {
+          ++res.invariant_failures;  // silent (unflagged) SPARE corruption
+        }
+      }
+    }
+    ftl.nand().SetFaultHook(&injector);
+    return true;
+  };
+
+  bool fatal = false;
+  for (uint64_t op = 0; op < config.total_ops && !fatal; ++op) {
+    const uint64_t lba = rng.NextBounded(config.working_set);
+    const bool sys = IsSysLba(lba, config.sys_fraction);
+    const double roll = rng.NextDouble();
+
+    if (roll < config.write_fraction) {
+      ++res.host_writes;
+      std::vector<uint8_t> payload =
+          PayloadFor(config.seed, lba, op, config.page_size_bytes);
+      Status wrote = ftl.Write(lba, payload, sys ? sys_pool : spare_pool);
+      if (wrote.ok()) {
+        OracleEntry& e = oracle_map[lba];
+        e.content = std::move(payload);
+        e.has_content = true;
+        e.trimmed = false;
+        e.fuzzy = false;
+        e.in_flight.reset();
+      } else if (wrote.code() == StatusCode::kPowerLost) {
+        oracle_map[lba].in_flight = std::move(payload);
+        fatal = !remount_and_audit();
+      } else if (wrote.code() != StatusCode::kOutOfSpace) {
+        ++res.invariant_failures;  // out-of-space is legal under churn
+      }
+    } else if (roll < config.write_fraction + config.trim_fraction) {
+      ++res.host_trims;
+      Status trimmed = ftl.Trim(lba);
+      if (trimmed.ok()) {
+        oracle_map[lba].trimmed = true;
+      } else if (trimmed.code() != StatusCode::kNotFound) {
+        ++res.invariant_failures;
+      }
+    } else {
+      ++res.host_reads;
+      auto read = ftl.Read(lba);
+      auto it = oracle_map.find(lba);
+      const bool expect = it != oracle_map.end() && it->second.has_content &&
+                          !it->second.trimmed && !it->second.in_flight.has_value();
+      if (!read.ok()) {
+        if (read.status().code() == StatusCode::kPowerLost) {
+          fatal = !remount_and_audit();
+        } else if (read.status().code() == StatusCode::kNotFound) {
+          if (expect) {
+            if (sys) {
+              ++res.sys_loss;
+            } else {
+              ++res.invariant_failures;
+            }
+          }
+        } else if (read.status().code() == StatusCode::kDataLoss && sys) {
+          ++res.sys_loss;  // strict SYS pool lost acked data, loudly
+        } else {
+          ++res.invariant_failures;
+        }
+      } else if (expect) {
+        OracleEntry& e = it->second;
+        if (sys) {
+          if (read.value().degraded || read.value().data != e.content) {
+            ++res.sys_loss;
+          }
+        } else {
+          if (read.value().degraded) {
+            ++res.spare_degraded;
+            e.fuzzy = true;
+          } else if (read.value().tainted) {
+            e.fuzzy = true;
+          } else if (!e.fuzzy && read.value().data != e.content) {
+            ++res.invariant_failures;
+          }
+        }
+      }
+    }
+  }
+
+  // Final consistency audit so a run that ends between cuts still checks
+  // mapping/physical agreement.
+  if (!fatal) {
+    if (Status audit = ftl.CheckInvariants(); !audit.ok()) {
+      ++res.invariant_failures;
+    }
+  }
+  ftl.nand().SetFaultHook(nullptr);
+
+  res.ok = res.sys_loss == 0 && res.invariant_failures == 0;
+
+  obs::MetricRegistry registry;
+  injector.ToMetrics(registry);
+  registry.SetCounter("recovery.power_cuts", res.power_cuts);
+  registry.SetCounter("recovery.replayed_pages", res.replayed_pages);
+  registry.SetCounter("recovery.orphans_reclaimed", res.orphans_reclaimed);
+  registry.SetCounter("recovery.audited_reads", res.audited_reads);
+  registry.SetCounter("recovery.torn_writes_committed", res.torn_writes_committed);
+  registry.SetCounter("recovery.torn_writes_rolled_back", res.torn_writes_rolled_back);
+  registry.SetCounter("recovery.trim_resurrections", res.trim_resurrections);
+  registry.SetCounter("verifier.host_writes", res.host_writes);
+  registry.SetCounter("verifier.host_reads", res.host_reads);
+  registry.SetCounter("verifier.host_trims", res.host_trims);
+  registry.SetCounter("verifier.spare_degraded", res.spare_degraded);
+  registry.SetCounter("verifier.sys_loss", res.sys_loss);
+  registry.SetCounter("verifier.invariant_failures", res.invariant_failures);
+  registry.SetCounter("verifier.ok", res.ok ? 1 : 0);
+  res.metrics = registry.Snapshot();
+  return res;
+}
+
+std::vector<VerifierResult> RunRecoveryVerifierSweep(const VerifierConfig& config,
+                                                     const std::vector<uint64_t>& seeds,
+                                                     size_t jobs) {
+  auto run_one = [&config](uint64_t seed) {
+    VerifierConfig c = config;
+    c.seed = seed;
+    auto result = RunRecoveryVerifier(c);
+    if (result.ok()) {
+      return result.value();
+    }
+    VerifierResult failed;  // config rejected: surfaces as a failed seed
+    failed.seed = seed;
+    failed.invariant_failures = 1;
+    return failed;
+  };
+  if (jobs <= 1 || seeds.size() <= 1) {
+    std::vector<VerifierResult> out;
+    out.reserve(seeds.size());
+    for (uint64_t seed : seeds) {
+      out.push_back(run_one(seed));
+    }
+    return out;
+  }
+  ThreadPool pool(jobs);
+  return ParallelMap(pool, seeds.size(),
+                     [&](size_t i) { return run_one(seeds[i]); });
+}
+
+std::string RenderVerifierReport(const VerifierConfig& config,
+                                 const std::vector<VerifierResult>& results) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "power-cut recovery verifier: %zu seed(s), %" PRIu64
+                " host ops, cut every %" PRIu64 " device ops\n",
+                results.size(), config.total_ops, config.cut_period);
+  out += line;
+  std::snprintf(line, sizeof(line), "%-6s %6s %8s %8s %7s %7s %7s %7s %5s %4s  %s\n", "seed",
+                "cuts", "replayed", "orphans", "commit", "rollbk", "resurr", "degrad", "loss",
+                "inv", "verdict");
+  out += line;
+  uint64_t total_cuts = 0;
+  uint64_t total_loss = 0;
+  uint64_t total_inv = 0;
+  bool all_ok = true;
+  for (const VerifierResult& r : results) {
+    std::snprintf(line, sizeof(line),
+                  "%-6" PRIu64 " %6" PRIu64 " %8" PRIu64 " %8" PRIu64 " %7" PRIu64 " %7" PRIu64
+                  " %7" PRIu64 " %7" PRIu64 " %5" PRIu64 " %4" PRIu64 "  %s\n",
+                  r.seed, r.power_cuts, r.replayed_pages, r.orphans_reclaimed,
+                  r.torn_writes_committed, r.torn_writes_rolled_back, r.trim_resurrections,
+                  r.spare_degraded, r.sys_loss, r.invariant_failures, r.ok ? "PASS" : "FAIL");
+    out += line;
+    total_cuts += r.power_cuts;
+    total_loss += r.sys_loss;
+    total_inv += r.invariant_failures;
+    all_ok = all_ok && r.ok;
+  }
+  std::snprintf(line, sizeof(line),
+                "total: %" PRIu64 " cuts survived, %" PRIu64 " acked SYS pages lost, %" PRIu64
+                " invariant failures -> %s\n",
+                total_cuts, total_loss, total_inv, all_ok ? "PASS" : "FAIL");
+  out += line;
+  return out;
+}
+
+}  // namespace sos

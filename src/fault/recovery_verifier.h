@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Power-cut recovery verifier.
+//
+// Replays a seeded host workload (writes/reads/trims across a strict SYS
+// pool and an approximate SPARE pool) against an FTL whose NAND die has a
+// FaultInjector cutting power every `cut_period`-th device op. After every
+// cut the verifier remounts via Ftl::RecoverFromFlash() and audits the
+// recovered state against an oracle of acknowledged host writes:
+//
+//   - zero loss: every acknowledged SYS write reads back non-degraded with
+//     exactly the acknowledged bytes (a write interrupted by the cut may
+//     legally surface either the old or the new content -- the host never
+//     got an acknowledgement),
+//   - bounded, *flagged* degradation for SPARE data: corrupted reads must
+//     arrive with degraded=true, never silently wrong,
+//   - mapping/physical agreement: Ftl::CheckInvariants() after every mount,
+//   - trimmed LBAs may resurrect (no trim journal -- documented behaviour);
+//     resurrections are counted, not failed.
+//
+// The injector is detached during remount audits so that audit reads do not
+// consume fault-schedule op indices: cuts land on workload-driven device
+// ops only, keeping runs short and the schedule meaningful.
+//
+// Everything is deterministic from (config, seed); the multi-seed sweep
+// fans out over the PR-1 thread pool with results in seed order, so report
+// bytes are identical for any job count.
+
+#ifndef SOS_SRC_FAULT_RECOVERY_VERIFIER_H_
+#define SOS_SRC_FAULT_RECOVERY_VERIFIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fault/fault.h"
+#include "src/obs/metrics.h"
+
+namespace sos {
+
+struct VerifierConfig {
+  uint64_t seed = 1;
+  uint64_t total_ops = 4000;   // host operations to replay
+  uint64_t cut_period = 400;   // power cut every K-th *device* op; 0 = off
+  std::vector<FaultSpec> extra_faults;  // scheduled on top of the cuts
+
+  // Small, payload-carrying device geometry: big enough for real GC churn,
+  // small enough that an 8-seed sweep stays interactive.
+  uint32_t num_blocks = 32;
+  uint32_t wordlines_per_block = 4;
+  uint32_t page_size_bytes = 512;
+
+  uint64_t working_set = 160;  // distinct LBAs
+  double write_fraction = 0.60;
+  double trim_fraction = 0.05;  // of non-write ops
+  double sys_fraction = 0.5;    // LBAs classified SYS (stable per LBA)
+};
+
+struct VerifierResult {
+  uint64_t seed = 0;
+  bool ok = false;              // zero SYS loss, zero invariant failures
+
+  uint64_t host_writes = 0;
+  uint64_t host_reads = 0;
+  uint64_t host_trims = 0;
+  uint64_t power_cuts = 0;      // cuts survived (each followed by a remount)
+  uint64_t replayed_pages = 0;      // summed over all remounts
+  uint64_t orphans_reclaimed = 0;   // summed over all remounts
+  uint64_t audited_reads = 0;       // oracle read-backs across remount audits
+  uint64_t torn_writes_committed = 0;  // interrupted writes that survived
+  uint64_t torn_writes_rolled_back = 0;
+  uint64_t trim_resurrections = 0;
+  uint64_t spare_degraded = 0;  // flagged degraded SPARE reads (allowed)
+  uint64_t sys_loss = 0;        // MUST be 0: acked SYS data lost or wrong
+  uint64_t invariant_failures = 0;  // MUST be 0
+
+  // fault.injected.*, recovery.*, verifier.* in registration order.
+  obs::MetricsSnapshot metrics;
+};
+
+// Runs one seeded verifier pass. Infrastructure errors (bad config) surface
+// as a Status; verification failures come back inside VerifierResult.
+[[nodiscard]] Result<VerifierResult> RunRecoveryVerifier(const VerifierConfig& config);
+
+// Runs the verifier for each seed (config.seed is overridden), fanned out
+// over `jobs` threads. Results are in `seeds` order regardless of job count.
+std::vector<VerifierResult> RunRecoveryVerifierSweep(const VerifierConfig& config,
+                                                     const std::vector<uint64_t>& seeds,
+                                                     size_t jobs);
+
+// Deterministic ASCII report (one row per seed + aggregate verdict).
+std::string RenderVerifierReport(const VerifierConfig& config,
+                                 const std::vector<VerifierResult>& results);
+
+}  // namespace sos
+
+#endif  // SOS_SRC_FAULT_RECOVERY_VERIFIER_H_

@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Fault-interception interface for the NAND die.
+//
+// NandDevice consults an optional NandFaultHook at every operation boundary
+// (program / read / erase), *after* address validation and *before* the op
+// mutates device state. The hook decides whether the op proceeds, fails with
+// an injected error, or is interrupted by a power cut. The concrete injector
+// lives in src/fault (FaultInjector); keeping only this tiny interface in
+// src/flash avoids a flash -> fault dependency cycle.
+//
+// Determinism contract: a hook must derive every decision from explicit
+// seeds and its own op counter -- never from wall clock or ambient
+// randomness -- so that a faulted run is exactly as reproducible as a clean
+// one (soslint R2 applies to hooks like any other code).
+
+#ifndef SOS_SRC_FLASH_FAULT_HOOK_H_
+#define SOS_SRC_FLASH_FAULT_HOOK_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace sos {
+
+enum class NandOpKind : uint8_t { kProgram, kRead, kErase };
+
+// What the hook wants done with one device operation.
+struct NandFaultAction {
+  enum class Kind : uint8_t {
+    kNone,      // proceed normally
+    kFail,      // op fails with `code` (state untouched)
+    kPowerCut,  // power dies at this op; device goes dark until PowerOn()
+  };
+
+  Kind kind = Kind::kNone;
+  // Error code for kFail (kUnavailable = transient, kWornOut = stuck/dead).
+  StatusCode code = StatusCode::kUnavailable;
+  // kPowerCut only: true models the cut landing *after* the op committed to
+  // the array (durable but unacknowledged -- the classic torn-write window);
+  // false models the cut before anything reached the cells.
+  bool after_op = false;
+  const char* reason = "";
+
+  static NandFaultAction None() { return {}; }
+  static NandFaultAction Fail(StatusCode code, const char* reason) {
+    return {Kind::kFail, code, false, reason};
+  }
+  static NandFaultAction PowerCut(bool after_op, const char* reason) {
+    return {Kind::kPowerCut, StatusCode::kPowerLost, after_op, reason};
+  }
+};
+
+class NandFaultHook {
+ public:
+  virtual ~NandFaultHook() = default;
+
+  // Called once per attempted (address-valid) device op. `page` is 0 for
+  // erases. Implementations own their op counting.
+  virtual NandFaultAction OnNandOp(NandOpKind op, uint32_t block, uint32_t page) = 0;
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_FLASH_FAULT_HOOK_H_

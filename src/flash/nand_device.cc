@@ -51,9 +51,40 @@ double NandDevice::EffectiveEndurance(uint32_t block) const {
          PseudoModeEnduranceBonus(config_.tech, blk.info.mode);
 }
 
+Status NandDevice::GateOp(NandOpKind op, uint32_t block, uint32_t page,
+                          NandFaultAction* action) {
+  *action = NandFaultAction::None();
+  if (!powered_) {
+    return Status(StatusCode::kPowerLost, "device is powered off");
+  }
+  if (fault_hook_ == nullptr) {
+    return Status::Ok();
+  }
+  *action = fault_hook_->OnNandOp(op, block, page);
+  switch (action->kind) {
+    case NandFaultAction::Kind::kNone:
+      return Status::Ok();
+    case NandFaultAction::Kind::kFail:
+      return Status(action->code, action->reason);
+    case NandFaultAction::Kind::kPowerCut:
+      if (!action->after_op) {
+        // Cut lands before the op touches the array: nothing durable happens.
+        powered_ = false;
+        return Status(StatusCode::kPowerLost, action->reason);
+      }
+      // after_op: let the caller commit the op, then cut (torn-write window).
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
 Status NandDevice::EraseBlock(uint32_t block) {
   if (block >= blocks_.size()) {
     return Status(StatusCode::kInvalidArgument, "block out of range");
+  }
+  NandFaultAction action;
+  if (Status s = GateOp(NandOpKind::kErase, block, 0, &action); !s.ok()) {
+    return s;
   }
   Block& blk = blocks_[block];
   ++blk.info.pec;
@@ -74,6 +105,12 @@ Status NandDevice::EraseBlock(uint32_t block) {
   }
   ++stats_.erases;
   stats_.busy_us += latency;
+  if (action.kind == NandFaultAction::Kind::kPowerCut) {
+    // Post-op cut: the erase completed in the array but power died before
+    // the device could acknowledge it.
+    powered_ = false;
+    return Status(StatusCode::kPowerLost, action.reason);
+  }
   return Status::Ok();
 }
 
@@ -87,7 +124,7 @@ Status NandDevice::CheckAddr(PageAddr addr) const {
   return Status::Ok();
 }
 
-Status NandDevice::Program(PageAddr addr, std::span<const uint8_t> data) {
+Status NandDevice::Program(PageAddr addr, std::span<const uint8_t> data, const PageOob* oob) {
   if (Status s = CheckAddr(addr); !s.ok()) {
     return s;
   }
@@ -102,10 +139,16 @@ Status NandDevice::Program(PageAddr addr, std::span<const uint8_t> data) {
   if (page.programmed) {
     return Status(StatusCode::kFailedPrecondition, "page already programmed; erase block first");
   }
+  NandFaultAction action;
+  if (Status s = GateOp(NandOpKind::kProgram, addr.block, addr.page, &action); !s.ok()) {
+    return s;
+  }
   page.programmed = true;
   page.program_time_us = clock_->now();
   page.pec_at_program = blk.info.pec;
   page.reads = 0;
+  page.has_oob = oob != nullptr;
+  page.oob = oob != nullptr ? *oob : PageOob{};
   ++blk.info.next_page;
   ++blk.info.programmed_pages;
   blk.info.erased = false;
@@ -121,6 +164,12 @@ Status NandDevice::Program(PageAddr addr, std::span<const uint8_t> data) {
   ++stats_.programs;
   stats_.bytes_programmed += config_.page_size_bytes;
   stats_.busy_us += latency;
+  if (action.kind == NandFaultAction::Kind::kPowerCut) {
+    // Post-op cut: bytes + OOB reached the cells but the host never saw an
+    // acknowledgement -- recovery may legitimately surface either version.
+    powered_ = false;
+    return Status(StatusCode::kPowerLost, action.reason);
+  }
   return Status::Ok();
 }
 
@@ -144,6 +193,10 @@ Result<ReadResult> NandDevice::Read(PageAddr addr, int retry_level) {
   PageMeta& page = blk.pages[addr.page];
   if (!page.programmed) {
     return Status(StatusCode::kNotFound, "page not programmed");
+  }
+  NandFaultAction action;
+  if (Status s = GateOp(NandOpKind::kRead, addr.block, addr.page, &action); !s.ok()) {
+    return s;
   }
   ++page.reads;
 
@@ -169,7 +222,43 @@ Result<ReadResult> NandDevice::Read(PageAddr addr, int retry_level) {
   stats_.bit_errors_injected += result.bit_errors;
   stats_.busy_us += result.latency_us;
   rber_histogram_.Observe(result.rber);
+  if (action.kind == NandFaultAction::Kind::kPowerCut) {
+    // The sense amps fired but power died before data left the die.
+    powered_ = false;
+    return Status(StatusCode::kPowerLost, action.reason);
+  }
   return result;
+}
+
+Result<PageOob> NandDevice::ReadOob(PageAddr addr) const {
+  if (!powered_) {
+    return Status(StatusCode::kPowerLost, "device is powered off");
+  }
+  if (Status s = CheckAddr(addr); !s.ok()) {
+    return s;
+  }
+  const Block& blk = blocks_[addr.block];
+  const PageMeta& page = blk.pages[addr.page];
+  if (!page.programmed) {
+    return Status(StatusCode::kNotFound, "page not programmed");
+  }
+  if (!page.has_oob) {
+    return Status(StatusCode::kNotFound, "page carries no OOB metadata");
+  }
+  return page.oob;
+}
+
+Status NandDevice::SetBlockLabel(uint32_t block, uint32_t label) {
+  if (block >= blocks_.size()) {
+    return Status(StatusCode::kInvalidArgument, "block out of range");
+  }
+  blocks_[block].label = label;
+  return Status::Ok();
+}
+
+uint32_t NandDevice::block_label(uint32_t block) const {
+  assert(block < blocks_.size());
+  return blocks_[block].label;
 }
 
 Result<std::vector<uint8_t>> NandDevice::PeekClean(PageAddr addr) const {

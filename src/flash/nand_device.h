@@ -37,6 +37,7 @@
 #include "src/common/units.h"
 #include "src/flash/cell_tech.h"
 #include "src/flash/error_model.h"
+#include "src/flash/fault_hook.h"
 #include "src/flash/voltage_model.h"
 #include "src/obs/metrics.h"
 
@@ -77,6 +78,21 @@ struct PageAddr {
   bool operator==(const PageAddr&) const = default;
 };
 
+// Out-of-band (spare-area) metadata stored alongside a page's payload at
+// program time. Real NAND pages carry a few dozen spare bytes under much
+// stronger ECC than the data area; the FTL uses them for the reverse map so
+// a mount can rebuild L2P state from flash alone. Modeled as always readable
+// for a programmed page (no injected errors): OOB loss is orders of magnitude
+// rarer than data-area ECC failure and out of scope for this simulator.
+struct PageOob {
+  uint64_t lba = 0;    // host LBA, or a reserved marker (see src/ftl)
+  uint64_t seq = 0;    // monotonically increasing write sequence number
+  uint32_t pool = 0;   // owning FTL pool id at program time
+  uint8_t flags = 0;   // FTL-defined bits (tainted, parity, ...)
+
+  bool operator==(const PageOob&) const = default;
+};
+
 struct ReadResult {
   std::vector<uint8_t> data;  // corrupted copy; empty when !store_payloads
   uint64_t bit_errors = 0;    // raw bit errors present in this read
@@ -106,10 +122,26 @@ struct NandStats {
 
 class NandDevice {
  public:
+  // No block owner recorded (fresh die, or label cleared on retirement).
+  static constexpr uint32_t kNoLabel = UINT32_MAX;
+
   // `clock` must outlive the device; it is advanced by operation latencies.
   NandDevice(const NandConfig& config, SimClock* clock);
 
   const NandConfig& config() const { return config_; }
+
+  // --- Power & fault injection ---------------------------------------------
+
+  // Installs (or clears, with nullptr) the fault hook consulted at every op
+  // boundary. The hook must outlive the device or be cleared first.
+  void SetFaultHook(NandFaultHook* hook) { fault_hook_ = hook; }
+
+  // Cuts power: every subsequent op fails with kPowerLost until PowerOn().
+  // Durable state (payloads, OOB, labels, wear counters) is retained; this
+  // models an SSD losing its supply mid-workload, not losing its flash.
+  void PowerCut() { powered_ = false; }
+  void PowerOn() { powered_ = true; }
+  bool powered() const { return powered_; }
 
   // --- Block mode management -----------------------------------------------
 
@@ -131,8 +163,28 @@ class NandDevice {
 
   // Programs the next-expected page of a block. `data` must be at most one
   // page; shorter payloads are zero-padded. Fails on out-of-order pages or a
-  // full block.
-  [[nodiscard]] Status Program(PageAddr addr, std::span<const uint8_t> data);
+  // full block. `oob`, when given, is stored durably in the page's spare
+  // area and survives until the block is erased.
+  [[nodiscard]] Status Program(PageAddr addr, std::span<const uint8_t> data,
+                               const PageOob* oob = nullptr);
+
+  // Returns the OOB metadata of a programmed page. No error injection, no
+  // clock advance (OOB reads ride along with the data-area read the FTL
+  // already paid for, and the spare area is strongly protected -- see
+  // PageOob). kNotFound for unprogrammed pages.
+  [[nodiscard]] Result<PageOob> ReadOob(PageAddr addr) const;
+
+  // --- Durable block labels ------------------------------------------------
+  //
+  // One uint32 of per-block metadata that survives erase cycles, modeling
+  // the FTL superblock/root structure real drives keep in a reserved region:
+  // which pool owns the block. Written outside the op path (no latency, no
+  // fault interception) because label updates piggyback on ops the FTL
+  // already performs.
+
+  [[nodiscard]] Status SetBlockLabel(uint32_t block, uint32_t label);
+  // kNoLabel when the block was never labeled. Asserts on a bad address.
+  uint32_t block_label(uint32_t block) const;
 
   // Reads a programmed page, injecting bit errors per the error model.
   // `retry_level` > 0 models a READ-RETRY re-read with reference voltages
@@ -176,21 +228,31 @@ class NandDevice {
     uint32_t pec_at_program = 0;
     uint32_t reads = 0;
     bool programmed = false;
+    bool has_oob = false;
+    PageOob oob;
   };
 
   struct Block {
     BlockInfo info;
+    uint32_t label = kNoLabel;             // durable owner tag, survives erase
     std::vector<PageMeta> pages;           // sized for the current mode
     std::vector<std::vector<uint8_t>> data;  // payloads, iff store_payloads
   };
 
   [[nodiscard]] Status CheckAddr(PageAddr addr) const;
+  // Power gate + fault-hook consultation for one op. On pre-op interference
+  // returns the failing Status (possibly cutting power); on success stores
+  // the hook's verdict in `*action` so the caller can honour a post-op cut.
+  [[nodiscard]] Status GateOp(NandOpKind op, uint32_t block, uint32_t page,
+                              NandFaultAction* action);
   PageErrorState ErrorStateFor(const Block& blk, const PageMeta& page) const;
 
   NandConfig config_;
   SimClock* clock_;
   std::vector<Block> blocks_;
   NandStats stats_;
+  bool powered_ = true;
+  NandFaultHook* fault_hook_ = nullptr;
   obs::Histogram rber_histogram_ = obs::Histogram::Rber();
 };
 

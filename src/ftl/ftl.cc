@@ -29,6 +29,8 @@ void FtlStats::Accumulate(const FtlStats& other) {
   retry_recoveries_ += other.retry_recoveries_;
   parity_rescues_ += other.parity_rescues_;
   degraded_reads_ += other.degraded_reads_;
+  grown_bad_blocks_ += other.grown_bad_blocks_;
+  lost_pages_ += other.lost_pages_;
 }
 
 void FtlStats::ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) const {
@@ -47,6 +49,8 @@ void FtlStats::ToMetrics(obs::MetricRegistry& registry, const std::string& prefi
   registry.SetCounter(prefix + "retry_recoveries", retry_recoveries_);
   registry.SetCounter(prefix + "parity_rescues", parity_rescues_);
   registry.SetCounter(prefix + "degraded_reads", degraded_reads_);
+  registry.SetCounter(prefix + "grown_bad_blocks", grown_bad_blocks_);
+  registry.SetCounter(prefix + "lost_pages", lost_pages_);
   registry.SetGauge(prefix + "write_amplification", WriteAmplification());
 }
 
@@ -87,6 +91,10 @@ Ftl::Ftl(const FtlConfig& config, SimClock* clock)
       Status s = nand_.SetBlockMode(next_block, pool.config.mode);
       assert(s.ok());
       (void)s;
+      // Durable owner label: recovery reassigns the block to this pool.
+      Status label = nand_.SetBlockLabel(next_block, static_cast<uint32_t>(p));
+      assert(label.ok());
+      (void)label;
       FtlBlock blk;
       blk.id = next_block;
       blk.page_lba.assign(pages, kLbaInvalid);
@@ -214,9 +222,15 @@ Status Ftl::WriteParityPage(uint32_t pool_id, ActiveSlot& slot) {
   if (config_.nand.store_payloads) {
     payload = slot.stripe_xor;
   }
-  if (Status s = nand_.Program({blk.id, page}, payload); !s.ok()) {
+  PageOob oob;
+  oob.lba = kLbaParity;
+  oob.seq = write_seq_;
+  oob.pool = pool_id;
+  oob.flags = kOobFlagParity;
+  if (Status s = nand_.Program({blk.id, page}, payload, &oob); !s.ok()) {
     return s;
   }
+  ++write_seq_;
   blk.page_lba[page] = kLbaParity;
   blk.last_write = clock_->now();
   ++pool.stats.parity_writes_;
@@ -231,10 +245,14 @@ Status Ftl::WriteParityPage(uint32_t pool_id, ActiveSlot& slot) {
 }
 
 Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
-                                     std::span<const uint8_t> data, bool allow_gc, bool cold) {
+                                     std::span<const uint8_t> data, bool allow_gc, bool cold,
+                                     bool tainted) {
   Pool& pool = pools_[pool_id];
   ActiveSlot& slot = SlotFor(pool, cold);
-  for (int attempts = 0; attempts < 3; ++attempts) {
+  // The retry budget absorbs stripe-boundary reseals, transient program
+  // faults and grown-bad-block drops; each attempt starts from a usable
+  // append point.
+  for (int attempts = 0; attempts < 5; ++attempts) {
     if (!EnsureWritable(pool_id, slot, allow_gc)) {
       return Status(StatusCode::kOutOfSpace,
                     "pool '" + pool.config.name + "' has no writable blocks");
@@ -244,9 +262,11 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
     // Flush parity pages until the cursor rests on a data slot (a stripe
     // boundary may seal the block, hence the outer retry loop).
     bool resealed = false;
+    Status parity_status = Status::Ok();
     while (IsParitySlot(pool, page)) {
       if (Status s = WriteParityPage(pool_id, slot); !s.ok()) {
-        return s;
+        parity_status = s;
+        break;
       }
       if (!slot.block.has_value()) {
         resealed = true;
@@ -254,12 +274,42 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
       }
       page = nand_.block_info(blk.id).next_page;
     }
+    if (!parity_status.ok()) {
+      if (parity_status.code() == StatusCode::kPowerLost) {
+        return parity_status;  // device is dark; only RecoverFromFlash helps
+      }
+      if (parity_status.code() == StatusCode::kWornOut) {
+        // Parity slot refuses to program: the block is grown-bad.
+        const uint32_t bad = *slot.block;
+        if (Status s = DropBadBlock(pool_id, bad); !s.ok()) {
+          return s;
+        }
+      }
+      continue;  // transient parity failure: retry the append
+    }
     if (resealed) {
       continue;  // block sealed by parity flush; pick a new one
     }
-    if (Status s = nand_.Program({blk.id, page}, data); !s.ok()) {
-      return s;
+    PageOob oob;
+    oob.lba = lba;
+    oob.seq = write_seq_;
+    oob.pool = pool_id;
+    oob.flags = tainted ? kOobFlagTainted : 0;
+    if (Status s = nand_.Program({blk.id, page}, data, &oob); !s.ok()) {
+      if (s.code() == StatusCode::kPowerLost) {
+        // The page may or may not have reached the cells (torn write);
+        // volatile bookkeeping is not updated -- recovery rebuilds it.
+        return s;
+      }
+      if (s.code() == StatusCode::kWornOut) {
+        const uint32_t bad = blk.id;
+        if (Status drop = DropBadBlock(pool_id, bad); !drop.ok()) {
+          return drop;
+        }
+      }
+      continue;  // transient program failure: retry on a fresh append point
     }
+    ++write_seq_;
     blk.page_lba[page] = lba;
     ++blk.valid;
     ++pool.valid_pages;
@@ -275,7 +325,7 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
       blk.sealed = true;
       slot.block.reset();
     }
-    return PhysLoc{pool_id, blk.id, page};
+    return PhysLoc{pool_id, blk.id, page, tainted};
   }
   return Status(StatusCode::kOutOfSpace, "append retry budget exhausted");
 }
@@ -305,7 +355,8 @@ Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id)
     return Status(StatusCode::kInvalidArgument, "payload exceeds page size");
   }
   obs::ScopedLatency timer(clock_, &write_latency_);
-  auto loc = AppendPage(pool_id, lba, data, /*allow_gc=*/true, /*cold=*/false);
+  auto loc = AppendPage(pool_id, lba, data, /*allow_gc=*/true, /*cold=*/false,
+                        /*tainted=*/false);  // fresh host data supersedes any corruption
   if (!loc.ok()) {
     return loc.status();
   }
@@ -313,7 +364,6 @@ Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id)
   if (old != map_.end()) {
     InvalidateLoc(old->second);
     old->second = loc.value();
-    old->second.tainted = false;  // fresh host data supersedes any corruption
   } else {
     map_.emplace(lba, loc.value());
   }
@@ -329,6 +379,11 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
   const PhysLoc loc = it->second;
   Pool& pool = pools_[loc.pool];
   auto read = nand_.Read({loc.block, loc.page});
+  if (!read.ok() && read.status().code() == StatusCode::kUnavailable) {
+    // Transient device fault (bus glitch, busy die): one deterministic
+    // retry before giving up, as any real controller would.
+    read = nand_.Read({loc.block, loc.page});
+  }
   if (!read.ok()) {
     return read.status();
   }
@@ -419,7 +474,15 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
     }
   }
 
-  // Unrescued: deliver the raw (corrupted) bytes -- approximate storage.
+  // Unrescued. A strict-fidelity pool errors loudly on the host-facing path
+  // (count_stats == true) rather than serving corruption -- the paper's SYS
+  // contract. Internal relocations still move the degraded bytes (with the
+  // taint marker) so GC cannot wedge on a corrupt page.
+  if (pool.config.strict_fidelity && count_stats) {
+    return Status(StatusCode::kDataLoss,
+                  "unrecoverable corruption on strict pool '" + pool.config.name + "'");
+  }
+  // Deliver the raw (corrupted) bytes -- approximate storage.
   result.data = std::move(read.value().data);
   result.residual_bit_errors = outcome.residual_errors;
   result.degraded = true;
@@ -459,16 +522,22 @@ Status Ftl::Migrate(uint64_t lba, uint32_t target_pool) {
   if (!read.ok()) {
     return read.status();
   }
+  const bool tainted = it->second.tainted || read.value().degraded;
+  const uint32_t source_pool = it->second.pool;
   auto loc = AppendPage(target_pool, lba, read.value().data, /*allow_gc=*/true,
-                        /*cold=*/false);
+                        /*cold=*/false, tainted);
   if (!loc.ok()) {
     return loc.status();
   }
-  const bool tainted = it->second.tainted || read.value().degraded;
-  const uint32_t source_pool = it->second.pool;
-  InvalidateLoc(it->second);
-  it->second = loc.value();
-  it->second.tainted = tainted;
+  // The append may have dropped a grown-bad block and moved (or lost) the old
+  // copy's mapping; re-find the entry rather than trusting the old iterator.
+  it = map_.find(lba);
+  if (it != map_.end()) {
+    InvalidateLoc(it->second);
+    it->second = loc.value();
+  } else {
+    map_.emplace(lba, loc.value());  // old copy died with a bad block; the new one stands
+  }
   ++pools_[target_pool].stats.migrations_;
   Trace(obs::TraceEvent{clock_->now(), "ftl.migrate"}
             .WithU64("lba", lba)
@@ -488,14 +557,19 @@ Status Ftl::Refresh(uint64_t lba) {
   if (!read.ok()) {
     return read.status();
   }
-  auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/true, /*cold=*/true);
+  const bool tainted = it->second.tainted || read.value().degraded;
+  auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/true, /*cold=*/true,
+                        tainted);
   if (!loc.ok()) {
     return loc.status();
   }
-  const bool tainted = it->second.tainted || read.value().degraded;
-  InvalidateLoc(it->second);
-  it->second = loc.value();
-  it->second.tainted = tainted;
+  it = map_.find(lba);  // a grown-bad-block drop inside the append may have moved it
+  if (it != map_.end()) {
+    InvalidateLoc(it->second);
+    it->second = loc.value();
+  } else {
+    map_.emplace(lba, loc.value());
+  }
   ++pools_[pool_id].stats.refreshes_;
   return Status::Ok();
 }
@@ -597,17 +671,22 @@ Status Ftl::EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_a
       status = read.status();
       break;
     }
+    const bool tainted = map_it->second.tainted || read.value().degraded;
     auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/false,
-                          /*cold=*/true);
+                          /*cold=*/true, tainted);
     if (!loc.ok()) {
       status = loc.status();
       break;
     }
-    // Invalidate the old copy (decrements this block's counters).
-    const bool tainted = map_it->second.tainted || read.value().degraded;
-    InvalidateLoc(map_it->second);
-    map_it->second = loc.value();
-    map_it->second.tainted = tainted;
+    // Invalidate the old copy (decrements this block's counters). Re-find:
+    // the append may have dropped a grown-bad block and rewritten mappings.
+    map_it = map_.find(lba);
+    if (map_it != map_.end()) {
+      InvalidateLoc(map_it->second);
+      map_it->second = loc.value();
+    } else {
+      map_.emplace(lba, loc.value());
+    }
     if (count_as_wl) {
       ++pool.stats.wl_relocations_;
     } else {
@@ -663,8 +742,21 @@ bool Ftl::ShouldRetire(const Pool& pool, uint32_t block_id) const {
 void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
   Pool& pool = pools_[pool_id];
   Status s = nand_.EraseBlock(block_id);
-  assert(s.ok());
-  (void)s;
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kPowerLost) {
+      return;  // device is dark; RecoverFromFlash rebuilds this state anyway
+    }
+    if (s.code() == StatusCode::kUnavailable) {
+      s = nand_.EraseBlock(block_id);  // transient: one retry
+    }
+    if (!s.ok()) {
+      // Erase refuses permanently: classic grown bad block. The block was
+      // already evacuated (it holds no valid data), so the drop just
+      // removes it from the pool.
+      IgnoreResult(DropBadBlock(pool_id, block_id));  // power loss here surfaces on the next op
+      return;
+    }
+  }
   ++pool.stats.gc_erases_;
 
   // Retirement is postponed while the free list is at or below the GC
@@ -690,6 +782,7 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
             .WithU64("block", block_id)
             .WithU64("pec", nand_.block_info(block_id).pec));
 
+  bool resuscitated = false;
   if (pool.resuscitate_pool.has_value()) {
     Pool& target = pools_[*pool.resuscitate_pool];
     Status mode_status = nand_.SetBlockMode(block_id, target.config.mode);
@@ -700,13 +793,227 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
       target.blocks.emplace(block_id, std::move(blk));
       target.free_blocks.push_back(block_id);
       ++pool.stats.resuscitated_blocks_;
+      resuscitated = true;
+      Status label = nand_.SetBlockLabel(block_id, *pool.resuscitate_pool);
+      assert(label.ok());
+      (void)label;
       Trace(obs::TraceEvent{clock_->now(), "ftl.block.resuscitated"}
                 .With("from", pool.config.name)
                 .With("to", target.config.name)
                 .WithU64("block", block_id));
     }
   }
+  if (!resuscitated) {
+    // The block left service entirely; recovery must not hand it back.
+    Status label = nand_.SetBlockLabel(block_id, NandDevice::kNoLabel);
+    assert(label.ok());
+    (void)label;
+  }
   NotifyCapacity();
+}
+
+Status Ftl::DropBadBlock(uint32_t pool_id, uint32_t block_id) {
+  Pool& pool = pools_[pool_id];
+  auto blk_it = pool.blocks.find(block_id);
+  if (blk_it == pool.blocks.end()) {
+    return Status(StatusCode::kNotFound, "block not owned by pool");
+  }
+  // Detach from the append points and the free list before touching data.
+  if (pool.active_host.block.has_value() && *pool.active_host.block == block_id) {
+    pool.active_host.block.reset();
+  }
+  if (pool.active_cold.block.has_value() && *pool.active_cold.block == block_id) {
+    pool.active_cold.block.reset();
+  }
+  std::erase(pool.free_blocks, block_id);
+
+  // Rescue whatever it still holds: program/erase refuse on a grown-bad
+  // block but reads keep working, so valid pages relocate through the
+  // normal degradation-aware path.
+  const bool prev_relocation = in_relocation_;
+  in_relocation_ = true;
+  FtlBlock& blk = blk_it->second;
+  for (uint32_t p = 0; p < blk.page_lba.size(); ++p) {
+    const uint64_t lba = blk.page_lba[p];
+    if (lba == kLbaInvalid || lba == kLbaParity) {
+      continue;
+    }
+    auto map_it = map_.find(lba);
+    if (map_it == map_.end() || map_it->second.block != block_id ||
+        map_it->second.pool != pool_id || map_it->second.page != p) {
+      continue;  // stale reverse entry
+    }
+    bool relocated = false;
+    auto read = ReadInternal(lba, /*count_stats=*/false);
+    if (!read.ok() && read.status().code() == StatusCode::kPowerLost) {
+      in_relocation_ = prev_relocation;
+      return read.status();
+    }
+    if (read.ok()) {
+      const bool tainted = map_it->second.tainted || read.value().degraded;
+      auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/false,
+                            /*cold=*/true, tainted);
+      if (!loc.ok() && loc.status().code() == StatusCode::kPowerLost) {
+        in_relocation_ = prev_relocation;
+        return loc.status();
+      }
+      if (loc.ok()) {
+        map_it = map_.find(lba);  // nested drops may have rewritten the map
+        if (map_it != map_.end()) {
+          InvalidateLoc(map_it->second);
+          map_it->second = loc.value();
+        } else {
+          map_.emplace(lba, loc.value());
+        }
+        relocated = true;
+        ++pool.stats.gc_relocations_;
+      }
+    }
+    if (!relocated) {
+      // Unreadable and unsalvageable: the mapping dies here, counted loudly.
+      map_it = map_.find(lba);
+      if (map_it != map_.end()) {
+        InvalidateLoc(map_it->second);
+        map_.erase(map_it);
+      }
+      ++pool.stats.lost_pages_;
+    }
+  }
+  in_relocation_ = prev_relocation;
+
+  pool.blocks.erase(block_id);
+  ++pool.stats.grown_bad_blocks_;
+  Status label = nand_.SetBlockLabel(block_id, NandDevice::kNoLabel);
+  assert(label.ok());
+  (void)label;
+  Trace(obs::TraceEvent{clock_->now(), "ftl.block.grown_bad"}
+            .With("pool", pool.config.name)
+            .WithU64("block", block_id));
+  NotifyCapacity();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery.
+// ---------------------------------------------------------------------------
+
+Status Ftl::RecoverFromFlash() {
+  nand_.PowerOn();
+  last_recovery_ = RecoveryReport{};
+
+  // Everything volatile is gone: the mapping table, free lists, append
+  // points, open parity stripes, per-block reverse maps. Stats survive --
+  // they model telemetry the host persists out-of-band.
+  map_.clear();
+  for (auto& pool : pools_) {
+    pool.blocks.clear();
+    pool.free_blocks.clear();
+    pool.active_host.block.reset();
+    std::fill(pool.active_host.stripe_xor.begin(), pool.active_host.stripe_xor.end(), 0);
+    pool.active_host.stripe_fill = 0;
+    pool.active_cold.block.reset();
+    std::fill(pool.active_cold.stripe_xor.begin(), pool.active_cold.stripe_xor.end(), 0);
+    pool.active_cold.stripe_fill = 0;
+    pool.valid_pages = 0;
+  }
+  in_relocation_ = false;
+
+  // Pass 1: walk the die in block order. Labels assign ownership; OOB
+  // records per-page identity. Multiple copies of an LBA are expected (the
+  // cut can land between a new program and the old copy's invalidation) --
+  // collect the candidates and let the highest write sequence win.
+  struct Candidate {
+    uint64_t seq = 0;
+    uint32_t pool = 0;
+    uint32_t block = 0;
+    uint32_t page = 0;
+    bool tainted = false;
+  };
+  std::unordered_map<uint64_t, Candidate> winners;
+  uint64_t max_seq = 0;
+  for (uint32_t b = 0; b < config_.nand.num_blocks; ++b) {
+    const uint32_t label = nand_.block_label(b);
+    if (label == NandDevice::kNoLabel) {
+      ++last_recovery_.unlabeled_blocks;  // retired/dropped/unformatted
+      continue;
+    }
+    if (label >= pools_.size()) {
+      return Status(StatusCode::kFailedPrecondition,
+                    "block " + std::to_string(b) + " labeled for unknown pool");
+    }
+    Pool& pool = pools_[label];
+    const uint32_t pages = PagesPerBlock(pool);
+    FtlBlock blk;
+    blk.id = b;
+    blk.page_lba.assign(pages, kLbaInvalid);
+    const BlockInfo& info = nand_.block_info(b);
+    if (info.programmed_pages == 0) {
+      pool.free_blocks.push_back(b);  // block order => deterministic free list
+      pool.blocks.emplace(b, std::move(blk));
+      continue;
+    }
+    for (uint32_t p = 0; p < info.next_page && p < pages; ++p) {
+      auto oob = nand_.ReadOob({b, p});
+      if (!oob.ok()) {
+        continue;  // page predates OOB stamping; treated as garbage
+      }
+      ++last_recovery_.scanned_pages;
+      const PageOob& meta = oob.value();
+      max_seq = std::max(max_seq, meta.seq);
+      if ((meta.flags & kOobFlagParity) != 0) {
+        blk.page_lba[p] = kLbaParity;
+        ++last_recovery_.parity_pages;
+        continue;
+      }
+      blk.page_lba[p] = meta.lba;
+      const Candidate cand{meta.seq, label, b, p, (meta.flags & kOobFlagTainted) != 0};
+      auto [it, inserted] = winners.try_emplace(meta.lba, cand);
+      if (!inserted && cand.seq > it->second.seq) {
+        it->second = cand;
+      }
+    }
+    // A partially-programmed block is crash-sealed: its open parity stripe
+    // is unreconstructible, so it never becomes an append point again. GC
+    // reclaims it like any other sealed block.
+    if (info.next_page < pages) {
+      ++last_recovery_.open_blocks_sealed;
+    }
+    blk.sealed = true;
+    blk.last_write = clock_->now();
+    pool.blocks.emplace(b, std::move(blk));
+  }
+
+  // Pass 2: install winners, demote losers. Deterministic walk order (pool,
+  // then sorted block id) so counter increments replay identically.
+  for (uint32_t pool_id = 0; pool_id < pools_.size(); ++pool_id) {
+    Pool& pool = pools_[pool_id];
+    for (const uint32_t id : SortedKeys(pool.blocks)) {
+      FtlBlock& blk = pool.blocks.at(id);
+      for (uint32_t p = 0; p < blk.page_lba.size(); ++p) {
+        const uint64_t lba = blk.page_lba[p];
+        if (lba == kLbaInvalid || lba == kLbaParity) {
+          continue;
+        }
+        const Candidate& win = winners.at(lba);
+        if (win.pool == pool_id && win.block == id && win.page == p) {
+          map_.emplace(lba, PhysLoc{pool_id, id, p, win.tainted});
+          ++blk.valid;
+          ++pool.valid_pages;
+          ++last_recovery_.replayed_pages;
+        } else {
+          blk.page_lba[p] = kLbaInvalid;  // superseded copy -> garbage
+          ++last_recovery_.orphans_reclaimed;
+        }
+      }
+    }
+  }
+
+  write_seq_ = max_seq + 1;
+  // Re-baseline capacity without firing the shrink listener: the listener
+  // reacts to retirement events, and remounting is not one.
+  last_exported_pages_ = ExportedPages();
+
+  return CheckInvariants();
 }
 
 // ---------------------------------------------------------------------------

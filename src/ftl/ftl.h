@@ -85,6 +85,12 @@ struct FtlPoolConfig {
   // either mostly-hot (cheap: mostly invalid) or mostly-cold (skipped),
   // cutting write amplification under skewed workloads.
   bool hot_cold_separation = true;
+  // Fidelity contract for host reads (paper's SYS-vs-SPARE split): a strict
+  // pool turns an unrescued ECC failure into a loud kDataLoss error instead
+  // of serving corrupted bytes. Applies to host-facing reads only; internal
+  // relocations still move the degraded bytes (with the taint marker) so GC
+  // never wedges on a corrupt page.
+  bool strict_fidelity = false;
 };
 
 struct FtlConfig {
@@ -133,6 +139,8 @@ class FtlStats {
   uint64_t retry_recoveries() const { return retry_recoveries_; }  // recovered by read-retry
   uint64_t parity_rescues() const { return parity_rescues_; }
   uint64_t degraded_reads() const { return degraded_reads_; }  // reads returned with residual errors
+  uint64_t grown_bad_blocks() const { return grown_bad_blocks_; }  // dropped after program/erase failure
+  uint64_t lost_pages() const { return lost_pages_; }  // mappings dropped: data unrecoverable
 
   double WriteAmplification() const {
     return host_writes_ > 0
@@ -170,6 +178,22 @@ class FtlStats {
   uint64_t retry_recoveries_ = 0;
   uint64_t parity_rescues_ = 0;
   uint64_t degraded_reads_ = 0;
+  uint64_t grown_bad_blocks_ = 0;
+  uint64_t lost_pages_ = 0;
+};
+
+// What Ftl::RecoverFromFlash() found while rebuilding volatile state from
+// the durable OOB metadata after a power cut.
+struct RecoveryReport {
+  uint64_t scanned_pages = 0;      // programmed pages whose OOB was examined
+  uint64_t replayed_pages = 0;     // mappings reinstalled (winning copies)
+  uint64_t orphans_reclaimed = 0;  // superseded copies demoted to garbage
+  uint64_t parity_pages = 0;       // parity slots re-recognized
+  uint64_t open_blocks_sealed = 0; // partially-programmed blocks crash-sealed
+  uint64_t unlabeled_blocks = 0;   // blocks owned by no pool (never formatted
+                                   // or dropped as grown-bad pre-cut)
+
+  bool operator==(const RecoveryReport&) const = default;
 };
 
 // Point-in-time view of one pool, for benches and the SOS daemons.
@@ -224,6 +248,24 @@ class Ftl {
   // victims each. Work done here is work foreground writes will not stall
   // on. Returns the number of blocks collected.
   uint32_t BackgroundCollect(uint32_t max_blocks_per_pool = 2);
+
+  // --- Crash recovery ------------------------------------------------------
+
+  // Mount path after a simulated power cut: powers the die back on, discards
+  // all volatile state (mapping table, free lists, active blocks, open
+  // parity stripes) and rebuilds it from durable flash state alone -- block
+  // owner labels plus the per-page OOB written at program time. Where the
+  // cut left several copies of an LBA, the highest write-sequence copy wins
+  // and the rest become reclaimable garbage. Partially-programmed blocks are
+  // crash-sealed (never appended to again; GC reclaims them normally).
+  // Trimmed LBAs whose old copies are still on flash resurrect -- this FTL
+  // keeps no trim journal, which is the honest consequence documented in
+  // DESIGN.md §10. Finishes with a full CheckInvariants() audit and fails
+  // loudly if the rebuilt state is inconsistent.
+  [[nodiscard]] Status RecoverFromFlash();
+
+  // Counters from the most recent RecoverFromFlash().
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
 
   // --- Capacity ------------------------------------------------------------
 
@@ -280,6 +322,10 @@ class Ftl {
  private:
   static constexpr uint64_t kLbaInvalid = ~0ull;
   static constexpr uint64_t kLbaParity = ~0ull - 1;
+
+  // PageOob::flags bits (durable; recovery depends on them).
+  static constexpr uint8_t kOobFlagParity = 1;
+  static constexpr uint8_t kOobFlagTainted = 2;
 
   // Free blocks withheld from host writes so garbage collection always has
   // relocation targets. Without this reserve a burst of writes can consume
@@ -347,11 +393,12 @@ class Ftl {
   // when the pool separates streams.
   ActiveSlot& SlotFor(Pool& pool, bool cold);
 
-  // Appends one data page to the chosen active slot. Handles parity slots.
-  // Returns the physical location written. Fails only on physical
-  // exhaustion.
+  // Appends one data page to the chosen active slot. Handles parity slots,
+  // retries transient program failures and drops grown-bad blocks. `tainted`
+  // is stamped into the durable OOB so recovery preserves the corruption
+  // marker. Fails on physical exhaustion or power loss.
   [[nodiscard]] Result<PhysLoc> AppendPage(uint32_t pool_id, uint64_t lba, std::span<const uint8_t> data,
-                             bool allow_gc, bool cold);
+                             bool allow_gc, bool cold, bool tainted);
 
   // Writes the parity page for the slot's open stripe. Called when the
   // append cursor reaches a parity slot.
@@ -372,6 +419,12 @@ class Ftl {
   // Erases a block and either returns it to the pool, retires it into a
   // resuscitation target, or drops it (capacity shrink).
   void RecycleBlock(uint32_t pool_id, uint32_t block_id);
+
+  // Grown bad block: a program or erase on `block_id` failed permanently.
+  // Relocates whatever valid data it still holds (reads keep working on a
+  // stuck block), drops unrecoverable mappings as lost, removes the block
+  // from the pool and clears its durable label. Propagates kPowerLost.
+  [[nodiscard]] Status DropBadBlock(uint32_t pool_id, uint32_t block_id);
 
   // True when the block has worn past the pool's retirement bound.
   bool ShouldRetire(const Pool& pool, uint32_t block_id) const;
@@ -399,6 +452,10 @@ class Ftl {
   obs::Histogram gc_latency_ = obs::Histogram::LatencyUs();
   bool in_relocation_ = false;  // guards GC re-entry
   uint64_t last_exported_pages_ = 0;
+  // Monotonic write sequence stamped into every page's OOB; recovery picks
+  // the highest-sequence copy of each LBA as the live one.
+  uint64_t write_seq_ = 0;
+  RecoveryReport last_recovery_;
 };
 
 }  // namespace sos

@@ -26,6 +26,11 @@ FtlConfig BuildSosFtlConfig(const SosDeviceConfig& config) {
   sys.op_fraction = config.op_fraction;
   sys.nominal_retention_years = 1.0;
   sys.read_retries = 2;
+  // SYS holds the host's critical data: never serve silent corruption. With
+  // LDPC + parity stripes + retries an unrescued failure is essentially
+  // unreachable below retirement wear, so this changes no healthy-path
+  // behaviour -- it turns the residual case into a loud kDataLoss.
+  sys.strict_fidelity = true;
 
   FtlPoolConfig spare;
   spare.name = "SPARE";
@@ -181,6 +186,21 @@ Status SosDevice::Reclassify(uint64_t lba, StreamClass hint) {
 
 void SosDevice::SetCapacityListener(CapacityListener listener) {
   ftl_->SetCapacityListener(std::move(listener));
+}
+
+Status SosDevice::RecoverFromPowerLoss() {
+  if (Status s = ftl_->RecoverFromFlash(); !s.ok()) {
+    return s;
+  }
+  // Pool ids are stable (pool order is fixed at construction), but resolve
+  // them again so a future pool-layout change cannot silently desync.
+  sys_pool_ = ftl_->PoolIdByName("SYS");
+  spare_pool_ = ftl_->PoolIdByName("SPARE");
+  rescue_pool_ = ftl_->PoolIdByName("RESCUE");
+  if (config_.enable_slc_staging) {
+    stage_pool_ = ftl_->PoolIdByName("STAGE");
+  }
+  return Status::Ok();
 }
 
 double SosDevice::FreeFraction() const {

@@ -98,6 +98,15 @@ class SosDevice final : public BlockDevice {
   // Overall free fraction of exported capacity (drives auto-delete).
   double FreeFraction() const;
 
+  // --- Crash recovery ------------------------------------------------------
+
+  // Remounts the device after a simulated power cut: powers the die on and
+  // rebuilds all volatile FTL state (mapping table, pool free/valid state)
+  // from durable flash metadata via Ftl::RecoverFromFlash(). Pool ids and
+  // snapshots are valid again afterwards, so SOS daemons and health
+  // collection resume exactly where the durable state left them.
+  [[nodiscard]] Status RecoverFromPowerLoss();
+
   const SosDeviceConfig& config() const { return config_; }
 
  private:

@@ -286,6 +286,70 @@ TEST(FtlTest, NoEccPoolDeliversDegradedBytes) {
   EXPECT_GT(degraded, 0u);
 }
 
+// The strict-fidelity contract (paper's SYS pool): a host read either returns
+// exactly the written bytes or fails loudly with kDataLoss -- corrupted bytes
+// must never cross the host boundary unflagged. Same aging as
+// NoEccPoolDeliversDegradedBytes, so corruption definitely occurs.
+TEST(FtlTest, StrictFidelityPoolErrorsLoudlyInsteadOfServingCorruption) {
+  SimClock clock;
+  FtlConfig config = SinglePool(16, CellTech::kPlc, EccPreset::kNone);
+  config.pools[0].strict_fidelity = true;
+  Ftl ftl(config, &clock);
+  for (uint64_t lba = 0; lba < 10; ++lba) {
+    ASSERT_TRUE(ftl.Write(lba, Page(0xCD), 0).ok());
+  }
+  clock.Advance(YearsToUs(3.0));
+  uint64_t loud_failures = 0;
+  for (uint64_t lba = 0; lba < 10; ++lba) {
+    auto read = ftl.Read(lba);
+    if (!read.ok()) {
+      EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+      ++loud_failures;
+      continue;
+    }
+    EXPECT_FALSE(read.value().degraded);
+    EXPECT_EQ(read.value().data, Page(0xCD));
+  }
+  EXPECT_GT(loud_failures, 0u);
+  EXPECT_EQ(ftl.stats().degraded_reads(), 0u);
+}
+
+// READ RETRY on a strict pool: drift-tracking re-reads recover pages the
+// first measurement could not decode, shrinking the loud-failure count
+// without ever serving wrong bytes.
+TEST(FtlTest, ReadRetriesRecoverStrictPoolFailures) {
+  auto run = [](uint32_t retries) {
+    SimClock clock;
+    FtlConfig config = SinglePool(16, CellTech::kPlc, EccPreset::kWeakBch);
+    config.pools[0].strict_fidelity = true;
+    config.pools[0].read_retries = retries;
+    config.pools[0].nominal_retention_years = 5.0;  // don't retire mid-test
+    config.pools[0].retire_rber = 0.4;
+    Ftl ftl(config, &clock);
+    for (uint64_t lba = 0; lba < 80; ++lba) {
+      EXPECT_TRUE(ftl.Write(lba, Page(static_cast<uint8_t>(lba)), 0).ok());
+    }
+    clock.Advance(YearsToUs(7.0));
+    uint64_t loud = 0;
+    for (uint64_t lba = 0; lba < 80; ++lba) {
+      auto read = ftl.Read(lba);
+      if (!read.ok()) {
+        EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+        ++loud;
+        continue;
+      }
+      EXPECT_EQ(read.value().data, Page(static_cast<uint8_t>(lba)));
+    }
+    EXPECT_GT(ftl.stats().ecc_failures(), 0u) << "aging produced no ECC failures; tune the test";
+    return std::pair<uint64_t, uint64_t>(loud, ftl.stats().retry_recoveries());
+  };
+  const auto [loud_without, recoveries_without] = run(0);
+  const auto [loud_with, recoveries_with] = run(3);
+  EXPECT_EQ(recoveries_without, 0u);
+  EXPECT_GT(recoveries_with, 0u);
+  EXPECT_LT(loud_with, loud_without);
+}
+
 TEST(FtlTest, RetirementShrinksCapacityAndNotifies) {
   SimClock clock;
   FtlConfig config = SinglePool(8, CellTech::kPlc, EccPreset::kNone);

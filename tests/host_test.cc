@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/flash/fault_hook.h"
 #include "src/host/file_system.h"
 #include "src/host/workload.h"
 #include "src/sos/sos_device.h"
@@ -173,6 +174,91 @@ TEST(FileSystemTest, ScanFilesSeesAll) {
   }
   EXPECT_EQ(f.fs.ScanFiles().size(), 5u);
   EXPECT_EQ(f.fs.FileIds().size(), 5u);
+}
+
+// --- Degraded reads at the device boundary ----------------------------------
+
+// SPARE (approximate storage, paper-default no ECC): aged data is served
+// degraded-but-flagged. A read that returns different bytes than were
+// written MUST carry degraded=true -- silent corruption is the one outcome
+// the SPARE contract forbids.
+TEST(SosDeviceDegradedReadTest, SpareServesAgedDataDegradedButFlagged) {
+  SosDeviceConfig config = SmallDevice();
+  config.spare_ecc = EccPreset::kNone;  // the real paper configuration
+  SimClock clock;
+  SosDevice device(config, &clock);
+  const uint32_t page = device.block_size();
+  constexpr uint64_t kLbas = 10;
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    ASSERT_TRUE(device.Write(lba, Content(page, static_cast<uint8_t>(lba)), StreamClass::kSpare).ok());
+  }
+  clock.Advance(YearsToUs(3.0));
+  uint64_t degraded = 0;
+  for (uint64_t lba = 0; lba < kLbas; ++lba) {
+    SCOPED_TRACE("lba " + std::to_string(lba));
+    auto read = device.Read(lba);
+    ASSERT_TRUE(read.ok());  // approximate storage never refuses a read
+    const bool wrong = read.value().data != Content(page, static_cast<uint8_t>(lba));
+    if (wrong) {
+      EXPECT_TRUE(read.value().degraded) << "silently corrupted SPARE read";
+    }
+    degraded += read.value().degraded ? 1 : 0;
+  }
+  EXPECT_GT(degraded, 0u) << "aging produced no corruption; tune the test";
+}
+
+// Injects device-read failures: the first `fail_count` reads fail with
+// `code`, everything else proceeds. Deterministic stand-in for a flaky bus
+// (kUnavailable) or a dead die (kWornOut).
+class FailingReadHook final : public NandFaultHook {
+ public:
+  FailingReadHook(uint64_t fail_count, StatusCode code) : remaining_(fail_count), code_(code) {}
+  NandFaultAction OnNandOp(NandOpKind op, uint32_t, uint32_t) override {
+    if (op == NandOpKind::kRead && remaining_ > 0) {
+      --remaining_;
+      return NandFaultAction::Fail(code_, "injected read fault");
+    }
+    return NandFaultAction::None();
+  }
+
+ private:
+  uint64_t remaining_;
+  StatusCode code_;
+};
+
+// SYS (strict fidelity): a host read either recovers the exact bytes or
+// fails loudly -- in neither case do wrong bytes cross the host boundary.
+// A transient device fault is absorbed by the FTL's deterministic retry;
+// a permanent one surfaces as an error, not as corruption.
+TEST(SosDeviceDegradedReadTest, SysRecoversExactlyOrErrorsLoudly) {
+  SimClock clock;
+  SosDevice device(SmallDevice(), &clock);
+  const uint32_t page = device.block_size();
+  ASSERT_TRUE(device.Write(3, Content(page, 3), StreamClass::kSys).ok());
+
+  // Transient: the single failed device read is retried and served exactly.
+  FailingReadHook flaky(1, StatusCode::kUnavailable);
+  device.ftl().nand().SetFaultHook(&flaky);
+  auto read = device.Read(3);
+  device.ftl().nand().SetFaultHook(nullptr);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read.value().degraded);
+  EXPECT_EQ(read.value().data, Content(page, 3));
+
+  // Permanent (worn-out die): every attempt fails; the host sees a loud
+  // error and the strict pool records no degraded delivery.
+  FailingReadHook dead(~0ull, StatusCode::kWornOut);
+  device.ftl().nand().SetFaultHook(&dead);
+  auto dead_read = device.Read(3);
+  device.ftl().nand().SetFaultHook(nullptr);
+  ASSERT_FALSE(dead_read.ok());
+  EXPECT_EQ(dead_read.status().code(), StatusCode::kWornOut);
+  EXPECT_EQ(device.ftl().stats().degraded_reads(), 0u);
+
+  // The device itself is healthy again once the fault clears.
+  auto healthy = device.Read(3);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.value().data, Content(page, 3));
 }
 
 // --- Workload generator ----------------------------------------------------

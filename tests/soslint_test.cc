@@ -1,6 +1,6 @@
 // Copyright (c) 2026 The SOS Authors. MIT License.
 //
-// Unit tests for tools/soslint: every rule R1..R5 is exercised with a
+// Unit tests for tools/soslint: every rule R1..R6 is exercised with a
 // fixture that must fire and a near-identical fixture that must pass, so a
 // lexer or matcher regression shows up as a test diff, not as lint noise on
 // the real tree. Fixtures are raw strings; soslint's own lexer drops raw
@@ -260,6 +260,76 @@ TEST(SoslintR5Test, SameLineAllowWorks) {
     }
   )cc");
   EXPECT_EQ(CountRule(diags, "R1"), 0);
+}
+
+// --- R6: swallowed recovery Status ------------------------------------------
+
+TEST(SoslintR6Test, FlagsBareRecoverCallOnFaultPath) {
+  const auto diags = Lint("src/ftl/x.cc", R"cc(
+    void Mount(Ftl& ftl) {
+      ftl.RecoverFromFlash();
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R6"), 1);
+}
+
+TEST(SoslintR6Test, FlagsVoidCastThroughPointerReceiver) {
+  const auto diags = Lint("src/sos/x.cc", R"cc(
+    void Mount(SosDevice* dev) {
+      (void)dev->RecoverFromPowerLoss();
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R6"), 1);
+}
+
+TEST(SoslintR6Test, FlagsBareDropBadBlockAndGateOp) {
+  const auto diags = Lint("src/fault/x.cc", R"cc(
+    void Handle(Ftl& ftl, FaultInjector& inj) {
+      ftl.DropBadBlock(3);
+      inj.GateOp(NandOpKind::kProgram, 0, 0);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R6"), 2);
+}
+
+TEST(SoslintR6Test, PassesWhenStatusIsBoundOrPropagated) {
+  const auto diags = Lint("src/ftl/x.cc", R"cc(
+    Status Mount(Ftl& ftl) {
+      if (Status s = ftl.RecoverFromFlash(); !s.ok()) {
+        return s;
+      }
+      return ftl.DropBadBlock(3);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R6"), 0);
+}
+
+TEST(SoslintR6Test, PassesIgnoreResultWaiverAndDeclaration) {
+  const auto diags = Lint("src/ftl/x.cc", R"cc(
+    Status Ftl::RecoverFromFlash() { return OkStatus(); }
+    void BestEffort(Ftl& ftl) {
+      IgnoreResult(ftl.RecoverFromFlash());
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R6"), 0);
+}
+
+TEST(SoslintR6Test, IgnoresBareCallOutsideRecoveryPaths) {
+  const auto diags = Lint("tests/x.cc", R"cc(
+    void Check(Ftl& ftl) {
+      ftl.RecoverFromFlash();
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R6"), 0);
+}
+
+TEST(SoslintR6Test, AllowCommentSuppresses) {
+  const auto diags = Lint("src/ftl/x.cc", R"cc(
+    void Mount(Ftl& ftl) {
+      ftl.RecoverFromFlash();  // soslint:allow(R6) failure re-audited below
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R6"), 0);
 }
 
 // --- Output format & determinism ---------------------------------------------

@@ -184,7 +184,7 @@ Lexed Lex(const std::string& src) {
 // Allow-directives (rule R5).
 // ---------------------------------------------------------------------------
 
-constexpr std::array<const char*, 5> kRules = {"R1", "R2", "R3", "R4", "R5"};
+constexpr std::array<const char*, 6> kRules = {"R1", "R2", "R3", "R4", "R5", "R6"};
 
 bool IsKnownRule(const std::string& rule) {
   return std::find(kRules.begin(), kRules.end(), rule) != kRules.end();
@@ -524,6 +524,65 @@ void CheckAssertSideEffects(const SourceFile& file, const std::vector<Token>& to
   }
 }
 
+// ---------------------------------------------------------------------------
+// R6: swallowed Status/Result on recovery and fault-injection paths.
+// ---------------------------------------------------------------------------
+//
+// [[nodiscard]] already rejects a plain discard at compile time; what it
+// cannot catch is `(void)`-laundering or a refactor that drops the marker.
+// On crash-recovery code a swallowed error is exactly the bug the subsystem
+// exists to surface, so the recovery entry points get a dedicated lint:
+// their Status must be assigned, tested, returned, or explicitly waived
+// through IgnoreResult() (which is grep-able and reviewed).
+
+bool IsR6Scoped(const std::string& path) {
+  return path.rfind("src/fault/", 0) == 0 || path.rfind("src/ftl/", 0) == 0 ||
+         path.rfind("src/sos/", 0) == 0;
+}
+
+bool IsR6Callee(const std::string& name) {
+  return name.rfind("Recover", 0) == 0 || name == "DropBadBlock" || name == "GateOp";
+}
+
+void CheckSwallowedRecoveryStatus(const SourceFile& file, const std::vector<Token>& tokens,
+                                  std::vector<Diagnostic>* diags) {
+  if (!IsR6Scoped(file.path)) {
+    return;
+  }
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kIdent || !IsR6Callee(tokens[i].text) ||
+        tokens[i + 1].text != "(") {
+      continue;
+    }
+    // Walk back over the receiver chain (`ftl_->`, `device.ftl().`) to the
+    // statement head; what precedes it decides whether the result is used.
+    size_t k = i;
+    while (k > 0) {
+      const std::string& prev = tokens[k - 1].text;
+      if (prev == "." || prev == "->" || prev == "::") {
+        k -= 1;
+        if (k > 0) {
+          --k;  // the receiver token itself (identifier, ')' or ']')
+        }
+        continue;
+      }
+      break;
+    }
+    const bool bare = k == 0 || tokens[k - 1].text == ";" || tokens[k - 1].text == "{" ||
+                      tokens[k - 1].text == "}" || tokens[k - 1].text == "else";
+    const bool void_cast = k >= 3 && tokens[k - 1].text == ")" && tokens[k - 2].text == "void" &&
+                           tokens[k - 3].text == "(";
+    if (bare || void_cast) {
+      diags->push_back(
+          {file.path, tokens[i].line, "R6",
+           std::string(void_cast ? "(void)-casting" : "discarding") + " the Status of '" +
+               tokens[i].text +
+               "' swallows a recovery/fault-path error; handle it, propagate it, or waive it "
+               "explicitly with IgnoreResult(...)"});
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -566,6 +625,7 @@ std::vector<Diagnostic> LintFile(const SourceFile& file,
   CheckIncludes(file, lexed.tokens, &raw);
   CheckHeaderGuard(file, lexed.tokens, &raw);
   CheckAssertSideEffects(file, lexed.tokens, &raw);
+  CheckSwallowedRecoveryStatus(file, lexed.tokens, &raw);
 
   std::vector<Diagnostic> diags;
   for (Diagnostic& diag : raw) {

@@ -26,6 +26,11 @@
 //       violating line or the line above suppresses the named rule there.
 //       The reason text is mandatory; naming an unknown rule is itself a
 //       violation. (DESIGN.md §8 documents the full grammar.)
+//   R6  On recovery/fault paths (src/fault, src/ftl, src/sos) the Status of
+//       Recover*/DropBadBlock/GateOp must not be swallowed: no bare calls
+//       and no (void)-casts. [[nodiscard]] catches the former at compile
+//       time; the lint also catches the (void) laundering and survives a
+//       dropped attribute. IgnoreResult(...) is the sanctioned waiver.
 //
 // The linter is a token-level analysis (comments/strings stripped, operators
 // lexed as single tokens), not a full parser: cheap enough to run as a ctest
