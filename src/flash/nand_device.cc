@@ -10,7 +10,7 @@
 namespace sos {
 
 NandDevice::NandDevice(const NandConfig& config, SimClock* clock)
-    : config_(config), clock_(clock) {
+    : config_(config), clock_(clock), rber_cache_(config.error_model, config.rber_memo) {
   assert(clock != nullptr);
   assert(config_.num_blocks > 0 && config_.wordlines_per_block > 0 && config_.page_size_bytes > 0);
   blocks_.resize(config_.num_blocks);
@@ -206,7 +206,7 @@ Result<ReadResult> NandDevice::Read(PageAddr addr, int retry_level) {
       DeriveSeed({config_.seed, addr.block, addr.page, page.pec_at_program, page.reads,
                   static_cast<uint64_t>(retry_level)});
   ReadResult result;
-  result.rber = ComputeRber(config_.error_model, state, retry_level);
+  result.rber = rber_cache_.Rber(state, retry_level);
   result.bit_errors =
       result.rber <= 0.0 ? 0 : Rng(stream_seed).NextBinomial(bits, result.rber);
   if (config_.store_payloads) {
@@ -286,7 +286,48 @@ Result<double> NandDevice::PredictRber(PageAddr addr, double ahead_years) const 
   }
   PageErrorState state = ErrorStateFor(blk, page);
   state.retention_years += std::max(ahead_years, 0.0);
-  return ComputeRber(config_.error_model, state, 0);
+  return rber_cache_.Rber(state, 0);
+}
+
+std::vector<Result<ReadResult>> NandDevice::ReadRun(uint32_t block, uint32_t start_page,
+                                                    uint32_t count, int retry_level) {
+  std::vector<Result<ReadResult>> results;
+  results.reserve(count);
+  // Delegating per page keeps the run byte-identical to a serial loop by
+  // construction (same gating, clock and error-stream derivation); the
+  // batching win is the amortized call overhead in the FTL's loops.
+  for (uint32_t i = 0; i < count; ++i) {
+    results.push_back(Read({block, start_page + i}, retry_level));
+  }
+  return results;
+}
+
+Status NandDevice::ProgramRun(uint32_t block, std::span<const std::vector<uint8_t>> payloads,
+                              std::span<const PageOob> oobs) {
+  if (!oobs.empty() && oobs.size() != payloads.size()) {
+    return Status(StatusCode::kInvalidArgument, "oob count must match payload count");
+  }
+  if (block >= blocks_.size()) {
+    return Status(StatusCode::kInvalidArgument, "block out of range");
+  }
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    const PageAddr addr{block, blocks_[block].info.next_page};
+    const PageOob* oob = oobs.empty() ? nullptr : &oobs[i];
+    if (Status s = Program(addr, payloads[i], oob); !s.ok()) {
+      return s;  // pages programmed so far remain, as in a serial loop
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Result<PageOob>> NandDevice::ReadOobRun(uint32_t block, uint32_t start_page,
+                                                    uint32_t count) const {
+  std::vector<Result<PageOob>> results;
+  results.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    results.push_back(ReadOob({block, start_page + i}));
+  }
+  return results;
 }
 
 double NandDevice::MaxWearRatio() const {

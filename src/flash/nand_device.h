@@ -38,6 +38,7 @@
 #include "src/flash/cell_tech.h"
 #include "src/flash/error_model.h"
 #include "src/flash/fault_hook.h"
+#include "src/flash/rber_cache.h"
 #include "src/flash/voltage_model.h"
 #include "src/obs/metrics.h"
 
@@ -58,6 +59,11 @@ struct NandConfig {
   // advances the clock to batch completion itself. Latencies are still
   // reported in each result / via CellTechInfo.
   bool advance_clock = true;
+  // Memoize RBER evaluation through RberCache (lookup tables instead of
+  // libm pow/erfc per read). OFF by default: the memoized value differs
+  // from the exact model by up to RberCache::kRelErrorBound, which would
+  // drift the goldens. Flip on for fleet-scale throughput runs.
+  bool rber_memo = false;
 
   // Page count of one block when programmed in `mode`.
   uint32_t PagesPerBlock(CellTech mode) const {
@@ -192,6 +198,31 @@ class NandDevice {
   // an independent error sample (each re-read is a fresh analog measurement).
   [[nodiscard]] Result<ReadResult> Read(PageAddr addr, int retry_level = 0);
 
+  // --- Batched multi-page entry points --------------------------------------
+  //
+  // One device call per contiguous page run instead of per page, for the
+  // FTL's GC/migration/recovery loops. Per-page semantics (clock advance,
+  // fault gating, error sampling, stats) are exactly those of the single-page
+  // ops issued in sequence -- a power cut mid-run fails the remaining pages
+  // with kPowerLost just as a serial loop would -- so a batched run is
+  // byte-identical to the loop it replaces.
+
+  // Reads `count` consecutive pages starting at `start_page`; result i is
+  // page start_page + i.
+  [[nodiscard]] std::vector<Result<ReadResult>> ReadRun(uint32_t block, uint32_t start_page,
+                                                        uint32_t count, int retry_level = 0);
+
+  // Programs payloads[i] (with oobs[i], when `oobs` is non-empty) at the
+  // block's sequential program cursor. Stops at the first failure and
+  // returns its Status; previously programmed pages of the run remain.
+  [[nodiscard]] Status ProgramRun(uint32_t block, std::span<const std::vector<uint8_t>> payloads,
+                                  std::span<const PageOob> oobs);
+
+  // OOB metadata of `count` consecutive pages. Like ReadOob: pure -- no
+  // clock advance, no error injection, no fault-hook consultation.
+  [[nodiscard]] std::vector<Result<PageOob>> ReadOobRun(uint32_t block, uint32_t start_page,
+                                                        uint32_t count) const;
+
   // Returns the stored payload of a programmed page *without* error injection
   // and without advancing time. This is the "ECC succeeded" backdoor: the
   // ECC layer models correction on error counts, and when a codeword is
@@ -250,6 +281,9 @@ class NandDevice {
   NandConfig config_;
   SimClock* clock_;
   std::vector<Block> blocks_;
+  // Memoized (or, by default, passthrough-exact) RBER evaluation; its
+  // internal tables are mutable so const prediction paths share them.
+  RberCache rber_cache_;
   NandStats stats_;
   bool powered_ = true;
   NandFaultHook* fault_hook_ = nullptr;

@@ -5,8 +5,8 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <utility>
 
-#include "src/common/container_util.h"
 #include "src/common/rng.h"
 #include "src/flash/error_model.h"
 #include "src/obs/scoped_latency.h"
@@ -63,8 +63,19 @@ Ftl::Ftl(const FtlConfig& config, SimClock* clock)
   }
   assert(share_sum > 0.0);
 
-  // Partition the physical blocks across pools by share.
+  // Flat per-block metadata, sized once from device geometry. The reverse
+  // map uses a fixed per-block stride of the die's *native* page count --
+  // an upper bound for every pool mode, so rows never move when a block
+  // changes mode on resuscitation.
   const uint32_t total_blocks = config_.nand.num_blocks;
+  page_stride_ = config_.nand.PagesPerBlock(config_.nand.tech);
+  p2l_.assign(static_cast<size_t>(total_blocks) * page_stride_, kLbaInvalid);
+  block_owner_.assign(total_blocks, kNoPool);
+  block_valid_.assign(total_blocks, 0);
+  block_last_write_.assign(total_blocks, 0);
+  block_sealed_.assign(total_blocks, 0);
+
+  // Partition the physical blocks across pools by share.
   uint32_t next_block = 0;
   for (size_t p = 0; p < config_.pools.size(); ++p) {
     Pool pool;
@@ -95,10 +106,8 @@ Ftl::Ftl(const FtlConfig& config, SimClock* clock)
       Status label = nand_.SetBlockLabel(next_block, static_cast<uint32_t>(p));
       assert(label.ok());
       (void)label;
-      FtlBlock blk;
-      blk.id = next_block;
-      blk.page_lba.assign(pages, kLbaInvalid);
-      pool.blocks.emplace(next_block, std::move(blk));
+      block_owner_[next_block] = static_cast<uint32_t>(p);
+      ++pool.num_blocks;
       pool.free_blocks.push_back(next_block);
     }
     pools_.push_back(std::move(pool));
@@ -111,6 +120,9 @@ Ftl::Ftl(const FtlConfig& config, SimClock* clock)
     }
   }
   last_exported_pages_ = ExportedPages();
+  // Pre-size the forward map to the exported capacity: the steady-state host
+  // write path then never reallocates.
+  l2p_.Reserve(last_exported_pages_);
 }
 
 uint32_t Ftl::PoolIdByName(const std::string& name) const {
@@ -129,6 +141,13 @@ bool Ftl::IsParitySlot(const Pool& pool, uint32_t page) const {
 
 uint32_t Ftl::PagesPerBlock(const Pool& pool) const {
   return config_.nand.PagesPerBlock(pool.config.mode);
+}
+
+void Ftl::ResetBlockRow(uint32_t block) {
+  uint64_t* row = P2lRow(block);
+  std::fill(row, row + page_stride_, kLbaInvalid);
+  block_valid_[block] = 0;
+  block_sealed_[block] = 0;
 }
 
 std::optional<uint32_t> Ftl::AllocateBlock(Pool& pool) {
@@ -158,7 +177,7 @@ Ftl::ActiveSlot& Ftl::SlotFor(Pool& pool, bool cold) {
 
 bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc) {
   Pool& pool = pools_[pool_id];
-  if (pool.blocks.size() < pool.config.min_live_blocks) {
+  if (pool.num_blocks < pool.config.min_live_blocks) {
     return false;  // pool has worn down to a husk
   }
   // True while the slot's active block has a free page; clears a spent one.
@@ -166,8 +185,8 @@ bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc) {
     if (!slot.block.has_value()) {
       return false;
     }
-    const FtlBlock& blk = pool.blocks.at(*slot.block);
-    if (!blk.sealed && nand_.block_info(blk.id).next_page < PagesPerBlock(pool)) {
+    const uint32_t id = *slot.block;
+    if (block_sealed_[id] == 0 && nand_.block_info(id).next_page < PagesPerBlock(pool)) {
       return true;
     }
     slot.block.reset();
@@ -202,10 +221,7 @@ bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc) {
     return false;
   }
   slot.block = *block;
-  FtlBlock& blk = pool.blocks.at(*block);
-  blk.page_lba.assign(PagesPerBlock(pool), kLbaInvalid);
-  blk.valid = 0;
-  blk.sealed = false;
+  ResetBlockRow(*block);
   // A fresh stripe starts with a fresh block.
   std::fill(slot.stripe_xor.begin(), slot.stripe_xor.end(), 0);
   slot.stripe_fill = 0;
@@ -215,8 +231,8 @@ bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc) {
 Status Ftl::WriteParityPage(uint32_t pool_id, ActiveSlot& slot) {
   Pool& pool = pools_[pool_id];
   assert(slot.block.has_value());
-  FtlBlock& blk = pool.blocks.at(*slot.block);
-  const uint32_t page = nand_.block_info(blk.id).next_page;
+  const uint32_t bid = *slot.block;
+  const uint32_t page = nand_.block_info(bid).next_page;
   assert(IsParitySlot(pool, page));
   std::span<const uint8_t> payload;
   if (config_.nand.store_payloads) {
@@ -227,26 +243,26 @@ Status Ftl::WriteParityPage(uint32_t pool_id, ActiveSlot& slot) {
   oob.seq = write_seq_;
   oob.pool = pool_id;
   oob.flags = kOobFlagParity;
-  if (Status s = nand_.Program({blk.id, page}, payload, &oob); !s.ok()) {
+  if (Status s = nand_.Program({bid, page}, payload, &oob); !s.ok()) {
     return s;
   }
   ++write_seq_;
-  blk.page_lba[page] = kLbaParity;
-  blk.last_write = clock_->now();
+  P2lRow(bid)[page] = kLbaParity;
+  block_last_write_[bid] = clock_->now();
   ++pool.stats.parity_writes_;
   ++pool.stats.nand_writes_;
   std::fill(slot.stripe_xor.begin(), slot.stripe_xor.end(), 0);
   slot.stripe_fill = 0;
-  if (nand_.block_info(blk.id).next_page >= PagesPerBlock(pool)) {
-    blk.sealed = true;
+  if (nand_.block_info(bid).next_page >= PagesPerBlock(pool)) {
+    block_sealed_[bid] = 1;
     slot.block.reset();
   }
   return Status::Ok();
 }
 
-Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
-                                     std::span<const uint8_t> data, bool allow_gc, bool cold,
-                                     bool tainted) {
+Result<PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
+                                std::span<const uint8_t> data, bool allow_gc, bool cold,
+                                bool tainted) {
   Pool& pool = pools_[pool_id];
   ActiveSlot& slot = SlotFor(pool, cold);
   // The retry budget absorbs stripe-boundary reseals, transient program
@@ -257,8 +273,8 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
       return Status(StatusCode::kOutOfSpace,
                     "pool '" + pool.config.name + "' has no writable blocks");
     }
-    FtlBlock& blk = pool.blocks.at(*slot.block);
-    uint32_t page = nand_.block_info(blk.id).next_page;
+    const uint32_t bid = *slot.block;
+    uint32_t page = nand_.block_info(bid).next_page;
     // Flush parity pages until the cursor rests on a data slot (a stripe
     // boundary may seal the block, hence the outer retry loop).
     bool resealed = false;
@@ -272,7 +288,7 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
         resealed = true;
         break;
       }
-      page = nand_.block_info(blk.id).next_page;
+      page = nand_.block_info(bid).next_page;
     }
     if (!parity_status.ok()) {
       if (parity_status.code() == StatusCode::kPowerLost) {
@@ -295,25 +311,24 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
     oob.seq = write_seq_;
     oob.pool = pool_id;
     oob.flags = tainted ? kOobFlagTainted : 0;
-    if (Status s = nand_.Program({blk.id, page}, data, &oob); !s.ok()) {
+    if (Status s = nand_.Program({bid, page}, data, &oob); !s.ok()) {
       if (s.code() == StatusCode::kPowerLost) {
         // The page may or may not have reached the cells (torn write);
         // volatile bookkeeping is not updated -- recovery rebuilds it.
         return s;
       }
       if (s.code() == StatusCode::kWornOut) {
-        const uint32_t bad = blk.id;
-        if (Status drop = DropBadBlock(pool_id, bad); !drop.ok()) {
+        if (Status drop = DropBadBlock(pool_id, bid); !drop.ok()) {
           return drop;
         }
       }
       continue;  // transient program failure: retry on a fresh append point
     }
     ++write_seq_;
-    blk.page_lba[page] = lba;
-    ++blk.valid;
+    P2lRow(bid)[page] = lba;
+    ++block_valid_[bid];
     ++pool.valid_pages;
-    blk.last_write = clock_->now();
+    block_last_write_[bid] = clock_->now();
     ++pool.stats.nand_writes_;
     if (pool.config.parity_stripe > 0 && config_.nand.store_payloads) {
       for (size_t i = 0; i < data.size() && i < slot.stripe_xor.size(); ++i) {
@@ -321,27 +336,26 @@ Result<Ftl::PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
       }
       ++slot.stripe_fill;
     }
-    if (nand_.block_info(blk.id).next_page >= PagesPerBlock(pool)) {
-      blk.sealed = true;
+    if (nand_.block_info(bid).next_page >= PagesPerBlock(pool)) {
+      block_sealed_[bid] = 1;
       slot.block.reset();
     }
-    return PhysLoc{pool_id, blk.id, page, tainted};
+    return PhysLoc{pool_id, bid, page, tainted};
   }
   return Status(StatusCode::kOutOfSpace, "append retry budget exhausted");
 }
 
 void Ftl::InvalidateLoc(const PhysLoc& loc) {
   Pool& pool = pools_[loc.pool];
-  auto it = pool.blocks.find(loc.block);
-  if (it == pool.blocks.end()) {
+  if (!OwnedBy(loc.block, loc.pool)) {
     return;  // block was retired out from under the mapping
   }
-  FtlBlock& blk = it->second;
-  if (loc.page < blk.page_lba.size() && blk.page_lba[loc.page] != kLbaInvalid &&
-      blk.page_lba[loc.page] != kLbaParity) {
-    blk.page_lba[loc.page] = kLbaInvalid;
-    assert(blk.valid > 0);
-    --blk.valid;
+  uint64_t* row = P2lRow(loc.block);
+  if (loc.page < PagesPerBlock(pool) && row[loc.page] != kLbaInvalid &&
+      row[loc.page] != kLbaParity) {
+    row[loc.page] = kLbaInvalid;
+    assert(block_valid_[loc.block] > 0);
+    --block_valid_[loc.block];
     assert(pool.valid_pages > 0);
     --pool.valid_pages;
   }
@@ -360,24 +374,20 @@ Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id)
   if (!loc.ok()) {
     return loc.status();
   }
-  auto old = map_.find(lba);
-  if (old != map_.end()) {
-    InvalidateLoc(old->second);
-    old->second = loc.value();
-  } else {
-    map_.emplace(lba, loc.value());
+  if (auto old = l2p_.Find(lba); old.has_value()) {
+    InvalidateLoc(*old);
   }
+  l2p_.Set(lba, loc.value());
   ++pools_[pool_id].stats.host_writes_;
   return Status::Ok();
 }
 
 Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
-  auto it = map_.find(lba);
-  if (it == map_.end()) {
+  const auto found = l2p_.Find(lba);
+  if (!found.has_value()) {
     return Status(StatusCode::kNotFound, "unmapped LBA");
   }
-  const PhysLoc loc = it->second;
-  Pool& pool = pools_[loc.pool];
+  const PhysLoc loc = *found;
   auto read = nand_.Read({loc.block, loc.page});
   if (!read.ok() && read.status().code() == StatusCode::kUnavailable) {
     // Transient device fault (bus glitch, busy die): one deterministic
@@ -387,15 +397,20 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
   if (!read.ok()) {
     return read.status();
   }
+  return DecodeRead(loc, std::move(read.value()), count_stats);
+}
+
+Result<FtlReadResult> Ftl::DecodeRead(const PhysLoc& loc, ReadResult raw, bool count_stats) {
+  Pool& pool = pools_[loc.pool];
   FtlReadResult result;
-  result.raw_rber = read.value().rber;
+  result.raw_rber = raw.rber;
   result.pool_id = loc.pool;
   result.tainted = loc.tainted;
 
   const uint64_t decode_seed =
-      DeriveSeed({config_.nand.seed, loc.block, loc.page, read.value().bit_errors});
+      DeriveSeed({config_.nand.seed, loc.block, loc.page, raw.bit_errors});
   const DecodeOutcome outcome = DecodePage(pool.config.ecc, config_.nand.page_size_bytes,
-                                           read.value().bit_errors, decode_seed);
+                                           raw.bit_errors, decode_seed);
   if (outcome.corrected) {
     auto clean = nand_.PeekClean({loc.block, loc.page});
     if (clean.ok()) {
@@ -439,10 +454,9 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
     const uint32_t stripe = pool.config.parity_stripe;
     const uint32_t start = loc.page / stripe * stripe;
     const uint32_t parity_page = start + stripe - 1;
-    auto blk_it = pool.blocks.find(loc.block);
-    const bool stripe_complete =
-        blk_it != pool.blocks.end() && parity_page < blk_it->second.page_lba.size() &&
-        blk_it->second.page_lba[parity_page] == kLbaParity;
+    const bool stripe_complete = OwnedBy(loc.block, loc.pool) &&
+                                 parity_page < PagesPerBlock(pool) &&
+                                 P2lRow(loc.block)[parity_page] == kLbaParity;
     if (stripe_complete) {
       bool rescue_ok = true;
       for (uint32_t p = start; p < start + stripe && rescue_ok; ++p) {
@@ -483,7 +497,7 @@ Result<FtlReadResult> Ftl::ReadInternal(uint64_t lba, bool count_stats) {
                   "unrecoverable corruption on strict pool '" + pool.config.name + "'");
   }
   // Deliver the raw (corrupted) bytes -- approximate storage.
-  result.data = std::move(read.value().data);
+  result.data = std::move(raw.data);
   result.residual_bit_errors = outcome.residual_errors;
   result.degraded = true;
   if (count_stats) {
@@ -498,12 +512,12 @@ Result<FtlReadResult> Ftl::Read(uint64_t lba) {
 }
 
 Status Ftl::Trim(uint64_t lba) {
-  auto it = map_.find(lba);
-  if (it == map_.end()) {
+  const auto loc = l2p_.Find(lba);
+  if (!loc.has_value()) {
     return Status(StatusCode::kNotFound, "unmapped LBA");
   }
-  InvalidateLoc(it->second);
-  map_.erase(it);
+  InvalidateLoc(*loc);
+  l2p_.Erase(lba);
   return Status::Ok();
 }
 
@@ -511,33 +525,30 @@ Status Ftl::Migrate(uint64_t lba, uint32_t target_pool) {
   if (target_pool >= pools_.size()) {
     return Status(StatusCode::kInvalidArgument, "bad pool id");
   }
-  auto it = map_.find(lba);
-  if (it == map_.end()) {
+  const auto cur = l2p_.Find(lba);
+  if (!cur.has_value()) {
     return Status(StatusCode::kNotFound, "unmapped LBA");
   }
-  if (it->second.pool == target_pool) {
+  if (cur->pool == target_pool) {
     return Status::Ok();
   }
   auto read = ReadInternal(lba, /*count_stats=*/false);
   if (!read.ok()) {
     return read.status();
   }
-  const bool tainted = it->second.tainted || read.value().degraded;
-  const uint32_t source_pool = it->second.pool;
+  const bool tainted = cur->tainted || read.value().degraded;
+  const uint32_t source_pool = cur->pool;
   auto loc = AppendPage(target_pool, lba, read.value().data, /*allow_gc=*/true,
                         /*cold=*/false, tainted);
   if (!loc.ok()) {
     return loc.status();
   }
   // The append may have dropped a grown-bad block and moved (or lost) the old
-  // copy's mapping; re-find the entry rather than trusting the old iterator.
-  it = map_.find(lba);
-  if (it != map_.end()) {
-    InvalidateLoc(it->second);
-    it->second = loc.value();
-  } else {
-    map_.emplace(lba, loc.value());  // old copy died with a bad block; the new one stands
+  // copy's mapping; re-look the entry up rather than trusting the old value.
+  if (auto moved = l2p_.Find(lba); moved.has_value()) {
+    InvalidateLoc(*moved);
   }
+  l2p_.Set(lba, loc.value());
   ++pools_[target_pool].stats.migrations_;
   Trace(obs::TraceEvent{clock_->now(), "ftl.migrate"}
             .WithU64("lba", lba)
@@ -548,28 +559,26 @@ Status Ftl::Migrate(uint64_t lba, uint32_t target_pool) {
 }
 
 Status Ftl::Refresh(uint64_t lba) {
-  auto it = map_.find(lba);
-  if (it == map_.end()) {
+  const auto cur = l2p_.Find(lba);
+  if (!cur.has_value()) {
     return Status(StatusCode::kNotFound, "unmapped LBA");
   }
-  const uint32_t pool_id = it->second.pool;
+  const uint32_t pool_id = cur->pool;
   auto read = ReadInternal(lba, /*count_stats=*/false);
   if (!read.ok()) {
     return read.status();
   }
-  const bool tainted = it->second.tainted || read.value().degraded;
+  const bool tainted = cur->tainted || read.value().degraded;
   auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/true, /*cold=*/true,
                         tainted);
   if (!loc.ok()) {
     return loc.status();
   }
-  it = map_.find(lba);  // a grown-bad-block drop inside the append may have moved it
-  if (it != map_.end()) {
-    InvalidateLoc(it->second);
-    it->second = loc.value();
-  } else {
-    map_.emplace(lba, loc.value());
+  // A grown-bad-block drop inside the append may have moved the mapping.
+  if (auto moved = l2p_.Find(lba); moved.has_value()) {
+    InvalidateLoc(*moved);
   }
+  l2p_.Set(lba, loc.value());
   ++pools_[pool_id].stats.refreshes_;
   return Status::Ok();
 }
@@ -596,16 +605,22 @@ uint32_t Ftl::BackgroundCollect(uint32_t max_blocks_per_pool) {
 // Garbage collection, wear leveling, retirement.
 // ---------------------------------------------------------------------------
 
-std::optional<uint32_t> Ftl::PickGcVictim(const Pool& pool) const {
+std::optional<uint32_t> Ftl::PickGcVictim(uint32_t pool_id) const {
+  const Pool& pool = pools_[pool_id];
   std::optional<uint32_t> best;
   double best_score = -1.0;
-  // soslint:allow(R1) order-independent: equal scores break strictly toward the lower block id
-  for (const auto& [id, blk] : pool.blocks) {
-    if (!blk.sealed || pool.IsActive(id)) {
+  // Ascending block-id scan: with a strict `>` comparison the first (lowest
+  // id) of any score tie wins, reproducing the id tie-break the hash-map
+  // implementation enforced explicitly.
+  for (uint32_t id = 0; id < block_owner_.size(); ++id) {
+    if (block_owner_[id] != pool_id) {
+      continue;
+    }
+    if (block_sealed_[id] == 0 || pool.IsActive(id)) {
       continue;
     }
     const double slots = static_cast<double>(pool.data_slots_per_block);
-    const double u = slots > 0.0 ? static_cast<double>(blk.valid) / slots : 1.0;
+    const double u = slots > 0.0 ? static_cast<double>(block_valid_[id]) / slots : 1.0;
     if (u >= 1.0) {
       continue;  // nothing reclaimable
     }
@@ -613,14 +628,12 @@ std::optional<uint32_t> Ftl::PickGcVictim(const Pool& pool) const {
     if (config_.gc_policy == GcPolicy::kGreedy) {
       score = 1.0 - u;
     } else {
+      const SimTimeUs last_write = block_last_write_[id];
       const double age_us = static_cast<double>(
-          clock_->now() >= blk.last_write ? clock_->now() - blk.last_write : 0);
+          clock_->now() >= last_write ? clock_->now() - last_write : 0);
       score = (1.0 - u) / (1.0 + u) * (1.0 + age_us / static_cast<double>(kUsPerDay));
     }
-    // Score ties are common (blocks filled by the same workload phase share a
-    // utilization); without the id tie-break the victim would be whichever tied
-    // block the hash map happens to yield first.
-    if (score > best_score || (score == best_score && best.has_value() && id < *best)) {
+    if (score > best_score) {
       best_score = score;
       best = id;
     }
@@ -631,14 +644,14 @@ std::optional<uint32_t> Ftl::PickGcVictim(const Pool& pool) const {
 bool Ftl::CollectGarbage(uint32_t pool_id) {
   Pool& pool = pools_[pool_id];
   obs::ScopedLatency timer(clock_, &gc_latency_);
-  const auto victim = PickGcVictim(pool);
+  const auto victim = PickGcVictim(pool_id);
   if (!victim.has_value()) {
     return false;
   }
   Trace(obs::TraceEvent{clock_->now(), "ftl.gc.victim"}
             .With("pool", pool.config.name)
             .WithU64("block", *victim)
-            .WithU64("valid_pages", pool.blocks.at(*victim).valid));
+            .WithU64("valid_pages", block_valid_[*victim]));
   if (!EvacuateAndRecycle(pool_id, *victim, /*count_as_wl=*/false).ok()) {
     return false;
   }
@@ -646,53 +659,122 @@ bool Ftl::CollectGarbage(uint32_t pool_id) {
   return true;
 }
 
+Status Ftl::RelocatePage(uint32_t pool_id, uint64_t lba, const FtlReadResult& read,
+                         bool count_as_wl) {
+  const auto cur = l2p_.Find(lba);
+  const bool tainted = (cur.has_value() && cur->tainted) || read.degraded;
+  auto loc = AppendPage(pool_id, lba, read.data, /*allow_gc=*/false,
+                        /*cold=*/true, tainted);
+  if (!loc.ok()) {
+    return loc.status();
+  }
+  // Invalidate the old copy (decrements its block's counters). Re-look the
+  // mapping up: the append may have dropped a grown-bad block and rewritten
+  // mappings.
+  if (auto moved = l2p_.Find(lba); moved.has_value()) {
+    InvalidateLoc(*moved);
+  }
+  l2p_.Set(lba, loc.value());
+  Pool& pool = pools_[pool_id];
+  if (count_as_wl) {
+    ++pool.stats.wl_relocations_;
+  } else {
+    ++pool.stats.gc_relocations_;
+  }
+  return Status::Ok();
+}
+
 Status Ftl::EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_as_wl) {
   Pool& pool = pools_[pool_id];
-  auto blk_it = pool.blocks.find(block_id);
-  if (blk_it == pool.blocks.end()) {
+  if (!OwnedBy(block_id, pool_id)) {
     return Status(StatusCode::kNotFound, "block not owned by pool");
   }
   assert(!in_relocation_ && "nested relocation");
   in_relocation_ = true;
   Status status = Status::Ok();
-  FtlBlock& blk = blk_it->second;
-  for (uint32_t p = 0; p < blk.page_lba.size(); ++p) {
-    const uint64_t lba = blk.page_lba[p];
-    if (lba == kLbaInvalid || lba == kLbaParity) {
-      continue;
+  const uint32_t pages = PagesPerBlock(pool);
+
+  if (!config_.batched_relocation) {
+    // Interleaved read-append per page: the historical schedule every golden
+    // output was recorded against.
+    for (uint32_t p = 0; p < pages; ++p) {
+      const uint64_t lba = P2lRow(block_id)[p];
+      if (lba == kLbaInvalid || lba == kLbaParity) {
+        continue;
+      }
+      const auto cur = l2p_.Find(lba);
+      if (!cur.has_value() || cur->block != block_id || cur->pool != pool_id ||
+          cur->page != p) {
+        continue;  // stale reverse entry
+      }
+      auto read = ReadInternal(lba, /*count_stats=*/false);
+      if (!read.ok()) {
+        status = read.status();
+        break;
+      }
+      if (Status s = RelocatePage(pool_id, lba, read.value(), count_as_wl); !s.ok()) {
+        status = s;
+        break;
+      }
     }
-    auto map_it = map_.find(lba);
-    if (map_it == map_.end() || map_it->second.block != block_id ||
-        map_it->second.pool != pool_id || map_it->second.page != p) {
-      continue;  // stale reverse entry
+  } else {
+    // Two-phase: batch-read every valid run of the victim first (one device
+    // call per contiguous run), then decode + re-append. Deterministic, but a
+    // different op schedule than the interleaved path -- see FtlConfig.
+    std::vector<std::pair<uint32_t, uint64_t>> items;  // (page, lba)
+    for (uint32_t p = 0; p < pages; ++p) {
+      const uint64_t lba = P2lRow(block_id)[p];
+      if (lba == kLbaInvalid || lba == kLbaParity) {
+        continue;
+      }
+      const auto cur = l2p_.Find(lba);
+      if (cur.has_value() && cur->block == block_id && cur->pool == pool_id &&
+          cur->page == p) {
+        items.emplace_back(p, lba);
+      }
     }
-    auto read = ReadInternal(lba, /*count_stats=*/false);
-    if (!read.ok()) {
-      status = read.status();
-      break;
+    std::vector<Result<ReadResult>> raws;
+    raws.reserve(items.size());
+    for (size_t i = 0; i < items.size();) {
+      size_t j = i + 1;
+      while (j < items.size() && items[j].first == items[j - 1].first + 1) {
+        ++j;
+      }
+      auto run = nand_.ReadRun(block_id, items[i].first, static_cast<uint32_t>(j - i));
+      for (auto& r : run) {
+        raws.push_back(std::move(r));
+      }
+      i = j;
     }
-    const bool tainted = map_it->second.tainted || read.value().degraded;
-    auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/false,
-                          /*cold=*/true, tainted);
-    if (!loc.ok()) {
-      status = loc.status();
-      break;
-    }
-    // Invalidate the old copy (decrements this block's counters). Re-find:
-    // the append may have dropped a grown-bad block and rewritten mappings.
-    map_it = map_.find(lba);
-    if (map_it != map_.end()) {
-      InvalidateLoc(map_it->second);
-      map_it->second = loc.value();
-    } else {
-      map_.emplace(lba, loc.value());
-    }
-    if (count_as_wl) {
-      ++pool.stats.wl_relocations_;
-    } else {
-      ++pool.stats.gc_relocations_;
+    for (size_t i = 0; i < items.size(); ++i) {
+      const auto [p, lba] = items[i];
+      // Re-validate: a grown-bad-block drop triggered by an earlier append in
+      // this batch may have moved the mapping already.
+      const auto cur = l2p_.Find(lba);
+      if (!cur.has_value() || cur->block != block_id || cur->pool != pool_id ||
+          cur->page != p) {
+        continue;
+      }
+      Result<ReadResult> raw = std::move(raws[i]);
+      if (!raw.ok() && raw.status().code() == StatusCode::kUnavailable) {
+        raw = nand_.Read({block_id, p});  // transient fault: one retry
+      }
+      if (!raw.ok()) {
+        status = raw.status();
+        break;
+      }
+      auto read = DecodeRead(*cur, std::move(raw.value()), /*count_stats=*/false);
+      if (!read.ok()) {
+        status = read.status();
+        break;
+      }
+      if (Status s = RelocatePage(pool_id, lba, read.value(), count_as_wl); !s.ok()) {
+        status = s;
+        break;
+      }
     }
   }
+
   in_relocation_ = false;
   if (!status.ok()) {
     return status;
@@ -703,18 +785,22 @@ Status Ftl::EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_a
 
 void Ftl::MaybeStaticWearLevel(uint32_t pool_id) {
   Pool& pool = pools_[pool_id];
-  if (!pool.config.wear_leveling || pool.blocks.empty()) {
+  if (!pool.config.wear_leveling || pool.num_blocks == 0) {
     return;
   }
   uint32_t min_pec = std::numeric_limits<uint32_t>::max();
   uint32_t max_pec = 0;
   std::optional<uint32_t> coldest;
-  // soslint:allow(R1) order-independent: max is commutative, equal-PEC candidates break toward the lower block id
-  for (const auto& [id, blk] : pool.blocks) {
+  // Ascending scan + strict `<`: the lowest-id block among equal-PEC eligible
+  // candidates wins, matching the old map implementation's tie-break.
+  for (uint32_t id = 0; id < block_owner_.size(); ++id) {
+    if (block_owner_[id] != pool_id) {
+      continue;
+    }
     const uint32_t pec = nand_.block_info(id).pec;
     max_pec = std::max(max_pec, pec);
-    const bool eligible = blk.sealed && blk.valid > 0 && !pool.IsActive(id);
-    if (eligible && (pec < min_pec || (pec == min_pec && (!coldest.has_value() || id < *coldest)))) {
+    const bool eligible = block_sealed_[id] != 0 && block_valid_[id] > 0 && !pool.IsActive(id);
+    if (eligible && pec < min_pec) {
       min_pec = pec;
       coldest = id;
     }
@@ -730,13 +816,33 @@ void Ftl::MaybeStaticWearLevel(uint32_t pool_id) {
 }
 
 bool Ftl::ShouldRetire(const Pool& pool, uint32_t block_id) const {
-  PageErrorState state;
-  state.mode = pool.config.mode;
-  state.endurance_pec = nand_.EffectiveEndurance(block_id);
-  state.pec_at_program = nand_.block_info(block_id).pec;
-  state.retention_years = pool.config.nominal_retention_years;
-  state.reads_since_program = 0;
-  return ErrorModel::Rber(state) > pool.retire_rber;
+  // Every owned block shares the pool's mode, endurance and nominal
+  // retention, so the exact model value is a pure function of the PEC: cache
+  // the computed double per PEC and replay it bit-for-bit on hits. This
+  // keeps the (pow-heavy) model call off the per-recycle hot path.
+  const uint32_t pec = nand_.block_info(block_id).pec;
+  auto exact = [&]() {
+    PageErrorState state;
+    state.mode = pool.config.mode;
+    state.endurance_pec = nand_.EffectiveEndurance(block_id);
+    state.pec_at_program = pec;
+    state.retention_years = pool.config.nominal_retention_years;
+    state.reads_since_program = 0;
+    return ErrorModel::Rber(state);
+  };
+  constexpr uint32_t kMaxMemoPec = 1u << 20;  // sanity cap on cache growth
+  if (pec >= kMaxMemoPec) {
+    return exact() > pool.retire_rber;
+  }
+  if (pool.retire_rber_by_pec.size() <= pec) {
+    const size_t grown = std::max<size_t>(pec + 1, pool.retire_rber_by_pec.size() * 2);
+    pool.retire_rber_by_pec.resize(grown, -1.0);
+  }
+  double& slot = pool.retire_rber_by_pec[pec];
+  if (slot < 0.0) {
+    slot = exact();
+  }
+  return slot > pool.retire_rber;
 }
 
 void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
@@ -765,16 +871,14 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
   // pools tolerate it) and retires on a later cycle once slack recovers.
   const bool may_retire = pool.free_blocks.size() >= kGcReserveBlocks;
   if (!may_retire || !ShouldRetire(pool, block_id)) {
-    FtlBlock& blk = pool.blocks.at(block_id);
-    blk.page_lba.assign(PagesPerBlock(pool), kLbaInvalid);
-    blk.valid = 0;
-    blk.sealed = false;
+    ResetBlockRow(block_id);
     pool.free_blocks.push_back(block_id);
     return;
   }
 
   // Retired from this pool.
-  pool.blocks.erase(block_id);
+  block_owner_[block_id] = kNoPool;
+  --pool.num_blocks;
   ++pool.retired;
   ++pool.stats.retired_blocks_;
   Trace(obs::TraceEvent{clock_->now(), "ftl.block.retired"}
@@ -787,10 +891,9 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
     Pool& target = pools_[*pool.resuscitate_pool];
     Status mode_status = nand_.SetBlockMode(block_id, target.config.mode);
     if (mode_status.ok() && !ShouldRetire(target, block_id)) {
-      FtlBlock blk;
-      blk.id = block_id;
-      blk.page_lba.assign(PagesPerBlock(target), kLbaInvalid);
-      target.blocks.emplace(block_id, std::move(blk));
+      block_owner_[block_id] = *pool.resuscitate_pool;
+      ++target.num_blocks;
+      ResetBlockRow(block_id);
       target.free_blocks.push_back(block_id);
       ++pool.stats.resuscitated_blocks_;
       resuscitated = true;
@@ -814,8 +917,7 @@ void Ftl::RecycleBlock(uint32_t pool_id, uint32_t block_id) {
 
 Status Ftl::DropBadBlock(uint32_t pool_id, uint32_t block_id) {
   Pool& pool = pools_[pool_id];
-  auto blk_it = pool.blocks.find(block_id);
-  if (blk_it == pool.blocks.end()) {
+  if (!OwnedBy(block_id, pool_id)) {
     return Status(StatusCode::kNotFound, "block not owned by pool");
   }
   // Detach from the append points and the free list before touching data.
@@ -832,15 +934,15 @@ Status Ftl::DropBadBlock(uint32_t pool_id, uint32_t block_id) {
   // normal degradation-aware path.
   const bool prev_relocation = in_relocation_;
   in_relocation_ = true;
-  FtlBlock& blk = blk_it->second;
-  for (uint32_t p = 0; p < blk.page_lba.size(); ++p) {
-    const uint64_t lba = blk.page_lba[p];
+  const uint32_t pages = PagesPerBlock(pool);
+  for (uint32_t p = 0; p < pages; ++p) {
+    const uint64_t lba = P2lRow(block_id)[p];
     if (lba == kLbaInvalid || lba == kLbaParity) {
       continue;
     }
-    auto map_it = map_.find(lba);
-    if (map_it == map_.end() || map_it->second.block != block_id ||
-        map_it->second.pool != pool_id || map_it->second.page != p) {
+    const auto cur = l2p_.Find(lba);
+    if (!cur.has_value() || cur->block != block_id || cur->pool != pool_id ||
+        cur->page != p) {
       continue;  // stale reverse entry
     }
     bool relocated = false;
@@ -850,38 +952,27 @@ Status Ftl::DropBadBlock(uint32_t pool_id, uint32_t block_id) {
       return read.status();
     }
     if (read.ok()) {
-      const bool tainted = map_it->second.tainted || read.value().degraded;
-      auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/false,
-                            /*cold=*/true, tainted);
-      if (!loc.ok() && loc.status().code() == StatusCode::kPowerLost) {
+      Status s = RelocatePage(pool_id, lba, read.value(), /*count_as_wl=*/false);
+      if (!s.ok() && s.code() == StatusCode::kPowerLost) {
         in_relocation_ = prev_relocation;
-        return loc.status();
+        return s;
       }
-      if (loc.ok()) {
-        map_it = map_.find(lba);  // nested drops may have rewritten the map
-        if (map_it != map_.end()) {
-          InvalidateLoc(map_it->second);
-          map_it->second = loc.value();
-        } else {
-          map_.emplace(lba, loc.value());
-        }
-        relocated = true;
-        ++pool.stats.gc_relocations_;
-      }
+      relocated = s.ok();
     }
     if (!relocated) {
       // Unreadable and unsalvageable: the mapping dies here, counted loudly.
-      map_it = map_.find(lba);
-      if (map_it != map_.end()) {
-        InvalidateLoc(map_it->second);
-        map_.erase(map_it);
+      if (auto dead = l2p_.Find(lba); dead.has_value()) {
+        InvalidateLoc(*dead);
+        l2p_.Erase(lba);
       }
       ++pool.stats.lost_pages_;
     }
   }
   in_relocation_ = prev_relocation;
 
-  pool.blocks.erase(block_id);
+  block_owner_[block_id] = kNoPool;
+  --pool.num_blocks;
+  ResetBlockRow(block_id);
   ++pool.stats.grown_bad_blocks_;
   Status label = nand_.SetBlockLabel(block_id, NandDevice::kNoLabel);
   assert(label.ok());
@@ -903,10 +994,16 @@ Status Ftl::RecoverFromFlash() {
 
   // Everything volatile is gone: the mapping table, free lists, append
   // points, open parity stripes, per-block reverse maps. Stats survive --
-  // they model telemetry the host persists out-of-band.
-  map_.clear();
+  // they model telemetry the host persists out-of-band. The flat arrays are
+  // wiped in place (capacity kept), not reallocated.
+  l2p_.Clear();
+  std::fill(p2l_.begin(), p2l_.end(), kLbaInvalid);
+  std::fill(block_owner_.begin(), block_owner_.end(), kNoPool);
+  std::fill(block_valid_.begin(), block_valid_.end(), 0u);
+  std::fill(block_last_write_.begin(), block_last_write_.end(), SimTimeUs{0});
+  std::fill(block_sealed_.begin(), block_sealed_.end(), uint8_t{0});
   for (auto& pool : pools_) {
-    pool.blocks.clear();
+    pool.num_blocks = 0;
     pool.free_blocks.clear();
     pool.active_host.block.reset();
     std::fill(pool.active_host.stripe_xor.begin(), pool.active_host.stripe_xor.end(), 0);
@@ -921,15 +1018,23 @@ Status Ftl::RecoverFromFlash() {
   // Pass 1: walk the die in block order. Labels assign ownership; OOB
   // records per-page identity. Multiple copies of an LBA are expected (the
   // cut can land between a new program and the old copy's invalidation) --
-  // collect the candidates and let the highest write sequence win.
+  // collect the candidates and let the highest write sequence win. Host
+  // LBAs are dense, so the candidate table is a flat vector too.
   struct Candidate {
     uint64_t seq = 0;
     uint32_t pool = 0;
     uint32_t block = 0;
     uint32_t page = 0;
     bool tainted = false;
+    bool present = false;
   };
-  std::unordered_map<uint64_t, Candidate> winners;
+  std::vector<Candidate> winners;
+  auto winner_slot = [&winners](uint64_t lba) -> Candidate& {
+    if (lba >= winners.size()) {
+      winners.resize(std::max<size_t>(lba + 1, winners.size() * 2));
+    }
+    return winners[lba];
+  };
   uint64_t max_seq = 0;
   for (uint32_t b = 0; b < config_.nand.num_blocks; ++b) {
     const uint32_t label = nand_.block_label(b);
@@ -943,33 +1048,37 @@ Status Ftl::RecoverFromFlash() {
     }
     Pool& pool = pools_[label];
     const uint32_t pages = PagesPerBlock(pool);
-    FtlBlock blk;
-    blk.id = b;
-    blk.page_lba.assign(pages, kLbaInvalid);
+    block_owner_[b] = label;
+    ++pool.num_blocks;
     const BlockInfo& info = nand_.block_info(b);
     if (info.programmed_pages == 0) {
       pool.free_blocks.push_back(b);  // block order => deterministic free list
-      pool.blocks.emplace(b, std::move(blk));
       continue;
     }
-    for (uint32_t p = 0; p < info.next_page && p < pages; ++p) {
-      auto oob = nand_.ReadOob({b, p});
-      if (!oob.ok()) {
+    // One batched OOB read per block instead of one device call per page;
+    // OOB reads are pure (no clock, no error injection), so batching them
+    // cannot perturb a single simulated byte.
+    const uint32_t scan = std::min(info.next_page, pages);
+    const auto oobs = nand_.ReadOobRun(b, 0, scan);
+    uint64_t* row = P2lRow(b);
+    for (uint32_t p = 0; p < scan; ++p) {
+      if (!oobs[p].ok()) {
         continue;  // page predates OOB stamping; treated as garbage
       }
       ++last_recovery_.scanned_pages;
-      const PageOob& meta = oob.value();
+      const PageOob& meta = oobs[p].value();
       max_seq = std::max(max_seq, meta.seq);
       if ((meta.flags & kOobFlagParity) != 0) {
-        blk.page_lba[p] = kLbaParity;
+        row[p] = kLbaParity;
         ++last_recovery_.parity_pages;
         continue;
       }
-      blk.page_lba[p] = meta.lba;
-      const Candidate cand{meta.seq, label, b, p, (meta.flags & kOobFlagTainted) != 0};
-      auto [it, inserted] = winners.try_emplace(meta.lba, cand);
-      if (!inserted && cand.seq > it->second.seq) {
-        it->second = cand;
+      row[p] = meta.lba;
+      const Candidate cand{meta.seq, label, b, p, (meta.flags & kOobFlagTainted) != 0,
+                           true};
+      Candidate& slot = winner_slot(meta.lba);
+      if (!slot.present || cand.seq > slot.seq) {
+        slot = cand;
       }
     }
     // A partially-programmed block is crash-sealed: its open parity stripe
@@ -978,30 +1087,33 @@ Status Ftl::RecoverFromFlash() {
     if (info.next_page < pages) {
       ++last_recovery_.open_blocks_sealed;
     }
-    blk.sealed = true;
-    blk.last_write = clock_->now();
-    pool.blocks.emplace(b, std::move(blk));
+    block_sealed_[b] = 1;
+    block_last_write_[b] = clock_->now();
   }
 
   // Pass 2: install winners, demote losers. Deterministic walk order (pool,
-  // then sorted block id) so counter increments replay identically.
+  // then ascending block id) so counter increments replay identically.
   for (uint32_t pool_id = 0; pool_id < pools_.size(); ++pool_id) {
     Pool& pool = pools_[pool_id];
-    for (const uint32_t id : SortedKeys(pool.blocks)) {
-      FtlBlock& blk = pool.blocks.at(id);
-      for (uint32_t p = 0; p < blk.page_lba.size(); ++p) {
-        const uint64_t lba = blk.page_lba[p];
+    for (uint32_t id = 0; id < block_owner_.size(); ++id) {
+      if (block_owner_[id] != pool_id) {
+        continue;
+      }
+      uint64_t* row = P2lRow(id);
+      const uint32_t pages = PagesPerBlock(pool);
+      for (uint32_t p = 0; p < pages; ++p) {
+        const uint64_t lba = row[p];
         if (lba == kLbaInvalid || lba == kLbaParity) {
           continue;
         }
-        const Candidate& win = winners.at(lba);
+        const Candidate& win = winners[lba];
         if (win.pool == pool_id && win.block == id && win.page == p) {
-          map_.emplace(lba, PhysLoc{pool_id, id, p, win.tainted});
-          ++blk.valid;
+          l2p_.Set(lba, PhysLoc{pool_id, id, p, win.tainted});
+          ++block_valid_[id];
           ++pool.valid_pages;
           ++last_recovery_.replayed_pages;
         } else {
-          blk.page_lba[p] = kLbaInvalid;  // superseded copy -> garbage
+          row[p] = kLbaInvalid;  // superseded copy -> garbage
           ++last_recovery_.orphans_reclaimed;
         }
       }
@@ -1048,7 +1160,7 @@ uint64_t Ftl::ExportedPages() const {
   uint64_t exported = 0;
   for (const auto& pool : pools_) {
     const uint64_t usable_blocks =
-        pool.blocks.size() > kGcReserveBlocks ? pool.blocks.size() - kGcReserveBlocks : 0;
+        pool.num_blocks > kGcReserveBlocks ? pool.num_blocks - kGcReserveBlocks : 0;
     const uint64_t raw = usable_blocks * pool.data_slots_per_block;
     exported += static_cast<uint64_t>(static_cast<double>(raw) *
                                       (1.0 - pool.config.op_fraction));
@@ -1071,33 +1183,35 @@ PoolSnapshot Ftl::Snapshot(uint32_t pool_id) const {
   PoolSnapshot snap;
   snap.name = pool.config.name;
   snap.mode = pool.config.mode;
-  snap.total_blocks = static_cast<uint32_t>(pool.blocks.size());
+  snap.total_blocks = pool.num_blocks;
   snap.free_blocks = static_cast<uint32_t>(pool.free_blocks.size());
   snap.retired_blocks = pool.retired;
   const uint64_t usable_blocks =
-      pool.blocks.size() > kGcReserveBlocks ? pool.blocks.size() - kGcReserveBlocks : 0;
+      pool.num_blocks > kGcReserveBlocks ? pool.num_blocks - kGcReserveBlocks : 0;
   const uint64_t raw = usable_blocks * pool.data_slots_per_block;
   snap.exported_pages =
       static_cast<uint64_t>(static_cast<double>(raw) * (1.0 - pool.config.op_fraction));
   snap.valid_pages = pool.valid_pages;
   uint64_t pec_sum = 0;
-  // soslint:allow(R1) order-independent: integer sum/max/counter accumulation is commutative
-  for (const auto& [id, blk] : pool.blocks) {
+  for (uint32_t id = 0; id < block_owner_.size(); ++id) {
+    if (block_owner_[id] != pool_id) {
+      continue;
+    }
     const uint32_t pec = nand_.block_info(id).pec;
     pec_sum += pec;
     snap.max_pec = std::max(snap.max_pec, pec);
-    if (blk.sealed) {
+    if (block_sealed_[id] != 0) {
       ++snap.sealed_blocks;
-      if (blk.valid < pool.data_slots_per_block) {
+      if (block_valid_[id] < pool.data_slots_per_block) {
         ++snap.gc_candidates;
       }
     } else if (nand_.block_info(id).programmed_pages > 0) {
       ++snap.unsealed_blocks;
     }
   }
-  snap.mean_pec = pool.blocks.empty()
+  snap.mean_pec = pool.num_blocks == 0
                       ? 0.0
-                      : static_cast<double>(pec_sum) / static_cast<double>(pool.blocks.size());
+                      : static_cast<double>(pec_sum) / static_cast<double>(pool.num_blocks);
   snap.free_page_fraction =
       snap.exported_pages > 0
           ? static_cast<double>(snap.exported_pages -
@@ -1108,22 +1222,22 @@ PoolSnapshot Ftl::Snapshot(uint32_t pool_id) const {
 }
 
 bool Ftl::IsTainted(uint64_t lba) const {
-  auto it = map_.find(lba);
-  return it != map_.end() && it->second.tainted;
+  const auto loc = l2p_.Find(lba);
+  return loc.has_value() && loc->tainted;
 }
 
 uint32_t Ftl::PoolOf(uint64_t lba) const {
-  auto it = map_.find(lba);
-  assert(it != map_.end());
-  return it->second.pool;
+  const auto loc = l2p_.Find(lba);
+  assert(loc.has_value());
+  return loc->pool;
 }
 
 Result<double> Ftl::PredictLbaRber(uint64_t lba, double ahead_years) const {
-  auto it = map_.find(lba);
-  if (it == map_.end()) {
+  const auto loc = l2p_.Find(lba);
+  if (!loc.has_value()) {
     return Status(StatusCode::kNotFound, "unmapped LBA");
   }
-  return nand_.PredictRber({it->second.block, it->second.page}, ahead_years);
+  return nand_.PredictRber({loc->block, loc->page}, ahead_years);
 }
 
 Status Ftl::CheckInvariants() const {
@@ -1131,80 +1245,94 @@ Status Ftl::CheckInvariants() const {
     return Status(StatusCode::kFailedPrecondition, "invariant violated: " + what);
   };
 
-  // The audit walks sorted keys so that when several invariants are broken at
-  // once, every run (and every standard library) reports the same first
+  // The audit walks the flat arrays in ascending order so that when several
+  // invariants are broken at once, every run reports the same first
   // violation -- the report feeds golden-output test logs.
 
-  // Block ownership is disjoint, and every owned block is in range.
-  std::unordered_map<uint32_t, uint32_t> owner;  // block -> pool
+  // Block ownership is disjoint by construction (one owner word per block);
+  // verify the per-pool counts agree with the owner array.
+  std::vector<uint32_t> owned_count(pools_.size(), 0);
+  for (uint32_t id = 0; id < block_owner_.size(); ++id) {
+    const uint32_t owner = block_owner_[id];
+    if (owner == kNoPool) {
+      continue;
+    }
+    if (owner >= pools_.size()) {
+      return fail("block " + std::to_string(id) + " owned by unknown pool");
+    }
+    ++owned_count[owner];
+  }
   for (uint32_t p = 0; p < pools_.size(); ++p) {
-    for (const uint32_t id : SortedKeys(pools_[p].blocks)) {
-      if (id >= config_.nand.num_blocks) {
-        return fail("pool owns out-of-range block " + std::to_string(id));
-      }
-      if (!owner.emplace(id, p).second) {
-        return fail("block " + std::to_string(id) + " owned by two pools");
-      }
+    if (owned_count[p] != pools_[p].num_blocks) {
+      return fail("pool '" + pools_[p].config.name + "' num_blocks=" +
+                  std::to_string(pools_[p].num_blocks) + " but owner entries=" +
+                  std::to_string(owned_count[p]));
     }
   }
 
-  // Forward map agrees with reverse maps.
-  for (const uint64_t lba : SortedKeys(map_)) {
-    const PhysLoc& loc = map_.at(lba);
+  // Forward map agrees with reverse maps (ascending LBA order).
+  Status forward = Status::Ok();
+  l2p_.ForEachMapped([&](uint64_t lba, const PhysLoc& loc) {
+    if (!forward.ok()) {
+      return;
+    }
     if (loc.pool >= pools_.size()) {
-      return fail("mapping with bad pool id");
+      forward = fail("mapping with bad pool id");
+      return;
     }
     const Pool& pool = pools_[loc.pool];
-    auto blk_it = pool.blocks.find(loc.block);
-    if (blk_it == pool.blocks.end()) {
-      return fail("LBA " + std::to_string(lba) + " maps to unowned block");
+    if (!OwnedBy(loc.block, loc.pool)) {
+      forward = fail("LBA " + std::to_string(lba) + " maps to unowned block");
+      return;
     }
-    if (loc.page >= blk_it->second.page_lba.size() ||
-        blk_it->second.page_lba[loc.page] != lba) {
-      return fail("LBA " + std::to_string(lba) + " reverse entry mismatch");
+    if (loc.page >= PagesPerBlock(pool) || P2lRow(loc.block)[loc.page] != lba) {
+      forward = fail("LBA " + std::to_string(lba) + " reverse entry mismatch");
     }
+  });
+  if (!forward.ok()) {
+    return forward;
   }
 
   // Per-block and per-pool counters, and free-list hygiene.
   for (uint32_t p = 0; p < pools_.size(); ++p) {
     const Pool& pool = pools_[p];
     uint64_t pool_valid = 0;
-    for (const uint32_t id : SortedKeys(pool.blocks)) {
-      const FtlBlock& blk = pool.blocks.at(id);
+    for (uint32_t id = 0; id < block_owner_.size(); ++id) {
+      if (block_owner_[id] != p) {
+        continue;
+      }
+      const uint64_t* row = P2lRow(id);
       uint32_t live = 0;
-      for (uint32_t page = 0; page < blk.page_lba.size(); ++page) {
-        const uint64_t lba = blk.page_lba[page];
+      for (uint32_t page = 0; page < PagesPerBlock(pool); ++page) {
+        const uint64_t lba = row[page];
         if (lba == kLbaInvalid || lba == kLbaParity) {
           continue;
         }
-        auto map_it = map_.find(lba);
-        if (map_it == map_.end() || map_it->second.pool != p ||
-            map_it->second.block != id || map_it->second.page != page) {
+        const auto loc = l2p_.Find(lba);
+        if (!loc.has_value() || loc->pool != p || loc->block != id || loc->page != page) {
           // A stale reverse entry is only legal when the LBA now lives
-          // elsewhere (overwrite left the old copy behind until GC).
-          if (map_it == map_.end()) {
-            continue;  // trimmed; stale reverse entry awaits GC
-          }
+          // elsewhere (overwrite left the old copy behind until GC) or was
+          // trimmed; either way it awaits GC.
           continue;
         }
         ++live;
       }
-      if (live != blk.valid) {
-        return fail("block " + std::to_string(id) + " valid=" + std::to_string(blk.valid) +
+      if (live != block_valid_[id]) {
+        return fail("block " + std::to_string(id) + " valid=" +
+                    std::to_string(block_valid_[id]) +
                     " but live reverse entries=" + std::to_string(live));
       }
-      pool_valid += blk.valid;
+      pool_valid += block_valid_[id];
     }
     if (pool_valid != pool.valid_pages) {
       return fail("pool '" + pool.config.name + "' valid_pages=" +
                   std::to_string(pool.valid_pages) + " but sum=" + std::to_string(pool_valid));
     }
     for (uint32_t id : pool.free_blocks) {
-      auto blk_it = pool.blocks.find(id);
-      if (blk_it == pool.blocks.end()) {
+      if (!OwnedBy(id, p)) {
         return fail("free list references unowned block");
       }
-      if (blk_it->second.valid != 0) {
+      if (block_valid_[id] != 0) {
         return fail("free block " + std::to_string(id) + " holds valid data");
       }
       if (nand_.block_info(id).programmed_pages != 0) {
@@ -1220,13 +1348,13 @@ Status Ftl::CheckInvariants() const {
 
 std::vector<uint64_t> Ftl::LbasInPool(uint32_t pool_id) const {
   std::vector<uint64_t> lbas;
-  // soslint:allow(R1) collected LBAs are sorted before return
-  for (const auto& [lba, loc] : map_) {
+  // ForEachMapped walks ascending LBAs, so the scrub order is deterministic
+  // without an explicit sort.
+  l2p_.ForEachMapped([&](uint64_t lba, const PhysLoc& loc) {
     if (loc.pool == pool_id) {
       lbas.push_back(lba);
     }
-  }
-  std::sort(lbas.begin(), lbas.end());  // deterministic iteration for scrubs
+  });
   return lbas;
 }
 

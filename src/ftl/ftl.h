@@ -43,12 +43,12 @@
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/ecc/ecc_scheme.h"
 #include "src/flash/nand_device.h"
+#include "src/ftl/l2p.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -100,6 +100,15 @@ struct FtlConfig {
   // Static WL kicks in when (max PEC - min PEC) exceeds this fraction of the
   // mode's endurance.
   double static_wl_spread = 0.10;
+  // Two-phase block evacuation: GC/WL first batch-reads every valid page of
+  // the victim (one NandDevice::ReadRun per page run), then decodes and
+  // re-appends. Fewer device calls and better locality, but a *different*
+  // (still deterministic) NAND op schedule than the interleaved
+  // read-append-read-append default: clock timestamps, and therefore
+  // retention-driven error samples, diverge from the historical goldens.
+  // Off by default so existing golden outputs stay byte-identical; flip it
+  // on for fleet-scale throughput runs (see DESIGN.md §11).
+  bool batched_relocation = false;
 };
 
 struct FtlReadResult {
@@ -296,7 +305,7 @@ class Ftl {
   // resuscitation). `sink` must outlive the FTL; null disables tracing.
   void SetTraceSink(obs::TraceSink* sink) { trace_ = sink; }
 
-  bool IsMapped(uint64_t lba) const { return map_.contains(lba); }
+  bool IsMapped(uint64_t lba) const { return l2p_.Contains(lba); }
   uint32_t PoolOf(uint64_t lba) const;
 
   // True when the stored copy of `lba` has absorbed unrecoverable corruption
@@ -334,22 +343,9 @@ class Ftl {
   // excluded from exported capacity.
   static constexpr uint32_t kGcReserveBlocks = 2;
 
-  struct PhysLoc {
-    uint32_t pool = 0;
-    uint32_t block = 0;
-    uint32_t page = 0;
-    // Sticky corruption marker; travels with the mapping through
-    // relocations, cleared by a fresh host write.
-    bool tainted = false;
-  };
-
-  struct FtlBlock {
-    uint32_t id = 0;                  // NAND block id
-    std::vector<uint64_t> page_lba;   // reverse map
-    uint32_t valid = 0;
-    SimTimeUs last_write = 0;
-    bool sealed = false;              // fully programmed
-  };
+  // block_owner_ sentinel: block belongs to no pool (never formatted,
+  // retired without resuscitation, or dropped as grown-bad).
+  static constexpr uint32_t kNoPool = UINT32_MAX;
 
   // An append point: a partially-programmed block plus its open parity
   // stripe. Pools keep two -- one for host writes, one for relocated (cold)
@@ -364,7 +360,7 @@ class Ftl {
     FtlPoolConfig config;
     uint32_t data_slots_per_block = 0;  // pages per block minus parity slots
     double retire_rber = 0.0;           // resolved bound
-    std::unordered_map<uint32_t, FtlBlock> blocks;  // owned, by NAND block id
+    uint32_t num_blocks = 0;            // owned blocks (block_owner_ == this)
     std::deque<uint32_t> free_blocks;
     ActiveSlot active_host;
     ActiveSlot active_cold;             // used iff config.hot_cold_separation
@@ -372,6 +368,12 @@ class Ftl {
     uint64_t valid_pages = 0;
     std::optional<uint32_t> resuscitate_pool;  // resolved target pool id
     FtlStats stats;                     // this pool's share of the counters
+    // Memo of ShouldRetire's ErrorModel::Rber result keyed by PEC (all owned
+    // blocks share the pool's mode and nominal retention, so PEC is the only
+    // free input). Stores the exact computed double -- a hit replays the
+    // identical value, so retirement decisions stay bit-for-bit the same.
+    // Mutable: ShouldRetire is morally const. -1 marks an empty slot.
+    mutable std::vector<double> retire_rber_by_pec;
 
     bool IsActive(uint32_t id) const {
       return (active_host.block.has_value() && *active_host.block == id) ||
@@ -408,7 +410,7 @@ class Ftl {
 
   // Garbage collection: frees at least one block if possible.
   bool CollectGarbage(uint32_t pool_id);
-  std::optional<uint32_t> PickGcVictim(const Pool& pool) const;
+  std::optional<uint32_t> PickGcVictim(uint32_t pool_id) const;
   // Moves all valid pages off `block_id`, erases it, and returns it to the
   // free list (or retires it).
   [[nodiscard]] Status EvacuateAndRecycle(uint32_t pool_id, uint32_t block_id, bool count_as_wl);
@@ -435,14 +437,50 @@ class Ftl {
   // degradation bookkeeping.
   [[nodiscard]] Result<FtlReadResult> ReadInternal(uint64_t lba, bool count_stats);
 
+  // Everything downstream of the initial NAND read: ECC decode, read-retry,
+  // parity rescue, fidelity policy. Split out so the batched relocation path
+  // can feed it raw results from a ReadRun.
+  [[nodiscard]] Result<FtlReadResult> DecodeRead(const PhysLoc& loc, ReadResult raw,
+                                                 bool count_stats);
+
+  // One item of relocation work: re-appends `lba` (read as `read`) into
+  // `pool_id` and reinstalls the mapping. Shared by the serial and batched
+  // evacuation paths and by DropBadBlock's rescue loop.
+  [[nodiscard]] Status RelocatePage(uint32_t pool_id, uint64_t lba,
+                                    const FtlReadResult& read, bool count_as_wl);
+
   // Emits one trace event (no-op when no sink is attached).
   void Trace(obs::TraceEvent event);
+
+  // --- Flat per-page / per-block metadata (struct-of-arrays) ---------------
+  //
+  // All four block arrays are indexed by NAND block id; the reverse map is a
+  // single flat vector with a fixed per-block stride of `page_stride_`
+  // entries (the die's native-mode page count, an upper bound for every
+  // pool mode). See DESIGN.md §11 for the layout diagram.
+
+  uint64_t* P2lRow(uint32_t block) { return &p2l_[static_cast<size_t>(block) * page_stride_]; }
+  const uint64_t* P2lRow(uint32_t block) const {
+    return &p2l_[static_cast<size_t>(block) * page_stride_];
+  }
+  bool OwnedBy(uint32_t block, uint32_t pool_id) const {
+    return block < block_owner_.size() && block_owner_[block] == pool_id;
+  }
+  // Wipes a block's whole reverse-map row (full stride, so stale entries
+  // from a previous, denser mode can never leak) and zeroes its counters.
+  void ResetBlockRow(uint32_t block);
 
   FtlConfig config_;
   SimClock* clock_;
   NandDevice nand_;
   std::vector<Pool> pools_;
-  std::unordered_map<uint64_t, PhysLoc> map_;
+  L2pTable l2p_;
+  uint32_t page_stride_ = 0;               // p2l_ entries per block
+  std::vector<uint64_t> p2l_;              // reverse map, kLba* sentinels
+  std::vector<uint32_t> block_owner_;      // pool id or kNoPool
+  std::vector<uint32_t> block_valid_;      // live data pages per block
+  std::vector<SimTimeUs> block_last_write_;
+  std::vector<uint8_t> block_sealed_;      // bool; fully programmed
   CapacityListener capacity_listener_;
   obs::TraceSink* trace_ = nullptr;
   // Simulated-time latency distributions for the host-facing entry points

@@ -13,6 +13,7 @@ FtlConfig BuildSosFtlConfig(const SosDeviceConfig& config) {
   FtlConfig ftl;
   ftl.nand = config.nand;
   ftl.gc_policy = config.gc_policy;
+  ftl.batched_relocation = config.batched_relocation;
 
   FtlPoolConfig sys;
   sys.name = "SYS";

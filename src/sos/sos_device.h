@@ -42,6 +42,9 @@ struct SosDeviceConfig {
   double spare_retire_rber = 2e-3;
   GcPolicy gc_policy = GcPolicy::kGreedy;
   double op_fraction = 0.07;
+  // Two-phase (batch-read, then re-append) block evacuation; see
+  // FtlConfig::batched_relocation. Off by default to keep goldens.
+  bool batched_relocation = false;
 
   // Optional pseudo-SLC write staging (paper §4.4 extension: "new file data
   // will first be written to high-endurance memory"). A small pool of blocks

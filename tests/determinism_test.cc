@@ -11,12 +11,17 @@
 //      (compiler, libm, platform) is caught even when a change is
 //      self-consistent within one binary.
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 #include "src/sos/experiment.h"
 #include "src/sos/lifetime_sim.h"
+#include "tools/perfcheck/microbench.h"
 
 namespace sos {
 namespace {
@@ -246,6 +251,89 @@ TEST(DeterminismTest, GoldenSummariesForFixedSeeds) {
     EXPECT_EQ(r.final_exported_pages(), golden.final_exported_pages);
     EXPECT_DOUBLE_EQ(r.final_max_wear_ratio(), golden.final_max_wear_ratio);
     EXPECT_DOUBLE_EQ(r.final_spare_quality(), golden.final_spare_quality);
+  }
+}
+
+// The opt-in hot-path variants (batched GC relocation, memoized RBER) ride
+// the same schedule-invariance contract as the default path. Flipping them
+// produces a *different* deterministic stream -- that is documented and why
+// they default off -- but serial rerun and the parallel driver must still
+// agree with the first serial run bit-for-bit.
+TEST(DeterminismTest, BatchedRelocationAndRberMemoAreScheduleInvariant) {
+  std::vector<LifetimeSimConfig> configs;
+  for (const uint64_t seed : {uint64_t{5}, uint64_t{21}}) {
+    // Default 60-day horizon: long enough that GC actually relocates pages
+    // (the vacuity check below), unlike a 30-day run.
+    LifetimeSimConfig config = QuickConfig(DeviceKind::kSos, seed);
+    config.sos.batched_relocation = true;
+    config.nand.rber_memo = true;
+    configs.push_back(config);
+  }
+
+  std::vector<LifetimeResult> serial;
+  for (const LifetimeSimConfig& config : configs) {
+    serial.push_back(RunSerial(config));
+  }
+  // The batched path must actually have run, or this test is vacuous.
+  EXPECT_GT(serial[0].ftl().gc_relocations() + serial[0].ftl().wl_relocations(), 0u);
+
+  for (size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("seed " + std::to_string(configs[i].seed));
+    ExpectBitIdentical(serial[i], RunSerial(configs[i]));
+  }
+  ExperimentDriver driver(4);
+  const ExperimentBatch batch = driver.Run(configs);
+  ASSERT_EQ(batch.results.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE("seed " + std::to_string(configs[i].seed));
+    ExpectBitIdentical(serial[i], batch.results[i]);
+  }
+}
+
+// The perfcheck workload checksums (tools/perfcheck) are the CI gate for the
+// hot-path refactors. They must not depend on the order benches are
+// evaluated in or on which thread computes them: a fresh bench list
+// evaluated in reverse, and two threads evaluating disjoint subsets from
+// fresh state, all reproduce the in-order values.
+TEST(DeterminismTest, PerfcheckChecksumsAreScheduleInvariant) {
+  std::vector<perfcheck::MicroBench> benches = perfcheck::AllBenches();
+  std::map<std::string, uint64_t> in_order;
+  for (perfcheck::MicroBench& bench : benches) {
+    in_order[bench.name] = bench.checksum();
+  }
+  ASSERT_EQ(in_order.size(), benches.size());
+
+  std::vector<perfcheck::MicroBench> reversed = perfcheck::AllBenches();
+  for (size_t i = reversed.size(); i-- > 0;) {
+    SCOPED_TRACE(reversed[i].name);
+    EXPECT_EQ(reversed[i].checksum(), in_order.at(reversed[i].name));
+  }
+
+  // Disjoint cheap subsets on two threads, each from a fresh AllBenches().
+  const std::vector<std::string> left = {"l2p_flat", "rber_memo"};
+  const std::vector<std::string> right = {"l2p_map", "ecc_decode"};
+  const auto compute = [](const std::vector<std::string>& names,
+                          std::map<std::string, uint64_t>* out) {
+    std::vector<perfcheck::MicroBench> local = perfcheck::AllBenches();
+    for (perfcheck::MicroBench& bench : local) {
+      if (std::find(names.begin(), names.end(), bench.name) != names.end()) {
+        (*out)[bench.name] = bench.checksum();
+      }
+    }
+  };
+  std::map<std::string, uint64_t> a;
+  std::map<std::string, uint64_t> b;
+  std::thread ta(compute, left, &a);
+  std::thread tb(compute, right, &b);
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.size(), left.size());
+  EXPECT_EQ(b.size(), right.size());
+  for (const auto& [name, value] : a) {
+    EXPECT_EQ(value, in_order.at(name)) << name;
+  }
+  for (const auto& [name, value] : b) {
+    EXPECT_EQ(value, in_order.at(name)) << name;
   }
 }
 
