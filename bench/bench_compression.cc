@@ -30,7 +30,7 @@ std::vector<FileMeta> EnterpriseCorpus(size_t n, uint64_t seed) {
     if (pick < 0.35) {
       type = FileType::kDocument;             // logs, text, office docs
       entropy = rng.NextGaussian(4.8, 0.7);
-      bytes = 512 * 1024;
+      bytes = 512 * kKiB;
     } else if (pick < 0.45) {
       type = FileType::kDownload;             // packed artifacts
       entropy = rng.NextGaussian(7.6, 0.3);

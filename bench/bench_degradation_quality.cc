@@ -109,7 +109,7 @@ void Run() {
     table.AddRow({FormatDouble(years, 1), rber, FormatDouble(q.image_psnr_db, 1),
                   FormatDouble(ImageQualityModel::ScoreFromPsnr(q.image_psnr_db), 2),
                   FormatDouble(q.video_score, 3),
-                  FormatDouble(video_model.ExpectedScore(q.rber, 96 * 1024), 3)});
+                  FormatDouble(video_model.ExpectedScore(q.rber, 96 * kKiB), 3)});
   }
   PrintTable(table);
 
@@ -147,7 +147,7 @@ void Run() {
   };
   // Strict integrity with no ECC: a 4 MiB file must stay error-free with
   // 99% probability -> rber <= -ln(0.99)/bits.
-  const double strict_no_ecc = 0.01 / (4.0 * 1024 * 1024 * 8);
+  const double strict_no_ecc = 0.01 / (4.0 * kMiB * 8);
   // Error-tolerant: video quality >= 0.8.
   double tolerant_rber = 1e-6;
   while (video_model.ExpectedScore(tolerant_rber, 4 * kMiB) > 0.8 && tolerant_rber < 0.4) {

@@ -48,7 +48,7 @@ void PrintLatencyTables() {
   SimClock clock;
   SosDevice device(config, &clock);
   // Lay down a media file on SPARE and app state on SYS.
-  const uint64_t media_pages = 1024;
+  const uint64_t media_pages = 1024;  // soslint:allow(R10) page count, not a byte size
   for (uint64_t lba = 0; lba < media_pages; ++lba) {
     IgnoreResult(device.Write(lba, {}, StreamClass::kSpare));
   }

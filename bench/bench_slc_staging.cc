@@ -55,7 +55,10 @@ StagingOutcome RunWorkload(bool staging, double stage_share) {
     // Idle gap: the host flushes the stage in the background. The flush
     // latency lands in the gap, not on the user's writes.
     if (staging) {
-      (void)device.FlushStage();
+      // This bench injects no faults, so the only non-OK outcome here would
+      // be a modeling bug -- which the tier-1 staging tests catch, not this
+      // latency probe.
+      IgnoreResult(device.FlushStage());
     }
     clock.Advance(kUsPerHour);
   }

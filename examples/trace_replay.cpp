@@ -111,17 +111,17 @@ int Replay(const char* path, const char* device_name) {
       }
       case WorkloadOp::kRead:
         if (auto it = ref_to_id.find(ev.file_ref); it != ref_to_id.end()) {
-          (void)fs.ReadFile(it->second);
+          IgnoreResult(fs.ReadFile(it->second));  // replay: outcome tallied below
         }
         break;
       case WorkloadOp::kUpdate:
         if (auto it = ref_to_id.find(ev.file_ref); it != ref_to_id.end()) {
-          (void)fs.OverwriteFile(it->second, {});
+          IgnoreResult(fs.OverwriteFile(it->second, {}));
         }
         break;
       case WorkloadOp::kDelete:
         if (auto it = ref_to_id.find(ev.file_ref); it != ref_to_id.end()) {
-          (void)fs.DeleteFile(it->second);
+          IgnoreResult(fs.DeleteFile(it->second));
           ref_to_id.erase(it);
         }
         break;

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "src/common/rng.h"
+#include "src/common/units.h"
 
 namespace sos {
 namespace {
@@ -29,21 +30,21 @@ struct TypeProfile {
 // Count mix leans photo-heavy (camera rolls); byte mix lands media > 50% of
 // capacity via the large video/photo sizes -- matching [66-68].
 constexpr std::array<TypeProfile, kNumFileTypes> kProfiles = {{
-    {FileType::kSystem, 0.10, 1.5 * 1024 * 1024, 4.0, 7.0, 1.0, 0.001, 1.00, 0.0, 0.00,
+    {FileType::kSystem, 0.10, 1.5 * kMiB, 4.0, 7.0, 1.0, 0.001, 1.00, 0.0, 0.00,
      "system/lib/lib%llu.so"},
-    {FileType::kAppData, 0.20, 96.0 * 1024, 6.0, 5.5, 2.0, 1.5, 0.98, 0.0, 0.02,
+    {FileType::kAppData, 0.20, 96.0 * kKiB, 6.0, 5.5, 2.0, 1.5, 0.98, 0.0, 0.02,
      "data/app/com.app%llu/state.db"},
-    {FileType::kDocument, 0.05, 400.0 * 1024, 8.0, 6.5, 0.3, 0.05, 0.90, 0.05, 0.05,
+    {FileType::kDocument, 0.05, 400.0 * kKiB, 8.0, 6.5, 0.3, 0.05, 0.90, 0.05, 0.05,
      "documents/report_%llu.pdf"},
-    {FileType::kPhoto, 0.32, 3.0 * 1024 * 1024, 3.0, 7.9, 0.5, 0.002, 0.25, 0.65, 0.20,
+    {FileType::kPhoto, 0.32, 3.0 * kMiB, 3.0, 7.9, 0.5, 0.002, 0.25, 0.65, 0.20,
      "dcim/camera/img_%llu.jpg"},
-    {FileType::kVideo, 0.08, 120.0 * 1024 * 1024, 5.0, 7.95, 0.2, 0.001, 0.15, 0.60, 0.30,
+    {FileType::kVideo, 0.08, 120.0 * kMiB, 5.0, 7.95, 0.2, 0.001, 0.15, 0.60, 0.30,
      "dcim/camera/vid_%llu.mp4"},
-    {FileType::kAudio, 0.10, 5.0 * 1024 * 1024, 2.5, 7.9, 0.8, 0.001, 0.10, 0.30, 0.25,
+    {FileType::kAudio, 0.10, 5.0 * kMiB, 2.5, 7.9, 0.8, 0.001, 0.10, 0.30, 0.25,
      "music/track_%llu.mp3"},
-    {FileType::kDownload, 0.05, 18.0 * 1024 * 1024, 10.0, 7.5, 0.1, 0.001, 0.10, 0.10, 0.50,
+    {FileType::kDownload, 0.05, 18.0 * kMiB, 10.0, 7.5, 0.1, 0.001, 0.10, 0.10, 0.50,
      "download/file_%llu.bin"},
-    {FileType::kCache, 0.10, 180.0 * 1024, 8.0, 7.0, 1.5, 0.8, 0.02, 0.0, 0.75,
+    {FileType::kCache, 0.10, 180.0 * kKiB, 8.0, 7.0, 1.5, 0.8, 0.02, 0.0, 0.75,
      "data/cache/app%llu.tmp"},
 }};
 
@@ -53,6 +54,7 @@ const TypeProfile& ProfileFor(FileType type) {
 
 // Monotonically increasing id for synthesized paths; purely cosmetic (paths
 // feed the hashed-token features, uniqueness avoids artificial collisions).
+// soslint:allow(R10) nonce modulus for path uniqueness, not a unit quantity
 uint64_t NextPathNonce(Rng& rng) { return rng.NextU64() % 1000000; }
 
 }  // namespace

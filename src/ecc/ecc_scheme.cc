@@ -27,13 +27,13 @@ std::string_view EccPresetName(EccPreset preset) {
 EccScheme EccScheme::FromPreset(EccPreset preset) {
   switch (preset) {
     case EccPreset::kNone:
-      return EccScheme{preset, 1024, 0, 0.0};
+      return EccScheme{preset, kKiB, 0, 0.0};
     case EccPreset::kWeakBch:
-      return EccScheme{preset, 1024, 8, 0.02};
+      return EccScheme{preset, kKiB, 8, 0.02};
     case EccPreset::kBch:
-      return EccScheme{preset, 1024, 40, 0.08};
+      return EccScheme{preset, kKiB, 40, 0.08};
     case EccPreset::kLdpc:
-      return EccScheme{preset, 1024, 72, 0.12};
+      return EccScheme{preset, kKiB, 72, 0.12};
   }
   return EccScheme{};
 }

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/common/units.h"
+
 namespace sos {
 
 // Correction strength presets used by the SOS partitions and baselines.
@@ -36,7 +38,7 @@ std::string_view EccPresetName(EccPreset preset);
 
 struct EccScheme {
   EccPreset preset = EccPreset::kBch;
-  uint32_t codeword_bytes = 1024;  // data bytes protected per codeword
+  uint32_t codeword_bytes = kKiB;  // data bytes protected per codeword
   uint32_t correctable_bits = 40;  // t: max raw bit errors corrected
   double parity_overhead = 0.10;   // fraction of extra cells for parity
 

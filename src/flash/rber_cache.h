@@ -79,6 +79,7 @@ class RberCache {
   // maximal, which is why the drift axis is the densest. Error shrinks
   // quadratically with node spacing (~2.5x margin measured by
   // tests/rber_memo_test.cc at these densities).
+  // soslint:allow(R10) interpolation grid density, not a size unit
   static constexpr uint32_t kPowGridPoints = 1024;
   static constexpr uint32_t kSigmaPoints = 257;
   static constexpr uint32_t kDriftPoints = 769;

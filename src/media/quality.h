@@ -30,6 +30,8 @@
 #include <span>
 #include <vector>
 
+#include "src/common/units.h"
+
 namespace sos {
 
 // ---------------------------------------------------------------------------
@@ -64,7 +66,7 @@ std::vector<uint8_t> GenerateSyntheticImage(uint32_t width, uint32_t height, uin
 // ---------------------------------------------------------------------------
 
 struct VideoConfig {
-  uint32_t frame_bytes = 1024;  // encoded size of one frame
+  uint32_t frame_bytes = kKiB;  // encoded size of one frame
   uint32_t gop_size = 12;       // frames per group-of-pictures (first is the I-frame)
   uint32_t p_interval = 3;      // every p_interval-th frame in a GOP is P, rest are B
   // Damage scaling: a frame with e bit errors loses min(1, e * error_gain)

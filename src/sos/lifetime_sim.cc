@@ -239,8 +239,10 @@ void LifetimeSim::ApplyEvent(const WorkloadEvent& event) {
 
 void LifetimeSim::RunDaemons(uint32_t day) {
   if (sos_device_ != nullptr && sos_device_->staging_enabled()) {
-    // Nightly idle flush of the pseudo-SLC stage (§4.4 extension).
-    (void)sos_device_->FlushStage();
+    // Nightly idle flush of the pseudo-SLC stage (§4.4 extension). Daemons
+    // have no caller to report to; a mid-flush device failure resurfaces on
+    // the next host op against the same device.
+    IgnoreResult(sos_device_->FlushStage());
   }
   if (sos_device_ != nullptr) {
     // Overnight idle housekeeping: pre-pay GC so daytime writes don't stall.

@@ -85,14 +85,14 @@ SosDevice::SosDevice(const SosDeviceConfig& config, SimClock* clock) : config_(c
   }
 }
 
-uint64_t SosDevice::FlushStage() {
+Result<uint64_t> SosDevice::FlushStage() {
   if (!stage_pool_.has_value()) {
-    return 0;
+    return uint64_t{0};
   }
   uint64_t flushed = 0;
   const PoolSnapshot before = ftl_->Snapshot(*stage_pool_);
   if (before.exported_pages == 0) {
-    return 0;
+    return uint64_t{0};
   }
   const uint64_t target_valid = static_cast<uint64_t>(
       static_cast<double>(before.exported_pages) * config_.stage_flush_low);
@@ -100,11 +100,16 @@ uint64_t SosDevice::FlushStage() {
     if (ftl_->Snapshot(*stage_pool_).valid_pages <= target_valid) {
       break;
     }
-    if (ftl_->Migrate(lba, sys_pool_).ok()) {
+    Status migrated = ftl_->Migrate(lba, sys_pool_);
+    if (migrated.ok()) {
       ++flushed;
-    } else {
+      continue;
+    }
+    if (migrated.code() == StatusCode::kOutOfSpace) {
       break;  // SYS out of space: leave the rest staged
     }
+    // Power loss, data loss, ...: the flush did not merely stall, it failed.
+    return migrated;
   }
   return flushed;
 }
@@ -130,7 +135,9 @@ Status SosDevice::Write(uint64_t lba, std::span<const uint8_t> data, StreamClass
     if (stage.exported_pages > 0 &&
         static_cast<double>(stage.valid_pages) >
             static_cast<double>(stage.exported_pages) * config_.stage_flush_high) {
-      (void)FlushStage();
+      if (auto flushed = FlushStage(); !flushed.ok()) {
+        return flushed.status();  // power/data loss mid-flush: the write fails too
+      }
     }
     Status staged = ftl_->Write(lba, data, *stage_pool_);
     if (staged.code() != StatusCode::kOutOfSpace) {

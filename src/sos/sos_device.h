@@ -96,7 +96,12 @@ class SosDevice final : public BlockDevice {
   // `stage_flush_low` (or the stage empties). Returns pages flushed. Called
   // automatically when the stage passes its high-water mark; hosts may also
   // call it during idle periods (the background flush of §4.4).
-  uint64_t FlushStage();
+  //
+  // SYS running out of room is the expected stop condition and is *not* an
+  // error (the remainder simply stays staged); any other migration failure
+  // (power loss, data loss) is returned instead of being swallowed -- the
+  // old uint64_t signature silently dropped those on the recovery path.
+  Result<uint64_t> FlushStage();
 
   // Overall free fraction of exported capacity (drives auto-delete).
   double FreeFraction() const;

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "src/common/units.h"
+
 namespace sos {
 
 std::vector<UfsLunDescriptor> UfsView::Describe() const {
@@ -49,7 +51,7 @@ std::string UfsView::Render() const {
   for (const UfsLunDescriptor& lun : Describe()) {
     std::snprintf(line, sizeof(line),
                   "LUN %u  %-28s %10.2f MiB (%5.1f%% used)  %s  %s  mode=%s\n", lun.lun_id,
-                  lun.name.c_str(), static_cast<double>(lun.capacity_bytes) / (1024.0 * 1024.0),
+                  lun.name.c_str(), BytesToMiB(lun.capacity_bytes),
                   lun.capacity_bytes > 0
                       ? 100.0 * static_cast<double>(lun.allocated_bytes) /
                             static_cast<double>(lun.capacity_bytes)

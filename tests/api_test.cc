@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/units.h"
 #include "src/flash/nand_package.h"
 #include "src/sos/sos.h"
 
@@ -24,8 +25,8 @@ TEST(UmbrellaTest, MinimalUseCompilesAndRuns) {
   FileMeta meta;
   meta.type = FileType::kPhoto;
   meta.path = "dcim/x.jpg";
-  meta.size_bytes = 1024;
-  auto id = fs.CreateFile(meta, std::vector<uint8_t>(1024, 7), StreamClass::kSys);
+  meta.size_bytes = kKiB;
+  auto id = fs.CreateFile(meta, std::vector<uint8_t>(kKiB, 7), StreamClass::kSys);
   ASSERT_TRUE(id.ok());
   EXPECT_TRUE(fs.ReadFile(id.value()).ok());
   EXPECT_GT(FlashCarbonModel{}.KgPerGb(CellTech::kTlc), 0.0);
@@ -61,7 +62,7 @@ TEST_P(EccPresetTest, PageFailureMonotonicInPageSize) {
     return;  // kNone: failure prob is degenerate
   }
   const double rber = 1e-3;
-  EXPECT_LE(scheme.PageFailureProb(rber, 1024), scheme.PageFailureProb(rber, 16384) + 1e-12);
+  EXPECT_LE(scheme.PageFailureProb(rber, kKiB), scheme.PageFailureProb(rber, 16384) + 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Presets, EccPresetTest,

@@ -14,6 +14,7 @@
 #include "src/classify/logistic.h"
 #include "src/classify/naive_bayes.h"
 #include "src/common/rng.h"
+#include "src/common/units.h"
 
 namespace sos {
 namespace {
@@ -31,7 +32,7 @@ TEST(FeaturesTest, DimensionsAndOneHot) {
   FileMeta meta;
   meta.type = FileType::kPhoto;
   meta.path = "dcim/camera/img_1.jpg";
-  meta.size_bytes = 1024;
+  meta.size_bytes = kKiB;
   const FeatureVector f = ExtractFeatures(meta, kUsPerYear);
   EXPECT_EQ(f.size(), kFeatureDim);
   // Exactly one type slot is hot.

@@ -9,6 +9,7 @@
 #include "src/classify/corpus.h"
 #include "src/classify/logistic.h"
 #include "src/common/rng.h"
+#include "src/common/units.h"
 #include "src/host/compression.h"
 #include "src/media/quality.h"
 #include "src/sos/daemons.h"
@@ -57,7 +58,7 @@ TEST(CompressionTest, PersonalCorpusSavesLittle) {
 TEST(CompressionTest, MeasuredEntropyMatchesExpectations) {
   // Uniform random bytes -> ~8 bits/byte; constant bytes -> 0.
   Rng rng(3);
-  std::vector<uint8_t> random(64 * 1024);
+  std::vector<uint8_t> random(64 * kKiB);
   for (auto& b : random) {
     b = static_cast<uint8_t>(rng.NextU64());
   }

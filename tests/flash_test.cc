@@ -137,7 +137,7 @@ TEST(ErrorModelTest, RberClampedToHalf) {
   PageErrorState state;
   state.mode = CellTech::kPlc;
   state.endurance_pec = 1.0;
-  state.pec_at_program = 1000000;
+  state.pec_at_program = 1000000;  // soslint:allow(R10) P/E cycle count, not a unit
   state.retention_years = 100.0;
   state.reads_since_program = 4000000000u;
   EXPECT_LE(ErrorModel::Rber(state), 0.5);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/units.h"
 #include "src/flash/fault_hook.h"
 #include "src/host/file_system.h"
 #include "src/host/workload.h"
@@ -84,7 +85,7 @@ TEST(FileSystemTest, MissingFileFails) {
 
 TEST(FileSystemTest, OverwriteInPlace) {
   FsFixture f;
-  auto id = f.fs.CreateFile(PhotoMeta(1024), Content(1024, 3), StreamClass::kSys);
+  auto id = f.fs.CreateFile(PhotoMeta(kKiB), Content(kKiB, 3), StreamClass::kSys);
   ASSERT_TRUE(id.ok());
   const auto updated = Content(900, 9);
   ASSERT_TRUE(f.fs.OverwriteFile(id.value(), updated).ok());

@@ -50,8 +50,9 @@ TEST(L2pEquivalenceTest, FlatTableMatchesReferenceMapOnRandomOpSequences) {
     Rng rng(DeriveSeed({seed, 0x4c3250ull}));
     L2pTable flat;
     ReferenceL2pMap ref;
+    // soslint:allow(R10) L2P slot counts, not byte sizes
     flat.Reserve(1024);
-    ref.Reserve(1024);
+    ref.Reserve(1024);  // soslint:allow(R10) same slot count as above
     for (uint64_t i = 0; i < 30000; ++i) {
       // Mostly-dense LBAs (the host allocator is a bump allocator) plus an
       // occasional sparse outlier to exercise flat-table growth.

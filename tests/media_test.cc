@@ -7,6 +7,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/common/units.h"
 #include "src/flash/error_model.h"
 #include "src/media/quality.h"
 
@@ -26,7 +27,7 @@ TEST(ImageQualityTest, PsnrDropsWithMoreErrors) {
   auto lightly = img;
   auto heavily = img;
   ErrorModel::InjectErrors(lightly, 16, 3);
-  ErrorModel::InjectErrors(heavily, 1024, 4);
+  ErrorModel::InjectErrors(heavily, 1024, 4);  // soslint:allow(R10) bit-flip count, not a size
   const double psnr_light = ImageQualityModel::PsnrDb(img, lightly);
   const double psnr_heavy = ImageQualityModel::PsnrDb(img, heavily);
   EXPECT_GT(psnr_light, psnr_heavy);
@@ -119,7 +120,7 @@ TEST(VideoQualityTest, ScoreDecreasesWithBer) {
 
 TEST(VideoQualityTest, MeasuredTracksExpected) {
   VideoConfig config;
-  config.frame_bytes = 1024;
+  config.frame_bytes = kKiB;
   const VideoQualityModel model(config);
   const auto video = GenerateSyntheticVideo(config, 120, 13);
   const double ber = 2e-5;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/common/units.h"
 #include "src/flash/nand_package.h"
 
 namespace sos {
@@ -69,7 +70,7 @@ TEST(NandPackageTest, StripeRoundtrip) {
   SimClock clock;
   NandPackage package(SmallPackage(4), &clock);
   Rng rng(5);
-  std::vector<uint8_t> data(64 * 1024);
+  std::vector<uint8_t> data(64 * kKiB);
   for (auto& b : data) {
     b = static_cast<uint8_t>(rng.NextU64());
   }
@@ -98,7 +99,7 @@ TEST(NandPackageTest, SequentialThroughputScalesWithDies) {
     config.die.store_payloads = false;
     NandPackage package(config, &clock);
     // Must fit the single-die case: 8 blocks x 40 pages x 2 KiB = 640 KiB.
-    const uint64_t bytes = 512ull * 1024;
+    const uint64_t bytes = 512 * kKiB;
     EXPECT_TRUE(package.StripeWrite(0, std::vector<uint8_t>(bytes)).ok());
     auto read = package.StripeRead(0, bytes);
     EXPECT_TRUE(read.ok());
@@ -115,7 +116,7 @@ TEST(NandPackageTest, StripePastDieFails) {
   SimClock clock;
   NandPackage package(SmallPackage(1), &clock);
   // One die of 8 blocks x 40 pages x 2 KiB = 640 KiB; ask for more.
-  const std::vector<uint8_t> big(1024 * 1024, 1);
+  const std::vector<uint8_t> big(kMiB, 1);
   EXPECT_EQ(package.StripeWrite(0, big).code(), StatusCode::kOutOfSpace);
 }
 

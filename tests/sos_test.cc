@@ -8,6 +8,7 @@
 #include "src/classify/corpus.h"
 #include "src/classify/logistic.h"
 #include "src/common/rng.h"
+#include "src/common/units.h"
 #include "src/sos/daemons.h"
 #include "src/sos/health.h"
 #include "src/sos/lifetime_sim.h"
@@ -135,8 +136,9 @@ TEST(SosDeviceTest, SlcStagingAbsorbsWritesAndFlushes) {
   EXPECT_EQ(device.SysSnapshot().valid_pages, 0u);
 
   // Flushing moves it to pseudo-QLC; data survives.
-  const uint64_t flushed = device.FlushStage();
-  EXPECT_GT(flushed, 0u);
+  const auto flushed = device.FlushStage();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_GT(flushed.value(), 0u);
   EXPECT_GT(device.SysSnapshot().valid_pages, 0u);
   for (uint64_t lba = 0; lba < 8; ++lba) {
     auto read = device.Read(lba);
@@ -247,7 +249,7 @@ struct DaemonFixture {
                                            CorpusConfig{}.device_age_us)) {}
 
   // Creates a file from the corpus sample `i`, scaled to a small size.
-  uint64_t AddFile(size_t i, uint64_t size = 1024) {
+  uint64_t AddFile(size_t i, uint64_t size = kKiB) {
     FileMeta meta = corpus[i];
     meta.size_bytes = size;
     auto id = fs.CreateFile(meta, std::vector<uint8_t>(size, static_cast<uint8_t>(i)),
@@ -263,12 +265,12 @@ TEST(MigrationDaemonTest, DemotesExpendableKeepsCritical) {
   FileMeta precious;
   precious.type = FileType::kPhoto;
   precious.path = "dcim/camera/wedding.jpg";
-  precious.size_bytes = 1024;
+  precious.size_bytes = kKiB;
   precious.personal_signal = 0.99;
   FileMeta junk;
   junk.type = FileType::kCache;
   junk.path = "data/cache/app1.tmp";
-  junk.size_bytes = 1024;
+  junk.size_bytes = kKiB;
   auto precious_id = f.fs.CreateFile(precious, Block(1), StreamClass::kSys);
   auto junk_id = f.fs.CreateFile(junk, Block(2), StreamClass::kSys);
   ASSERT_TRUE(precious_id.ok());

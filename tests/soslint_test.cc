@@ -1,6 +1,6 @@
 // Copyright (c) 2026 The SOS Authors. MIT License.
 //
-// Unit tests for tools/soslint: every rule R1..R6 is exercised with a
+// Unit tests for tools/soslint: every rule R1..R10 is exercised with a
 // fixture that must fire and a near-identical fixture that must pass, so a
 // lexer or matcher regression shows up as a test diff, not as lint noise on
 // the real tree. Fixtures are raw strings; soslint's own lexer drops raw
@@ -17,6 +17,7 @@
 namespace sos {
 namespace {
 
+using lint::Baseline;
 using lint::Diagnostic;
 using lint::SourceFile;
 
@@ -28,6 +29,15 @@ int CountRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
   return static_cast<int>(
       std::count_if(diags.begin(), diags.end(),
                     [&rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+// First diagnostic of the named rule (fixtures can also trip unrelated rules,
+// e.g. a header fixture with no include guard).
+const Diagnostic& FirstOf(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  const auto it = std::find_if(diags.begin(), diags.end(),
+                               [&rule](const Diagnostic& d) { return d.rule == rule; });
+  EXPECT_NE(it, diags.end()) << "no " << rule << " diagnostic";
+  return *it;
 }
 
 // --- R1: unordered-container iteration -------------------------------------
@@ -94,6 +104,18 @@ TEST(SoslintR1Test, IgnoresOrderedContainersAndClassicLoops) {
       for (int x : v) Use(x);
       for (size_t i = 0; i < v.size(); ++i) Use(v[i]);
       auto it = m.find(3);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R1"), 0);
+}
+
+TEST(SoslintR1Test, BracedInitListRangeIsDeterministic) {
+  // Iterating a braced list that merely *mentions* an indexed name keeps
+  // written order; only the container itself is hash-ordered.
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::unordered_set<int> special;
+    void F() {
+      for (int v : {1, 2, 3}) Use(v, special.count(v));
     }
   )cc");
   EXPECT_EQ(CountRule(diags, "R1"), 0);
@@ -229,9 +251,9 @@ TEST(SoslintR4Test, ComparisonsAndCallsAreFine) {
 // --- R5: the escape hatch itself ---------------------------------------------
 
 TEST(SoslintR5Test, UnknownRuleIsAViolation) {
-  const auto diags = Lint("src/x.cc", "// soslint:allow(R9) no such rule\n");
+  const auto diags = Lint("src/x.cc", "// soslint:allow(R42) no such rule\n");
   ASSERT_EQ(CountRule(diags, "R5"), 1);
-  EXPECT_NE(diags[0].message.find("R9"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("R42"), std::string::npos);
 }
 
 TEST(SoslintR5Test, MissingReasonIsAViolation) {
@@ -314,13 +336,16 @@ TEST(SoslintR6Test, PassesIgnoreResultWaiverAndDeclaration) {
   EXPECT_EQ(CountRule(diags, "R6"), 0);
 }
 
-TEST(SoslintR6Test, IgnoresBareCallOutsideRecoveryPaths) {
-  const auto diags = Lint("tests/x.cc", R"cc(
+TEST(SoslintR6Test, AppliesToBenchAndTestCodeToo) {
+  // v2 widened the scan scope: a bench driver swallowing a recovery Status
+  // is no more acceptable than the FTL doing it.
+  const std::string src = R"cc(
     void Check(Ftl& ftl) {
       ftl.RecoverFromFlash();
     }
-  )cc");
-  EXPECT_EQ(CountRule(diags, "R6"), 0);
+  )cc";
+  EXPECT_EQ(CountRule(Lint("tests/x.cc", src), "R6"), 1);
+  EXPECT_EQ(CountRule(Lint("bench/x.cc", src), "R6"), 1);
 }
 
 TEST(SoslintR6Test, AllowCommentSuppresses) {
@@ -330,6 +355,363 @@ TEST(SoslintR6Test, AllowCommentSuppresses) {
     }
   )cc");
   EXPECT_EQ(CountRule(diags, "R6"), 0);
+}
+
+// --- R7: cross-TU Status propagation -----------------------------------------
+
+// The canonical catch: the fallible signature lives in a header with no
+// [[nodiscard]], the laundering call site lives in another file.
+TEST(SoslintR7Test, CatchesVoidCastOfWrapperDeclaredInOtherFile) {
+  const std::vector<SourceFile> files = {
+      {"src/dev.h",
+       R"cc(
+         Status Flush();
+         Result<uint64_t> Drain();
+       )cc"},
+      {"src/use.cc",
+       R"cc(
+         void Idle(Dev& dev) {
+           (void)dev.Flush();
+           dev.Drain();
+         }
+       )cc"},
+  };
+  const auto diags = lint::LintTree(files);
+  ASSERT_EQ(CountRule(diags, "R7"), 2);
+  // The message points back at the cross-file declaration.
+  EXPECT_NE(FirstOf(diags, "R7").message.find("src/dev.h"), std::string::npos);
+}
+
+TEST(SoslintR7Test, SunkResultsPass) {
+  const std::vector<SourceFile> files = {
+      {"src/dev.h", "Status Flush();\n"},
+      {"src/use.cc",
+       R"cc(
+         Status Propagate(Dev& dev) { return dev.Flush(); }
+         void Check(Dev& dev) {
+           if (!dev.Flush().ok()) {
+             Abort();
+           }
+           EXPECT_TRUE(dev.Flush().ok());
+           IgnoreResult(dev.Flush());
+         }
+       )cc"},
+  };
+  EXPECT_EQ(CountRule(lint::LintTree(files), "R7"), 0);
+}
+
+TEST(SoslintR7Test, AssignedButNeverReadIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/dev.h", "Status Flush();\n"},
+      {"src/use.cc",
+       R"cc(
+         void Dropped(Dev& dev) {
+           Status s = dev.Flush();
+           DoOtherWork();
+         }
+       )cc"},
+  };
+  const auto diags = lint::LintTree(files);
+  ASSERT_EQ(CountRule(diags, "R7"), 1);
+  EXPECT_NE(FirstOf(diags, "R7").message.find("never read"), std::string::npos);
+}
+
+TEST(SoslintR7Test, AssignedAndCheckedPasses) {
+  const std::vector<SourceFile> files = {
+      {"src/dev.h", "Status Flush();\n"},
+      {"src/use.cc",
+       R"cc(
+         void Checked(Dev& dev) {
+           Status s = dev.Flush();
+           if (!s.ok()) {
+             Abort();
+           }
+         }
+       )cc"},
+  };
+  EXPECT_EQ(CountRule(lint::LintTree(files), "R7"), 0);
+}
+
+TEST(SoslintR7Test, RetryReassignmentIsNotAFalsePositive) {
+  // `s = F();` (no declaration) writes a variable from an enclosing scope
+  // the flow pass cannot see; the retry idiom must stay clean.
+  const std::vector<SourceFile> files = {
+      {"src/dev.h", "Status Flush();\n"},
+      {"src/use.cc",
+       R"cc(
+         void Retry(Dev& dev) {
+           Status s = dev.Flush();
+           if (!s.ok()) {
+             s = dev.Flush();
+           }
+           Log(s);
+         }
+       )cc"},
+  };
+  EXPECT_EQ(CountRule(lint::LintTree(files), "R7"), 0);
+}
+
+TEST(SoslintR7Test, SnakeCaseVariablesAreNotIndexedAsFunctions) {
+  // `Status result = ...` is a declaration, not a fallible-function
+  // signature; calls to something named `result` elsewhere must not fire.
+  const std::vector<SourceFile> files = {
+      {"src/a.cc", "Status result = MakeStatus();\n"},
+      {"src/b.cc", "void F() { result(); }\n"},
+  };
+  EXPECT_EQ(CountRule(lint::LintTree(files), "R7"), 0);
+}
+
+TEST(SoslintR7Test, AllowCommentSuppresses) {
+  const std::vector<SourceFile> files = {
+      {"src/dev.h", "Status Flush();\n"},
+      {"src/use.cc",
+       R"cc(
+         void Idle(Dev& dev) {
+           (void)dev.Flush();  // soslint:allow(R7) demo of the legacy idiom
+         }
+       )cc"},
+  };
+  EXPECT_EQ(CountRule(lint::LintTree(files), "R7"), 0);
+}
+
+// --- R8: shared-mutable captures in thread-pool lambdas ----------------------
+
+TEST(SoslintR8Test, FlagsSharedAccumulatorByRefCapture) {
+  const auto diags = Lint("bench/x.cc", R"cc(
+    void Sum(ThreadPool& pool) {
+      double total = 0.0;
+      ParallelFor(pool, 0, 8, [&total](size_t i) { total += Work(i); });
+      Report(total);
+    }
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R8"), 1);
+  EXPECT_NE(diags[0].message.find("total"), std::string::npos);
+}
+
+TEST(SoslintR8Test, PerIndexSlotWriteIsTheSanctionedPattern) {
+  // The ParallelMap contract: each task writes only its own slot.
+  const auto diags = Lint("src/common/thread_pool.cc", R"cc(
+    void Map(ThreadPool& pool, std::vector<double>& out) {
+      ParallelFor(pool, 0, out.size(), [&out](size_t i) { out[i] = Work(i); });
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R8"), 0);
+}
+
+TEST(SoslintR8Test, MutexGuardedWriteIsFine) {
+  const auto diags = Lint("bench/x.cc", R"cc(
+    void Sum(ThreadPool& pool, std::mutex& mu) {
+      double total = 0.0;
+      ParallelFor(pool, 0, 8, [&total, &mu](size_t i) {
+        std::lock_guard<std::mutex> lock(mu);
+        total += Work(i);
+      });
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R8"), 0);
+}
+
+TEST(SoslintR8Test, ByValueCaptureCannotRace) {
+  const auto diags = Lint("bench/x.cc", R"cc(
+    void F(ThreadPool& pool, uint64_t seed) {
+      pool.Submit([seed] { Use(seed); });
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R8"), 0);
+}
+
+TEST(SoslintR8Test, DefaultRefCaptureWritingOutsideNameIsFlagged) {
+  const auto diags = Lint("bench/x.cc", R"cc(
+    void F(ThreadPool& pool) {
+      uint64_t count = 0;
+      pool.Submit([&] { count++; });
+      Report(count);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R8"), 1);
+}
+
+TEST(SoslintR8Test, AllowCommentSuppresses) {
+  const auto diags = Lint("bench/x.cc", R"cc(
+    void Sum(ThreadPool& pool) {
+      double total = 0.0;
+      // soslint:allow(R8) single worker pool in this configuration
+      ParallelFor(pool, 0, 8, [&total](size_t i) { total += Work(i); });
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R8"), 0);
+}
+
+// --- R9: golden-output float stability ---------------------------------------
+
+TEST(SoslintR9Test, FlagsStreamedDoubleVariable) {
+  const auto diags = Lint("bench/x.cc", R"cc(
+    void Print(std::ostream& os, double ratio) {
+      os << ratio << "\n";
+    }
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R9"), 1);
+  EXPECT_NE(diags[0].message.find("ratio"), std::string::npos);
+}
+
+TEST(SoslintR9Test, DoubleFieldIndexedCrossFile) {
+  // The struct lives in a header; the stream insertion in another file never
+  // spells the type. Only the tree-wide index can catch it.
+  const std::vector<SourceFile> files = {
+      {"src/stats.h", "struct Stats { double mean_latency; };\n"},
+      {"bench/report.cc",
+       R"cc(
+         void Report(std::ostream& os, const Stats& stats) {
+           os << stats.mean_latency;
+         }
+       )cc"},
+  };
+  const auto diags = lint::LintTree(files);
+  ASSERT_EQ(CountRule(diags, "R9"), 1);
+  EXPECT_EQ(diags[0].file, "bench/report.cc");
+}
+
+TEST(SoslintR9Test, SanctionedFormattersPass) {
+  const auto diags = Lint("bench/x.cc", R"cc(
+    void Print(std::ostream& os, double ratio) {
+      os << FormatDouble(ratio, 3);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", ratio);
+      std::printf("%.17g\n", ratio);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R9"), 0);
+}
+
+TEST(SoslintR9Test, FlagsToStringOnDouble) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::string Render(double score) {
+      return std::to_string(score);
+    }
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R9"), 1);
+  EXPECT_NE(diags[0].message.find("to_string"), std::string::npos);
+}
+
+TEST(SoslintR9Test, ToStringOnIntegerPasses) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    std::string Render(uint64_t count) {
+      return std::to_string(count);
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R9"), 0);
+}
+
+TEST(SoslintR9Test, TestsAreOutOfScope) {
+  // gtest failure messages are not golden bytes.
+  const auto diags = Lint("tests/x.cc", R"cc(
+    void Check(double got) {
+      std::cerr << got;
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R9"), 0);
+}
+
+TEST(SoslintR9Test, FloatLiteralThroughStreamIsFlagged) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    void Banner(std::ostream& os) { os << 3.14; }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R9"), 1);
+}
+
+// --- R10: unit hygiene -------------------------------------------------------
+
+TEST(SoslintR10Test, FlagsRawUnitLiterals) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    uint64_t CacheBytes() { return 4 * 1024; }
+    uint64_t Micros() { return 3 * 1000000; }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R10"), 2);
+}
+
+TEST(SoslintR10Test, NamedConstantsPass) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    uint64_t CacheBytes() { return 4 * kKiB; }
+    uint64_t Micros() { return 3 * kUsPerSecond; }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R10"), 0);
+}
+
+TEST(SoslintR10Test, UnitsHeaderItselfIsExempt) {
+  const auto diags = Lint("src/common/units.h", R"cc(
+    #ifndef SOS_SRC_COMMON_UNITS_H_
+    #define SOS_SRC_COMMON_UNITS_H_
+    inline constexpr uint64_t kKiB = 1024ull;
+    #endif  // SOS_SRC_COMMON_UNITS_H_
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R10"), 0);
+}
+
+TEST(SoslintR10Test, MixedBinaryAndDecimalFamiliesFlagged) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    double Shady(uint64_t n) { return n * kGiB / kGB; }
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R10"), 1);
+  EXPECT_NE(diags[0].message.find("kGiB"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("kGB"), std::string::npos);
+}
+
+TEST(SoslintR10Test, ConversionHelperExemptsTheMix) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    double Honest(uint64_t n) { return BytesToGB(n * kGiB); }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R10"), 0);
+}
+
+TEST(SoslintR10Test, MicrosecondsTimesDaysFlagged) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    double Rate(double age_us, double life_days) {
+      return age_us / life_days;
+    }
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R10"), 1);
+
+  const auto fixed = Lint("src/x.cc", R"cc(
+    double Rate(double age_us, double life_days) {
+      return UsToDays(age_us) / life_days;
+    }
+  )cc");
+  EXPECT_EQ(CountRule(fixed, "R10"), 0);
+}
+
+TEST(SoslintR10Test, AllowCommentSuppresses) {
+  const auto diags = Lint("src/x.cc", R"cc(
+    // soslint:allow(R10) grid density, not a size
+    constexpr uint32_t kGridPoints = 1024;
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R10"), 0);
+}
+
+// --- Symbol index ------------------------------------------------------------
+
+TEST(SoslintIndexTest, CollectsFalliblesUnorderedAndDoubles) {
+  const auto index = lint::BuildIndex({
+      {"src/a.h",
+       R"cc(
+         Status Flush();
+         Result<int> Count() const;
+         std::unordered_map<int, int> table_;
+         double mean_us = 0.0;
+       )cc"},
+  });
+  ASSERT_EQ(index.fallible_fns.count("Flush"), 1u);
+  EXPECT_EQ(index.fallible_fns.at("Flush").return_type, "Status");
+  ASSERT_EQ(index.fallible_fns.count("Count"), 1u);
+  EXPECT_EQ(index.fallible_fns.at("Count").return_type, "Result");
+  EXPECT_EQ(index.unordered_names.count("table_"), 1u);
+  EXPECT_EQ(index.double_idents.count("mean_us"), 1u);
+}
+
+TEST(SoslintIndexTest, LintFileConsultsAnExternalIndex) {
+  const std::vector<SourceFile> header = {{"src/dev.h", "Status Flush();\n"}};
+  const auto index = lint::BuildIndex(header);
+  const SourceFile use{"src/use.cc", "void F(Dev& dev) { dev.Flush(); }\n"};
+  EXPECT_EQ(CountRule(lint::LintFile(use, index), "R7"), 1);
 }
 
 // --- Output format & determinism ---------------------------------------------
@@ -350,6 +732,93 @@ TEST(SoslintOutputTest, LintTreeSortsDiagnosticsByFileAndLine) {
   ASSERT_EQ(diags.size(), 2u);
   EXPECT_EQ(diags[0].file, "src/aaa.cc");
   EXPECT_EQ(diags[1].file, "src/zzz.cc");
+}
+
+TEST(SoslintOutputTest, JsonReportEscapesAndCounts) {
+  const std::vector<Diagnostic> diags = {
+      {"src/a.cc", 3, "R2", "uses \"rand\" badly"},
+  };
+  const std::string json = lint::FormatReportJson(diags, 17);
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\\\"rand\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"R2\""), std::string::npos);
+}
+
+// --- Baseline: enumerated, justified debt ------------------------------------
+
+TEST(SoslintBaselineTest, RoundTripSuppressesOnlyEnumeratedDebt) {
+  const std::vector<Diagnostic> old_debt = {
+      {"src/legacy.cc", 10, "R10", "raw unit literal 1024"},
+  };
+  // load...
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(lint::ParseBaselineJson(lint::WriteBaselineJson(old_debt), &baseline, &error))
+      << error;
+  ASSERT_EQ(baseline.entries.size(), 1u);
+  EXPECT_EQ(baseline.entries[0].file, "src/legacy.cc");
+
+  // ...suppress...
+  const std::vector<Diagnostic> now = {
+      {"src/legacy.cc", 10, "R10", "raw unit literal 1024"},
+      {"src/fresh.cc", 4, "R7", "discarding the Status of 'Flush'"},
+  };
+  const auto remaining = lint::ApplyBaseline(now, baseline);
+  // ...new violation still fails.
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].file, "src/fresh.cc");
+  EXPECT_EQ(remaining[0].rule, "R7");
+}
+
+TEST(SoslintBaselineTest, StaleEntryIsItselfAViolation) {
+  Baseline baseline;
+  baseline.entries.push_back({"src/gone.cc", 9, "R1", "fixed long ago"});
+  const auto remaining = lint::ApplyBaseline({}, baseline);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].rule, "R5");
+  EXPECT_NE(remaining[0].message.find("stale"), std::string::npos);
+}
+
+TEST(SoslintBaselineTest, MatchRequiresFileLineAndRule) {
+  Baseline baseline;
+  baseline.entries.push_back({"src/a.cc", 10, "R10", "justified"});
+  // Same file+line, different rule: not suppressed (and the entry is stale).
+  const std::vector<Diagnostic> diags = {{"src/a.cc", 10, "R9", "streamed double"}};
+  const auto remaining = lint::ApplyBaseline(diags, baseline);
+  EXPECT_EQ(CountRule(remaining, "R9"), 1);
+  EXPECT_EQ(CountRule(remaining, "R5"), 1);
+}
+
+TEST(SoslintBaselineTest, RejectsMalformedAndUnjustifiedBaselines) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(lint::ParseBaselineJson("not json", &baseline, &error));
+  EXPECT_FALSE(lint::ParseBaselineJson("{\"schema\": 2, \"entries\": []}", &baseline, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  // A note is mandatory: debt without a justification is not reviewable.
+  const std::string no_note =
+      "{\"schema\": 1, \"entries\": ["
+      "{\"file\": \"src/a.cc\", \"line\": 3, \"rule\": \"R1\", \"note\": \"\"}]}";
+  EXPECT_FALSE(lint::ParseBaselineJson(no_note, &baseline, &error));
+  EXPECT_NE(error.find("note"), std::string::npos);
+  // Unknown rules cannot be baselined.
+  const std::string bad_rule =
+      "{\"schema\": 1, \"entries\": ["
+      "{\"file\": \"src/a.cc\", \"line\": 3, \"rule\": \"R42\", \"note\": \"x\"}]}";
+  EXPECT_FALSE(lint::ParseBaselineJson(bad_rule, &baseline, &error));
+  EXPECT_NE(error.find("R42"), std::string::npos);
+}
+
+TEST(SoslintBaselineTest, EmptyBaselineParsesAndSuppressesNothing) {
+  Baseline baseline;
+  std::string error;
+  ASSERT_TRUE(
+      lint::ParseBaselineJson("{\n  \"schema\": 1,\n  \"entries\": []\n}\n", &baseline, &error))
+      << error;
+  EXPECT_TRUE(baseline.entries.empty());
+  const std::vector<Diagnostic> diags = {{"src/a.cc", 1, "R1", "m"}};
+  EXPECT_EQ(lint::ApplyBaseline(diags, baseline).size(), 1u);
 }
 
 }  // namespace

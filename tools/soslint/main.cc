@@ -1,12 +1,24 @@
 // Copyright (c) 2026 The SOS Authors. MIT License.
 //
-// soslint driver: lints every .h/.cc under the repo's source directories.
+// soslint driver: lints every .h/.cc/.cpp under the repo's source directories.
 //
-//   soslint <repo-root> [subdir ...]
+//   soslint <repo-root> [subdir ...] [options]
 //
-// With no subdirs, lints src/ tests/ bench/ examples/ tools/. Prints one
-// diagnostic per line in file:line: [Rn] form (sorted, so output is stable
-// for CI diffing) and exits nonzero when any violation remains.
+// Options:
+//   --format=text|json        diagnostic output format (default text)
+//   --json-out=<path>         additionally write the JSON report to a file
+//                             (for CI artifacts, regardless of --format)
+//   --baseline=<path>         suppress diagnostics enumerated in a baseline
+//                             file; stale entries are themselves violations.
+//                             Defaults to <root>/tools/soslint/baseline.json
+//                             when that file exists. --baseline=none disables.
+//   --write-baseline=<path>   write the current diagnostics as a baseline
+//                             file (notes prefilled for human editing) and
+//                             exit 0. Used once when a new rule lands.
+//
+// With no subdirs, lints src/ tests/ bench/ examples/ tools/. Text output is
+// one diagnostic per line in file:line: [Rn] form (sorted, so output is
+// stable for CI diffing). Exit code: 0 clean, 1 violations, 2 usage/IO error.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,7 +37,7 @@ namespace fs = std::filesystem;
 
 bool IsSourceFile(const fs::path& path) {
   const std::string ext = path.extension().string();
-  return ext == ".h" || ext == ".cc";
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
 }
 
 std::string ReadFileOrDie(const fs::path& path) {
@@ -39,24 +51,67 @@ std::string ReadFileOrDie(const fs::path& path) {
   return buf.str();
 }
 
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    std::fprintf(stderr, "soslint: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+}
+
 // Repo-relative path with '/' separators (header-guard names depend on it).
 std::string RelativePath(const fs::path& root, const fs::path& path) {
   std::string rel = fs::relative(path, root).generic_string();
   return rel;
 }
 
+int Usage() {
+  std::fprintf(stderr,
+               "usage: soslint <repo-root> [subdir ...] [--format=text|json]\n"
+               "               [--json-out=<path>] [--baseline=<path>|none]\n"
+               "               [--write-baseline=<path>]\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: soslint <repo-root> [subdir ...]\n");
-    return 2;
-  }
-  const fs::path root = argv[1];
+  std::string root_arg;
   std::vector<std::string> subdirs;
-  for (int i = 2; i < argc; ++i) {
-    subdirs.emplace_back(argv[i]);
+  std::string format = "text";
+  std::string json_out;
+  std::string baseline_path;  // empty = auto-detect, "none" = disabled
+  std::string write_baseline_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& flag) {
+      return arg.substr(flag.size());
+    };
+    if (arg.rfind("--format=", 0) == 0) {
+      format = value_of("--format=");
+      if (format != "text" && format != "json") {
+        return Usage();
+      }
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = value_of("--json-out=");
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value_of("--baseline=");
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = value_of("--write-baseline=");
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      subdirs.push_back(arg);
+    }
   }
+  if (root_arg.empty()) {
+    return Usage();
+  }
+  const fs::path root = root_arg;
   if (subdirs.empty()) {
     subdirs = {"src", "tests", "bench", "examples", "tools"};
   }
@@ -84,9 +139,42 @@ int main(int argc, char** argv) {
               return a.path < b.path;
             });
 
-  const std::vector<sos::lint::Diagnostic> diags = sos::lint::LintTree(files);
-  for (const sos::lint::Diagnostic& diag : diags) {
-    std::printf("%s\n", sos::lint::FormatDiagnostic(diag).c_str());
+  std::vector<sos::lint::Diagnostic> diags = sos::lint::LintTree(files);
+
+  if (!write_baseline_path.empty()) {
+    WriteFileOrDie(write_baseline_path, sos::lint::WriteBaselineJson(diags));
+    std::fprintf(stderr, "soslint: wrote %zu baseline entries to %s\n", diags.size(),
+                 write_baseline_path.c_str());
+    return 0;
+  }
+
+  if (baseline_path.empty()) {
+    const fs::path auto_baseline = root / "tools" / "soslint" / "baseline.json";
+    if (fs::exists(auto_baseline)) {
+      baseline_path = auto_baseline.string();
+    }
+  }
+  if (!baseline_path.empty() && baseline_path != "none") {
+    sos::lint::Baseline baseline;
+    std::string error;
+    if (!sos::lint::ParseBaselineJson(ReadFileOrDie(baseline_path), &baseline, &error)) {
+      std::fprintf(stderr, "soslint: bad baseline %s: %s\n", baseline_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    diags = sos::lint::ApplyBaseline(std::move(diags), baseline);
+  }
+
+  const std::string json = sos::lint::FormatReportJson(diags, files.size());
+  if (!json_out.empty()) {
+    WriteFileOrDie(json_out, json);
+  }
+  if (format == "json") {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    for (const sos::lint::Diagnostic& diag : diags) {
+      std::printf("%s\n", sos::lint::FormatDiagnostic(diag).c_str());
+    }
   }
   if (!diags.empty()) {
     std::fprintf(stderr, "soslint: %zu violation(s) in %zu files scanned\n", diags.size(),
