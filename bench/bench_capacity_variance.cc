@@ -33,6 +33,8 @@ void Run() {
   const uint64_t initial_pages = device.capacity_blocks();
   Rng rng(9);
   const uint64_t working_set = initial_pages / 2;
+  PlacementDirectory placements(&device);
+  const PlacementHandle degradable = placements.For({Durability::kDegradable}).value();
 
   PrintSection("Write-cycling the SPARE pool far past rated endurance");
   TextTable table({"spare full-pool rewrites", "exported pages", "capacity vs initial",
@@ -41,8 +43,8 @@ void Run() {
   for (int round = 0; round <= 40; ++round) {
     if (round > 0) {
       for (uint64_t i = 0; i < writes_per_round; ++i) {
-        // Skew into SPARE: all writes carry the expendable hint.
-        if (!device.Write(rng.NextBounded(working_set), {}, StreamClass::kSpare).ok()) {
+        // Skew into SPARE: all writes declare themselves degradable.
+        if (!device.Write(rng.NextBounded(working_set), {}, degradable).ok()) {
           break;
         }
       }

@@ -48,12 +48,15 @@ void PrintLatencyTables() {
   SimClock clock;
   SosDevice device(config, &clock);
   // Lay down a media file on SPARE and app state on SYS.
+  PlacementDirectory placements(&device);
+  const PlacementHandle degradable = placements.For({Durability::kDegradable}).value();
+  const PlacementHandle critical = placements.For({Durability::kCritical}).value();
   const uint64_t media_pages = 1024;  // soslint:allow(R10) page count, not a byte size
   for (uint64_t lba = 0; lba < media_pages; ++lba) {
-    IgnoreResult(device.Write(lba, {}, StreamClass::kSpare));
+    IgnoreResult(device.Write(lba, {}, degradable));
   }
   for (uint64_t lba = media_pages; lba < media_pages + 256; ++lba) {
-    IgnoreResult(device.Write(lba, {}, StreamClass::kSys));
+    IgnoreResult(device.Write(lba, {}, critical));
   }
   auto measure_read = [&](uint64_t first, uint64_t count) {
     const SimTimeUs start = clock.now();

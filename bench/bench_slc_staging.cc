@@ -42,12 +42,14 @@ StagingOutcome RunWorkload(bool staging, double stage_share) {
 
   Rng rng(13);
   const uint64_t lba_space = device.capacity_blocks() / 3;
+  PlacementDirectory placements(&device);
+  const PlacementHandle critical = placements.For({Durability::kCritical}).value();
   RunningStats write_latency;
   for (int burst = 0; burst < 120; ++burst) {
     // A burst of 48 pages (a ~12-shot camera burst at 16 KiB/page-cluster).
     for (int i = 0; i < 48; ++i) {
       const SimTimeUs before = clock.now();
-      if (!device.Write(rng.NextBounded(lba_space), {}, StreamClass::kSys).ok()) {
+      if (!device.Write(rng.NextBounded(lba_space), {}, critical).ok()) {
         break;
       }
       write_latency.Add(static_cast<double>(clock.now() - before));

@@ -75,6 +75,27 @@ class FlagSet {
     return &flag.path_value;
   }
 
+  // An enum-valued flag: the parsed value is always one of `choices`, spelled
+  // exactly. Anything else -- including case variants and abbreviations -- is
+  // a hard parse error that names the accepted set. The default must itself
+  // be a choice (a bench bug otherwise, caught at declaration time).
+  std::string* Enum(const std::string& name, const std::string& default_value,
+                    std::vector<std::string> choices, const std::string& help) {
+    bool default_ok = false;
+    for (const std::string& choice : choices) {
+      default_ok = default_ok || choice == default_value;
+    }
+    if (!default_ok) {
+      std::fprintf(stderr, "FlagSet: default '%s' for --%s is not one of its choices\n",
+                   default_value.c_str(), name.c_str());
+      std::abort();
+    }
+    Flag& flag = Declare(name, Kind::kEnum, help, default_value);
+    flag.choices = std::move(choices);
+    flag.enum_value = default_value;
+    return &flag.enum_value;
+  }
+
   // A repeatable string-valued flag: every occurrence appends, in command-line
   // order, so `--fault=power_cut@1000 --fault=die_fail@2,d3` yields both
   // specs. Values are opaque strings here; the bench parses them (and rejects
@@ -149,7 +170,9 @@ class FlagSet {
     }
     out += "flags:\n";
     for (const Flag& flag : flags_) {
-      out += "  --" + flag.name + "=<" + KindName(flag.kind) + ">  " + flag.help +
+      const std::string value_text =
+          flag.kind == Kind::kEnum ? JoinChoices(flag.choices) : KindName(flag.kind);
+      out += "  --" + flag.name + "=<" + value_text + ">  " + flag.help +
              " (default: " + flag.default_text + ")\n";
     }
     out += "  --help  print this message and exit\n";
@@ -160,17 +183,19 @@ class FlagSet {
   }
 
  private:
-  enum class Kind { kSize, kU64, kPath, kList };
+  enum class Kind { kSize, kU64, kPath, kList, kEnum };
 
   struct Flag {
     std::string name;
-    Kind kind;
+    Kind kind = Kind::kSize;
     std::string help;
     std::string default_text;
     size_t size_value = 0;
     uint64_t u64_value = 0;
     std::string path_value;
     std::vector<std::string> list_value;
+    std::string enum_value;
+    std::vector<std::string> choices;
   };
 
   static const char* KindName(Kind kind) {
@@ -182,8 +207,21 @@ class FlagSet {
         return "path";
       case Kind::kList:
         return "value";
+      case Kind::kEnum:
+        return "choice";
     }
     return "?";
+  }
+
+  static std::string JoinChoices(const std::vector<std::string>& choices) {
+    std::string out;
+    for (const std::string& choice : choices) {
+      if (!out.empty()) {
+        out += '|';
+      }
+      out += choice;
+    }
+    return out;
   }
 
   static std::string FormatU64(uint64_t v) {
@@ -199,7 +237,12 @@ class FlagSet {
       std::fprintf(stderr, "FlagSet: duplicate flag --%s\n", name.c_str());
       std::abort();
     }
-    flags_.push_back(Flag{name, kind, help, std::move(default_text)});
+    Flag flag;
+    flag.name = name;
+    flag.kind = kind;
+    flag.help = help;
+    flag.default_text = std::move(default_text);
+    flags_.push_back(std::move(flag));
     return flags_.back();
   }
 
@@ -270,6 +313,16 @@ class FlagSet {
         }
         flag.list_value.emplace_back(value.begin(), value.end());
         return Status::Ok();
+      case Kind::kEnum:
+        for (const std::string& choice : flag.choices) {
+          if (choice == value) {
+            flag.enum_value = choice;
+            return Status::Ok();
+          }
+        }
+        return Status(StatusCode::kInvalidArgument,
+                      "flag --" + flag.name + ": '" + std::string(value) +
+                          "' is not one of " + JoinChoices(flag.choices));
     }
     return Status(StatusCode::kInvalidArgument, "unhandled flag kind");
   }

@@ -77,20 +77,23 @@ int main() {
   database.path = "data/app/com.bank/state.db";
   database.size_bytes = db_content.size();
 
-  // New data always lands on the reliable partition first (§4.4).
-  const uint64_t photo_id = fs.CreateFile(photo, photo_content, StreamClass::kSys).value();
-  const uint64_t video_id = fs.CreateFile(video, video_content, StreamClass::kSys).value();
-  const uint64_t db_id = fs.CreateFile(database, db_content, StreamClass::kSys).value();
+  // New data always lands on the reliable partition first (§4.4): declare
+  // it critical through a placement handle and let the daemon demote later.
+  PlacementDirectory placements(&device);
+  const PlacementHandle critical = placements.For({Durability::kCritical}).value();
+  const uint64_t photo_id = fs.CreateFile(photo, photo_content, critical).value();
+  const uint64_t video_id = fs.CreateFile(video, video_content, critical).value();
+  const uint64_t db_id = fs.CreateFile(database, db_content, critical).value();
 
   // --- 4. The nightly classification review (§4.4) -------------------------
   clock.Advance(7 * kUsPerDay);  // let the files age past the demotion guard
-  MigrationDaemon daemon(&fs, &classifier, MigrationDaemonConfig{});
+  MigrationDaemon daemon(&fs, &placements, &classifier, MigrationDaemonConfig{});
   const auto run = daemon.RunOnce(clock.now());
   std::printf("Migration daemon: scanned %llu files, demoted %llu to SPARE.\n",
               static_cast<unsigned long long>(run.scanned),
               static_cast<unsigned long long>(run.demoted));
   auto placement = [&](uint64_t id) {
-    return StreamClassName(fs.PlacementOf(id));
+    return DurabilityName(fs.PlacementSpecOf(id).value().durability);
   };
   std::printf("  %-32s -> %s\n", photo.path.c_str(), placement(photo_id));
   std::printf("  %-32s -> %s\n", video.path.c_str(), placement(video_id));

@@ -90,6 +90,9 @@ int Replay(const char* path, const char* device_name) {
     device = baseline.get();
   }
   ExtentFileSystem fs(device, &clock);
+  PlacementDirectory placements(device);
+  // Replay writes everything as critical data, like the recorder's host did.
+  const PlacementHandle critical = placements.For({Durability::kCritical}).value();
 
   std::unordered_map<uint64_t, uint64_t> ref_to_id;
   uint64_t failures = 0;
@@ -101,7 +104,7 @@ int Replay(const char* path, const char* device_name) {
       case WorkloadOp::kCreate: {
         FileMeta meta = ev.meta;
         meta.size_bytes = std::min<uint64_t>(meta.size_bytes, 32 * kKiB);
-        auto id = fs.CreateFile(meta, {}, StreamClass::kSys);
+        auto id = fs.CreateFile(meta, {}, critical);
         if (id.ok()) {
           ref_to_id[ev.file_ref] = id.value();
         } else {

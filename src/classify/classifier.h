@@ -24,6 +24,7 @@
 
 #include "src/classify/features.h"
 #include "src/classify/file_meta.h"
+#include "src/host/placement.h"
 
 namespace sos {
 
@@ -57,6 +58,32 @@ class RuleBasedClassifier final : public BinaryClassifier {
  public:
   double Score(const FileMeta& meta, SimTimeUs now_us) const override;
 };
+
+// Maps file metadata onto the placement API's lifetime declaration. An
+// explicit expected_lifetime_us wins (TTL'd cache objects); otherwise a
+// coarse per-type heuristic (caches churn in days, app state in weeks,
+// media and system data live for years). Deliberately simple -- the point
+// of the directive API is that even crude host knowledge beats none.
+inline LifetimeHint LifetimeHintFor(const FileMeta& meta) {
+  if (meta.expected_lifetime_us > 0) {
+    if (meta.expected_lifetime_us <= 7 * kUsPerDay) {
+      return LifetimeHint::kShort;
+    }
+    if (meta.expected_lifetime_us <= 90 * kUsPerDay) {
+      return LifetimeHint::kMedium;
+    }
+    return LifetimeHint::kLong;
+  }
+  switch (meta.type) {
+    case FileType::kCache:
+      return LifetimeHint::kShort;
+    case FileType::kAppData:
+    case FileType::kDownload:
+      return LifetimeHint::kMedium;
+    default:
+      return LifetimeHint::kLong;
+  }
+}
 
 // Label accessors shared by trainers/evaluators.
 inline bool ExpendableLabel(const FileMeta& meta) {

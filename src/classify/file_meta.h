@@ -73,6 +73,12 @@ struct FileMeta {
   // favorites, sensitive keywords). Stands in for the paper's visual model.
   double personal_signal = 0.0;
 
+  // Host-declared expected lifetime of the data (0 = unknown). Workloads
+  // that know their object lifetimes up front (TTL'd cache entries) set it;
+  // the placement layer folds it into the handle's LifetimeHint so the FTL
+  // can allocate worn blocks to short-lived data.
+  uint64_t expected_lifetime_us = 0;
+
   // --- Synthetic ground truth (corpus generator only; never features) -----
   Priority true_priority = Priority::kCritical;
   bool will_be_deleted = false;  // user deletes this file within a year

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kPowerLost:
       return "POWER_LOST";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kFailedPrecondition,  // e.g. write to a retired block, double free
   kUnavailable,       // transient: resource busy / backup not reachable
   kPowerLost,         // simulated power cut: device dark until PowerOn()
+  kResourceExhausted,  // bounded resource table full (e.g. placement handles)
 };
 
 // Human-readable name for a code ("OK", "DATA_LOSS", ...).

@@ -54,6 +54,18 @@ void FtlStats::ToMetrics(obs::MetricRegistry& registry, const std::string& prefi
   registry.SetGauge(prefix + "write_amplification", WriteAmplification());
 }
 
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kLegacy:
+      return "legacy";
+    case PlacementPolicy::kStatic:
+      return "static";
+    case PlacementPolicy::kLifetime:
+      return "lifetime";
+  }
+  return "?";
+}
+
 Ftl::Ftl(const FtlConfig& config, SimClock* clock)
     : config_(config), clock_(clock), nand_(config.nand, clock) {
   assert(!config_.pools.empty());
@@ -70,6 +82,7 @@ Ftl::Ftl(const FtlConfig& config, SimClock* clock)
   const uint32_t total_blocks = config_.nand.num_blocks;
   page_stride_ = config_.nand.PagesPerBlock(config_.nand.tech);
   p2l_.assign(static_cast<size_t>(total_blocks) * page_stride_, kLbaInvalid);
+  page_stream_.assign(static_cast<size_t>(total_blocks) * page_stride_, 0);
   block_owner_.assign(total_blocks, kNoPool);
   block_valid_.assign(total_blocks, 0);
   block_last_write_.assign(total_blocks, 0);
@@ -146,16 +159,46 @@ uint32_t Ftl::PagesPerBlock(const Pool& pool) const {
 void Ftl::ResetBlockRow(uint32_t block) {
   uint64_t* row = P2lRow(block);
   std::fill(row, row + page_stride_, kLbaInvalid);
+  uint8_t* streams = &page_stream_[static_cast<size_t>(block) * page_stride_];
+  std::fill(streams, streams + page_stride_, uint8_t{0});
   block_valid_[block] = 0;
   block_sealed_[block] = 0;
 }
 
-std::optional<uint32_t> Ftl::AllocateBlock(Pool& pool) {
+std::optional<uint32_t> Ftl::AllocateBlock(Pool& pool, LifetimeHint lifetime) {
   if (pool.free_blocks.empty()) {
     return std::nullopt;
   }
   size_t pick = 0;
-  if (pool.config.wear_leveling) {
+  const bool lifetime_aware =
+      config_.placement_policy == PlacementPolicy::kLifetime &&
+      (lifetime == LifetimeHint::kShort || lifetime == LifetimeHint::kLong);
+  if (lifetime_aware) {
+    // Lifetime-aware allocation ("Exploiting Data Longevity", PAPERS.md):
+    // short-lived data soaks up the most-worn free block (its imminent
+    // invalidation wastes none of a young block's endurance); long-lived
+    // data gets the youngest. Strict comparisons keep the first (lowest
+    // free-list position) candidate on ties, so the pick is deterministic.
+    if (lifetime == LifetimeHint::kShort) {
+      uint32_t best_pec = 0;
+      for (size_t i = 0; i < pool.free_blocks.size(); ++i) {
+        const uint32_t pec = nand_.block_info(pool.free_blocks[i]).pec;
+        if (i == 0 || pec > best_pec) {
+          best_pec = pec;
+          pick = i;
+        }
+      }
+    } else {
+      uint32_t best_pec = std::numeric_limits<uint32_t>::max();
+      for (size_t i = 0; i < pool.free_blocks.size(); ++i) {
+        const uint32_t pec = nand_.block_info(pool.free_blocks[i]).pec;
+        if (pec < best_pec) {
+          best_pec = pec;
+          pick = i;
+        }
+      }
+    }
+  } else if (pool.config.wear_leveling) {
     // Dynamic wear leveling: lowest-PEC free block first.
     uint32_t best_pec = std::numeric_limits<uint32_t>::max();
     for (size_t i = 0; i < pool.free_blocks.size(); ++i) {
@@ -171,11 +214,29 @@ std::optional<uint32_t> Ftl::AllocateBlock(Pool& pool) {
   return id;
 }
 
-Ftl::ActiveSlot& Ftl::SlotFor(Pool& pool, bool cold) {
-  return cold && pool.config.hot_cold_separation ? pool.active_cold : pool.active_host;
+Ftl::ActiveSlot& Ftl::SlotFor(Pool& pool, bool cold, uint32_t stream) {
+  // Relocated data always takes the legacy slots: a per-stream slot for GC
+  // traffic would let a nested relocation grow `active_streams` while an
+  // outer AppendPage holds a reference into it. Stream slots are for fresh
+  // host writes only.
+  if (cold || stream == 0 || config_.placement_policy == PlacementPolicy::kLegacy) {
+    return cold && pool.config.hot_cold_separation ? pool.active_cold : pool.active_host;
+  }
+  for (auto& [tag, slot] : pool.active_streams) {
+    if (tag == stream) {
+      return slot;
+    }
+  }
+  // First write under this tag: open a dedicated append point (FDP-style
+  // reclaim unit). Append order is first-write order -- deterministic.
+  pool.active_streams.emplace_back(stream, ActiveSlot{});
+  ActiveSlot& slot = pool.active_streams.back().second;
+  slot.stripe_xor.assign(config_.nand.page_size_bytes, 0);
+  return slot;
 }
 
-bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc) {
+bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc,
+                         LifetimeHint lifetime) {
   Pool& pool = pools_[pool_id];
   if (pool.num_blocks < pool.config.min_live_blocks) {
     return false;  // pool has worn down to a husk
@@ -216,7 +277,7 @@ bool Ftl::EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc) {
   if (!in_relocation_ && pool.free_blocks.size() <= kGcReserveBlocks) {
     return false;
   }
-  std::optional<uint32_t> block = AllocateBlock(pool);
+  std::optional<uint32_t> block = AllocateBlock(pool, lifetime);
   if (!block.has_value()) {
     return false;
   }
@@ -262,14 +323,14 @@ Status Ftl::WriteParityPage(uint32_t pool_id, ActiveSlot& slot) {
 
 Result<PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
                                 std::span<const uint8_t> data, bool allow_gc, bool cold,
-                                bool tainted) {
+                                bool tainted, uint32_t stream, LifetimeHint lifetime) {
   Pool& pool = pools_[pool_id];
-  ActiveSlot& slot = SlotFor(pool, cold);
+  ActiveSlot& slot = SlotFor(pool, cold, stream);
   // The retry budget absorbs stripe-boundary reseals, transient program
   // faults and grown-bad-block drops; each attempt starts from a usable
   // append point.
   for (int attempts = 0; attempts < 5; ++attempts) {
-    if (!EnsureWritable(pool_id, slot, allow_gc)) {
+    if (!EnsureWritable(pool_id, slot, allow_gc, lifetime)) {
       return Status(StatusCode::kOutOfSpace,
                     "pool '" + pool.config.name + "' has no writable blocks");
     }
@@ -326,10 +387,15 @@ Result<PhysLoc> Ftl::AppendPage(uint32_t pool_id, uint64_t lba,
     }
     ++write_seq_;
     P2lRow(bid)[page] = lba;
+    page_stream_[static_cast<size_t>(bid) * page_stride_ + page] =
+        static_cast<uint8_t>(stream);
     ++block_valid_[bid];
     ++pool.valid_pages;
     block_last_write_[bid] = clock_->now();
     ++pool.stats.nand_writes_;
+    if (stream != 0) {
+      ++StreamEntry(stream).nand_writes;
+    }
     if (pool.config.parity_stripe > 0 && config_.nand.store_payloads) {
       for (size_t i = 0; i < data.size() && i < slot.stripe_xor.size(); ++i) {
         slot.stripe_xor[i] = static_cast<uint8_t>(slot.stripe_xor[i] ^ data[i]);
@@ -361,16 +427,21 @@ void Ftl::InvalidateLoc(const PhysLoc& loc) {
   }
 }
 
-Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id) {
-  if (pool_id >= pools_.size()) {
+Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data,
+                  const WriteDirective& directive) {
+  if (directive.pool_id >= pools_.size()) {
     return Status(StatusCode::kInvalidArgument, "bad pool id");
+  }
+  if (directive.stream > 255) {
+    return Status(StatusCode::kInvalidArgument, "stream tag exceeds one byte");
   }
   if (data.size() > config_.nand.page_size_bytes) {
     return Status(StatusCode::kInvalidArgument, "payload exceeds page size");
   }
   obs::ScopedLatency timer(clock_, &write_latency_);
-  auto loc = AppendPage(pool_id, lba, data, /*allow_gc=*/true, /*cold=*/false,
-                        /*tainted=*/false);  // fresh host data supersedes any corruption
+  auto loc = AppendPage(directive.pool_id, lba, data, /*allow_gc=*/true, /*cold=*/false,
+                        /*tainted=*/false,  // fresh host data supersedes any corruption
+                        directive.stream, directive.lifetime);
   if (!loc.ok()) {
     return loc.status();
   }
@@ -378,7 +449,10 @@ Status Ftl::Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id)
     InvalidateLoc(*old);
   }
   l2p_.Set(lba, loc.value());
-  ++pools_[pool_id].stats.host_writes_;
+  ++pools_[directive.pool_id].stats.host_writes_;
+  if (directive.stream != 0) {
+    ++StreamEntry(directive.stream).host_writes;
+  }
   return Status::Ok();
 }
 
@@ -521,9 +595,13 @@ Status Ftl::Trim(uint64_t lba) {
   return Status::Ok();
 }
 
-Status Ftl::Migrate(uint64_t lba, uint32_t target_pool) {
+Status Ftl::Migrate(uint64_t lba, const WriteDirective& directive) {
+  const uint32_t target_pool = directive.pool_id;
   if (target_pool >= pools_.size()) {
     return Status(StatusCode::kInvalidArgument, "bad pool id");
+  }
+  if (directive.stream > 255) {
+    return Status(StatusCode::kInvalidArgument, "stream tag exceeds one byte");
   }
   const auto cur = l2p_.Find(lba);
   if (!cur.has_value()) {
@@ -539,7 +617,7 @@ Status Ftl::Migrate(uint64_t lba, uint32_t target_pool) {
   const bool tainted = cur->tainted || read.value().degraded;
   const uint32_t source_pool = cur->pool;
   auto loc = AppendPage(target_pool, lba, read.value().data, /*allow_gc=*/true,
-                        /*cold=*/false, tainted);
+                        /*cold=*/false, tainted, directive.stream, directive.lifetime);
   if (!loc.ok()) {
     return loc.status();
   }
@@ -564,13 +642,17 @@ Status Ftl::Refresh(uint64_t lba) {
     return Status(StatusCode::kNotFound, "unmapped LBA");
   }
   const uint32_t pool_id = cur->pool;
+  // The rewritten copy keeps the old page's stream tag (accounting follows
+  // the data through scrubs, like relocations).
+  const uint32_t stream =
+      page_stream_[static_cast<size_t>(cur->block) * page_stride_ + cur->page];
   auto read = ReadInternal(lba, /*count_stats=*/false);
   if (!read.ok()) {
     return read.status();
   }
   const bool tainted = cur->tainted || read.value().degraded;
   auto loc = AppendPage(pool_id, lba, read.value().data, /*allow_gc=*/true, /*cold=*/true,
-                        tainted);
+                        tainted, stream);
   if (!loc.ok()) {
     return loc.status();
   }
@@ -663,8 +745,14 @@ Status Ftl::RelocatePage(uint32_t pool_id, uint64_t lba, const FtlReadResult& re
                          bool count_as_wl) {
   const auto cur = l2p_.Find(lba);
   const bool tainted = (cur.has_value() && cur->tainted) || read.degraded;
+  // Relocated pages carry their stream tag with them: per-handle nand_writes
+  // charges GC/WL rewrites of a handle's data back to that handle.
+  const uint32_t stream =
+      cur.has_value()
+          ? page_stream_[static_cast<size_t>(cur->block) * page_stride_ + cur->page]
+          : 0;
   auto loc = AppendPage(pool_id, lba, read.data, /*allow_gc=*/false,
-                        /*cold=*/true, tainted);
+                        /*cold=*/true, tainted, stream);
   if (!loc.ok()) {
     return loc.status();
   }
@@ -927,6 +1015,11 @@ Status Ftl::DropBadBlock(uint32_t pool_id, uint32_t block_id) {
   if (pool.active_cold.block.has_value() && *pool.active_cold.block == block_id) {
     pool.active_cold.block.reset();
   }
+  for (auto& [tag, slot] : pool.active_streams) {
+    if (slot.block.has_value() && *slot.block == block_id) {
+      slot.block.reset();
+    }
+  }
   std::erase(pool.free_blocks, block_id);
 
   // Rescue whatever it still holds: program/erase refuse on a grown-bad
@@ -1011,9 +1104,18 @@ Status Ftl::RecoverFromFlash() {
     pool.active_cold.block.reset();
     std::fill(pool.active_cold.stripe_xor.begin(), pool.active_cold.stripe_xor.end(), 0);
     pool.active_cold.stripe_fill = 0;
+    pool.active_streams.clear();
     pool.valid_pages = 0;
   }
   in_relocation_ = false;
+  // Stream tags are volatile (not in the durable OOB): per-handle accounting
+  // restarts from zero after a cut. Registered names survive -- the metric
+  // label set is host-side state the device re-learns on reopen anyway.
+  std::fill(page_stream_.begin(), page_stream_.end(), uint8_t{0});
+  for (StreamStats& stats : stream_stats_) {
+    stats.host_writes = 0;
+    stats.nand_writes = 0;
+  }
 
   // Pass 1: walk the die in block order. Labels assign ownership; OOB
   // records per-page identity. Multiple copies of an LBA are expected (the
@@ -1148,6 +1250,30 @@ void Ftl::ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) co
   registry.SetHistogram(prefix + "read.latency_us", read_latency_);
   registry.SetHistogram(prefix + "write.latency_us", write_latency_);
   registry.SetHistogram(prefix + "gc.latency_us", gc_latency_);
+  // Per-handle accounting + wear variance: appended after the historical
+  // rows and only under a non-legacy policy, so every pre-directive golden
+  // stays byte-identical (registration order is export order).
+  if (config_.placement_policy == PlacementPolicy::kLegacy) {
+    return;
+  }
+  for (uint32_t tag = 1; tag < stream_stats_.size(); ++tag) {
+    const StreamStats& stats = stream_stats_[tag];
+    if (stats.name.empty() && stats.host_writes == 0 && stats.nand_writes == 0) {
+      continue;  // tag never registered nor written
+    }
+    const std::string label =
+        stats.name.empty() ? "tag" + std::to_string(tag) : stats.name;
+    const std::string handle_prefix = prefix + "handle." + label + ".";
+    registry.SetCounter(handle_prefix + "host_writes", stats.host_writes);
+    registry.SetCounter(handle_prefix + "nand_writes", stats.nand_writes);
+    registry.SetGauge(handle_prefix + "write_amplification", stats.WriteAmplification());
+  }
+  registry.SetGauge(prefix + "placement.pec_variance", PecVariance());
+  for (uint32_t pool_id = 0; pool_id < pools_.size(); ++pool_id) {
+    registry.SetGauge(prefix + "placement.pool." + pools_[pool_id].config.name +
+                          ".pec_variance",
+                      Snapshot(pool_id).pec_variance);
+  }
 }
 
 void Ftl::Trace(obs::TraceEvent event) {
@@ -1193,12 +1319,14 @@ PoolSnapshot Ftl::Snapshot(uint32_t pool_id) const {
       static_cast<uint64_t>(static_cast<double>(raw) * (1.0 - pool.config.op_fraction));
   snap.valid_pages = pool.valid_pages;
   uint64_t pec_sum = 0;
+  uint64_t pec_sq_sum = 0;
   for (uint32_t id = 0; id < block_owner_.size(); ++id) {
     if (block_owner_[id] != pool_id) {
       continue;
     }
     const uint32_t pec = nand_.block_info(id).pec;
     pec_sum += pec;
+    pec_sq_sum += static_cast<uint64_t>(pec) * pec;
     snap.max_pec = std::max(snap.max_pec, pec);
     if (block_sealed_[id] != 0) {
       ++snap.sealed_blocks;
@@ -1212,6 +1340,13 @@ PoolSnapshot Ftl::Snapshot(uint32_t pool_id) const {
   snap.mean_pec = pool.num_blocks == 0
                       ? 0.0
                       : static_cast<double>(pec_sum) / static_cast<double>(pool.num_blocks);
+  if (pool.num_blocks > 0) {
+    // Population variance in integer sums: E[X^2] - E[X]^2 with exact
+    // uint64 accumulators, so the result is schedule-independent.
+    const double n = static_cast<double>(pool.num_blocks);
+    const double mean_sq = static_cast<double>(pec_sq_sum) / n;
+    snap.pec_variance = std::max(0.0, mean_sq - snap.mean_pec * snap.mean_pec);
+  }
   snap.free_page_fraction =
       snap.exported_pages > 0
           ? static_cast<double>(snap.exported_pages -
@@ -1219,6 +1354,49 @@ PoolSnapshot Ftl::Snapshot(uint32_t pool_id) const {
                 static_cast<double>(snap.exported_pages)
           : 0.0;
   return snap;
+}
+
+Ftl::StreamStats& Ftl::StreamEntry(uint32_t stream) {
+  assert(stream <= 255);
+  if (stream_stats_.size() <= stream) {
+    stream_stats_.resize(stream + 1);
+  }
+  return stream_stats_[stream];
+}
+
+void Ftl::RegisterStream(uint32_t stream, const std::string& name) {
+  if (stream == 0 || stream > 255) {
+    return;  // tag 0 is the shared stream; larger tags cannot be stamped
+  }
+  StreamEntry(stream).name = name;
+}
+
+Ftl::StreamStats Ftl::StreamStatsOf(uint32_t stream) const {
+  if (stream < stream_stats_.size()) {
+    return stream_stats_[stream];
+  }
+  return StreamStats{};
+}
+
+double Ftl::PecVariance() const {
+  uint64_t n = 0;
+  uint64_t pec_sum = 0;
+  uint64_t pec_sq_sum = 0;
+  for (uint32_t id = 0; id < block_owner_.size(); ++id) {
+    if (block_owner_[id] == kNoPool) {
+      continue;
+    }
+    const uint32_t pec = nand_.block_info(id).pec;
+    ++n;
+    pec_sum += pec;
+    pec_sq_sum += static_cast<uint64_t>(pec) * pec;
+  }
+  if (n == 0) {
+    return 0.0;
+  }
+  const double mean = static_cast<double>(pec_sum) / static_cast<double>(n);
+  const double mean_sq = static_cast<double>(pec_sq_sum) / static_cast<double>(n);
+  return std::max(0.0, mean_sq - mean * mean);
 }
 
 bool Ftl::IsTainted(uint64_t lba) const {

@@ -49,6 +49,7 @@
 #include "src/ecc/ecc_scheme.h"
 #include "src/flash/nand_device.h"
 #include "src/ftl/l2p.h"
+#include "src/host/placement.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -57,6 +58,33 @@ namespace sos {
 enum class GcPolicy : uint8_t {
   kGreedy,       // victim = most invalid pages
   kCostBenefit,  // victim = max (1-u)/(1+u) * age
+};
+
+// How the FTL consumes host placement directives (DESIGN.md §12).
+enum class PlacementPolicy : uint8_t {
+  // Directives select only the pool; stream tags and lifetime hints are
+  // recorded (accounting) but never change block allocation or append-point
+  // selection. Bit-for-bit the historical behavior -- the goldens' mode.
+  kLegacy = 0,
+  // Per-handle append points: each stream tag gets its own active block
+  // inside the pool (FDP-style reclaim units), so data written under one
+  // handle dies together. Block allocation stays wear-agnostic.
+  kStatic = 1,
+  // kStatic plus lifetime-aware block allocation: short-lived streams draw
+  // the most-worn free block, long-lived streams the youngest.
+  kLifetime = 2,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+// Per-write placement directive, the FTL half of the host's PlacementHandle:
+// the device maps an open handle to {pool, stream tag, lifetime} and passes
+// it down on every write. `stream` 0 is the shared/untagged stream (internal
+// writes, parity, legacy callers); device handles map to tags 1..255.
+struct WriteDirective {
+  uint32_t pool_id = 0;
+  LifetimeHint lifetime = LifetimeHint::kUnknown;
+  uint32_t stream = 0;
 };
 
 struct FtlPoolConfig {
@@ -109,6 +137,9 @@ struct FtlConfig {
   // Off by default so existing golden outputs stay byte-identical; flip it
   // on for fleet-scale throughput runs (see DESIGN.md §11).
   bool batched_relocation = false;
+  // How placement directives steer the write path (see PlacementPolicy).
+  // kLegacy keeps the historical schedule byte-identical.
+  PlacementPolicy placement_policy = PlacementPolicy::kLegacy;
 };
 
 struct FtlReadResult {
@@ -221,6 +252,10 @@ struct PoolSnapshot {
   uint32_t sealed_blocks = 0;       // fully programmed
   uint32_t gc_candidates = 0;       // sealed with at least one invalid page
   uint32_t unsealed_blocks = 0;     // partially programmed (active block + 0)
+  // Population variance of PEC across the pool's owned blocks -- the
+  // wear-variance measure the lifetime-aware allocator aims to widen
+  // usefully (worn blocks absorb short-lived churn) without runaway.
+  double pec_variance = 0.0;
 };
 
 class Ftl {
@@ -233,9 +268,16 @@ class Ftl {
 
   // --- Host interface ------------------------------------------------------
 
-  // Writes one logical page into `pool_id`. Overwrites relocate the LBA into
-  // that pool regardless of where it lived before.
-  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id);
+  // Writes one logical page under a placement directive. Overwrites relocate
+  // the LBA into the directive's pool regardless of where it lived before.
+  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data,
+                             const WriteDirective& directive);
+
+  // Undirected write into `pool_id` (the shared stream, no lifetime hint) --
+  // internal callers and pre-directive tooling.
+  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data, uint32_t pool_id) {
+    return Write(lba, data, WriteDirective{pool_id, LifetimeHint::kUnknown, 0});
+  }
 
   // Reads a logical page through the owning pool's ECC/parity path.
   [[nodiscard]] Result<FtlReadResult> Read(uint64_t lba);
@@ -243,9 +285,16 @@ class Ftl {
   // Invalidates a logical page.
   [[nodiscard]] Status Trim(uint64_t lba);
 
-  // Moves a logical page to another pool (classification change). Reads
-  // through the normal path, so undetected corruption travels along.
-  [[nodiscard]] Status Migrate(uint64_t lba, uint32_t target_pool);
+  // Moves a logical page under a placement directive (classification
+  // change). Reads through the normal path, so undetected corruption travels
+  // along. A no-op (Ok, no flash ops) when the LBA already lives in the
+  // directive's pool.
+  [[nodiscard]] Status Migrate(uint64_t lba, const WriteDirective& directive);
+
+  // Undirected pool move (shared stream, no lifetime hint).
+  [[nodiscard]] Status Migrate(uint64_t lba, uint32_t target_pool) {
+    return Migrate(lba, WriteDirective{target_pool, LifetimeHint::kUnknown, 0});
+  }
 
   // Rewrites a logical page in place (same pool, fresh physical page),
   // resetting its retention clock. The scrubber's preemptive rescue of
@@ -299,7 +348,39 @@ class Ftl {
 
   // Registers aggregate + per-pool counters and the simulated-latency
   // histograms under `prefix` (metric names: ftl.*, ftl.pool.<name>.*).
+  // Under a non-legacy placement policy, also exports per-handle accounting
+  // (ftl.handle.<label>.{host_writes,nand_writes,write_amplification}) and
+  // wear variance (ftl.placement.pec_variance, per-pool variants); kLegacy
+  // omits them so pre-directive goldens stay byte-identical.
   void ToMetrics(obs::MetricRegistry& registry, const std::string& prefix = "ftl.") const;
+
+  // --- Placement streams (per-handle accounting) ---------------------------
+
+  // Volatile per-stream write accounting. Pages are stamped with their
+  // stream tag in RAM only (the durable OOB format is unchanged), so these
+  // counters reset on crash recovery -- like any SSD's SMART-adjacent
+  // per-handle telemetry.
+  struct StreamStats {
+    std::string name;           // metric label; empty = never registered
+    uint64_t host_writes = 0;   // pages written via a directive with this tag
+    uint64_t nand_writes = 0;   // + relocations of pages carrying this tag
+    double WriteAmplification() const {
+      return host_writes > 0
+                 ? static_cast<double>(nand_writes) / static_cast<double>(host_writes)
+                 : 0.0;
+    }
+  };
+
+  // Names a stream tag for metric export (idempotent; re-registration
+  // renames, counters persist across handle reuse). Tags must fit the
+  // one-byte per-page stamp: 1..255.
+  void RegisterStream(uint32_t stream, const std::string& name);
+
+  // Stats for one stream tag (zeroes for tags never written).
+  StreamStats StreamStatsOf(uint32_t stream) const;
+
+  // Population variance of PEC across all pool-owned blocks of the die.
+  double PecVariance() const;
 
   // Optional event trace (GC victim picks, migrations, block retirement and
   // resuscitation). `sink` must outlive the FTL; null disables tracing.
@@ -364,6 +445,10 @@ class Ftl {
     std::deque<uint32_t> free_blocks;
     ActiveSlot active_host;
     ActiveSlot active_cold;             // used iff config.hot_cold_separation
+    // Per-stream append points (FDP-style reclaim units), created lazily in
+    // first-write order under non-legacy placement policies. Append-ordered
+    // vector: deterministic iteration, tiny N (bounded by the handle table).
+    std::vector<std::pair<uint32_t, ActiveSlot>> active_streams;
     uint32_t retired = 0;
     uint64_t valid_pages = 0;
     std::optional<uint32_t> resuscitate_pool;  // resolved target pool id
@@ -376,8 +461,16 @@ class Ftl {
     mutable std::vector<double> retire_rber_by_pec;
 
     bool IsActive(uint32_t id) const {
-      return (active_host.block.has_value() && *active_host.block == id) ||
-             (active_cold.block.has_value() && *active_cold.block == id);
+      if ((active_host.block.has_value() && *active_host.block == id) ||
+          (active_cold.block.has_value() && *active_cold.block == id)) {
+        return true;
+      }
+      for (const auto& [tag, slot] : active_streams) {
+        if (slot.block.has_value() && *slot.block == id) {
+          return true;
+        }
+      }
+      return false;
     }
   };
 
@@ -385,22 +478,31 @@ class Ftl {
   uint32_t PagesPerBlock(const Pool& pool) const;
 
   // Ensures `slot` has an active block with a free data slot; may run GC.
-  // Returns false when the pool is out of writable space.
-  bool EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc);
+  // The lifetime hint steers which free block is allocated (kLifetime
+  // policy). Returns false when the pool is out of writable space.
+  bool EnsureWritable(uint32_t pool_id, ActiveSlot& slot, bool allow_gc, LifetimeHint lifetime);
 
-  // Allocates the next block from the pool free list (respecting WL policy).
-  std::optional<uint32_t> AllocateBlock(Pool& pool);
+  // Allocates the next block from the pool free list. Legacy behavior:
+  // lowest-PEC-first under wear leveling, FIFO otherwise. Under
+  // PlacementPolicy::kLifetime a declared lifetime overrides it: kShort
+  // takes the most-worn free block, kLong the least-worn.
+  std::optional<uint32_t> AllocateBlock(Pool& pool, LifetimeHint lifetime);
 
   // Picks the append slot for a write: relocated data goes to the cold slot
-  // when the pool separates streams.
-  ActiveSlot& SlotFor(Pool& pool, bool cold);
+  // when the pool separates streams; under non-legacy placement policies a
+  // nonzero stream tag gets its own per-handle slot.
+  ActiveSlot& SlotFor(Pool& pool, bool cold, uint32_t stream);
 
   // Appends one data page to the chosen active slot. Handles parity slots,
   // retries transient program failures and drops grown-bad blocks. `tainted`
   // is stamped into the durable OOB so recovery preserves the corruption
-  // marker. Fails on physical exhaustion or power loss.
+  // marker; `stream`/`lifetime` feed per-handle accounting and (non-legacy
+  // policies) slot/block selection. Fails on physical exhaustion or power
+  // loss.
   [[nodiscard]] Result<PhysLoc> AppendPage(uint32_t pool_id, uint64_t lba, std::span<const uint8_t> data,
-                             bool allow_gc, bool cold, bool tainted);
+                             bool allow_gc, bool cold, bool tainted,
+                             uint32_t stream = 0,
+                             LifetimeHint lifetime = LifetimeHint::kUnknown);
 
   // Writes the parity page for the slot's open stripe. Called when the
   // append cursor reaches a parity slot.
@@ -477,6 +579,10 @@ class Ftl {
   L2pTable l2p_;
   uint32_t page_stride_ = 0;               // p2l_ entries per block
   std::vector<uint64_t> p2l_;              // reverse map, kLba* sentinels
+  // Volatile per-page stream tag, parallel to p2l_ (same stride). Not part
+  // of the durable OOB format: zeroed wholesale by RecoverFromFlash, so
+  // per-handle accounting restarts after a power cut.
+  std::vector<uint8_t> page_stream_;
   std::vector<uint32_t> block_owner_;      // pool id or kNoPool
   std::vector<uint32_t> block_valid_;      // live data pages per block
   std::vector<SimTimeUs> block_last_write_;
@@ -494,6 +600,12 @@ class Ftl {
   // the highest-sequence copy of each LBA as the live one.
   uint64_t write_seq_ = 0;
   RecoveryReport last_recovery_;
+  // Per-stream accounting, indexed by tag (grown on demand). Entry 0 is the
+  // shared stream; it exists but is never exported.
+  std::vector<StreamStats> stream_stats_;
+
+  // Grows stream_stats_ to cover `stream` and returns the entry.
+  StreamStats& StreamEntry(uint32_t stream);
 };
 
 }  // namespace sos

@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// CacheLib-style flash-cache workload generator.
+//
+// Models the other end of the placement-directive spectrum from the mobile
+// workload: a flash cache in a datacenter knows its object lifetimes *up
+// front* (TTLs are part of the set request), churns through short-lived
+// objects at high rate, and mixes that churn with a small set of hot,
+// critical index files. This is the workload class FDP-style placement
+// directives were designed for: tagging TTL'd objects with short-lifetime
+// degradable handles lets the FTL co-locate data that dies together and
+// steer it onto worn blocks, collapsing GC write amplification toward 1.
+//
+// The generator emits the same day-batched WorkloadEvent stream as the
+// mobile generator, so the lifetime simulation drives both through one code
+// path. Object metadata carries `expected_lifetime_us` (the TTL) so the
+// placement layer can declare the lifetime honestly instead of guessing.
+
+#ifndef SOS_SRC_HOST_CACHE_WORKLOAD_H_
+#define SOS_SRC_HOST_CACHE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/host/workload.h"
+
+namespace sos {
+
+struct FlashCacheWorkloadConfig {
+  uint64_t seed = 1;
+
+  // Fraction of set requests admitted to flash (CacheLib's admission
+  // policy rejects the rest before they cost a write).
+  double admission_ratio = 0.7;
+
+  // Mean set requests per day (before admission) and get requests per day
+  // (over admitted, unexpired objects; recency-skewed).
+  double objects_per_day = 60.0;
+  double lookups_per_day = 400.0;
+
+  // Object size mix: mostly small objects with a heavy tail.
+  struct SizeClass {
+    uint64_t bytes;
+    double weight;
+  };
+  std::vector<SizeClass> sizes = {{4 * kKiB, 0.50}, {32 * kKiB, 0.35}, {128 * kKiB, 0.15}};
+
+  // TTL churn classes: most objects expire within a day, a tail lives for
+  // weeks. The TTL is declared on the object's FileMeta as
+  // expected_lifetime_us, and expiry emits a delete event.
+  struct TtlClass {
+    uint32_t days;
+    double weight;
+  };
+  std::vector<TtlClass> ttls = {{1, 0.60}, {7, 0.30}, {30, 0.10}};
+
+  // Hot critical state: the cache's index / metadata files, created on day
+  // zero and overwritten in place throughout the run.
+  uint32_t index_files = 4;
+  uint64_t index_file_bytes = 64 * kKiB;
+  double index_updates_per_day = 32.0;
+};
+
+class FlashCacheWorkloadGenerator final : public WorkloadGenerator {
+ public:
+  explicit FlashCacheWorkloadGenerator(const FlashCacheWorkloadConfig& config);
+
+  std::vector<WorkloadEvent> Day(uint64_t day_index) override;
+  void DropRef(uint64_t file_ref) override;
+  size_t live_files() const override { return live_.size() + index_refs_.size(); }
+
+ private:
+  struct LiveObject {
+    uint64_t ref;
+    uint64_t expires_day;  // first day on which the object is expired
+    SimTimeUs created_at;
+  };
+
+  // Weighted pick over the configured size / TTL classes.
+  uint64_t SampleSize();
+  uint32_t SampleTtlDays();
+  // Samples a live object, biased toward recently admitted ones.
+  const LiveObject* SampleLive();
+
+  FlashCacheWorkloadConfig config_;
+  Rng rng_;
+  std::vector<LiveObject> live_;
+  std::vector<uint64_t> index_refs_;
+  uint64_t next_ref_ = 1;
+};
+
+}  // namespace sos
+
+#endif  // SOS_SRC_HOST_CACHE_WORKLOAD_H_

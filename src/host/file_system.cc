@@ -66,7 +66,7 @@ void ExtentFileSystem::Release(const std::vector<Extent>& extents) {
 }
 
 Result<uint64_t> ExtentFileSystem::CreateFile(FileMeta meta, std::span<const uint8_t> content,
-                                              StreamClass placement) {
+                                              PlacementHandle placement) {
   const uint32_t bs = device_->block_size();
   const uint64_t bytes = std::max<uint64_t>(meta.size_bytes, content.size());
   const uint64_t blocks_needed = std::max<uint64_t>(1, (bytes + bs - 1) / bs);
@@ -209,7 +209,7 @@ Status ExtentFileSystem::DeleteFile(uint64_t file_id) {
   return Status::Ok();
 }
 
-Status ExtentFileSystem::ReclassifyFile(uint64_t file_id, StreamClass placement) {
+Status ExtentFileSystem::ReclassifyFile(uint64_t file_id, PlacementHandle placement) {
   auto it = files_.find(file_id);
   if (it == files_.end()) {
     return Status(StatusCode::kNotFound, "no such file");
@@ -234,10 +234,18 @@ const FileMeta* ExtentFileSystem::Lookup(uint64_t file_id) const {
   return it == files_.end() ? nullptr : &it->second.meta;
 }
 
-StreamClass ExtentFileSystem::PlacementOf(uint64_t file_id) const {
+PlacementHandle ExtentFileSystem::PlacementOf(uint64_t file_id) const {
   auto it = files_.find(file_id);
   assert(it != files_.end());
   return it->second.placement;
+}
+
+Result<PlacementSpec> ExtentFileSystem::PlacementSpecOf(uint64_t file_id) const {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return Status(StatusCode::kNotFound, "no such file");
+  }
+  return device_->DescribePlacement(it->second.placement);
 }
 
 std::vector<uint64_t> ExtentFileSystem::FileIds() const {

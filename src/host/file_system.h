@@ -5,8 +5,9 @@
 // A deliberately small FS -- flat namespace keyed by file id, block-granular
 // extents, no journaling -- because what SOS needs from the host FS is
 // exactly three things (paper §4.2-4.3):
-//   1. per-file placement: every write carries the file's StreamClass hint,
-//   2. re-classification: demote/promote a whole file between SYS and SPARE,
+//   1. per-file placement: every write carries the file's PlacementHandle,
+//   2. re-classification: re-declare a whole file's placement (demotion to
+//      approximate storage, promotion back),
 //   3. capacity variance: tolerate the device shrinking underneath it.
 // File content integrity is tracked with a CRC32 of the written content, so
 // reads can report whether degradation touched the file.
@@ -54,13 +55,15 @@ class ExtentFileSystem {
   // `device` and `clock` must outlive the file system.
   ExtentFileSystem(BlockDevice* device, SimClock* clock);
 
-  // Creates a file and writes `content` under `placement`. Empty content
-  // marks the file *synthetic*: it occupies meta.size_bytes of logical space
-  // and all device traffic (writes, reads, rewrites) touches every allocated
-  // block, but no bytes are retained -- the mode used by large metadata-only
-  // simulations. Fails with kOutOfSpace when full. Returns the file id.
+  // Creates a file and writes `content` under the open placement handle
+  // `placement` (the caller keeps it open for the file's lifetime --
+  // PlacementDirectory memoizes this). Empty content marks the file
+  // *synthetic*: it occupies meta.size_bytes of logical space and all device
+  // traffic (writes, reads, rewrites) touches every allocated block, but no
+  // bytes are retained -- the mode used by large metadata-only simulations.
+  // Fails with kOutOfSpace when full. Returns the file id.
   [[nodiscard]] Result<uint64_t> CreateFile(FileMeta meta, std::span<const uint8_t> content,
-                              StreamClass placement);
+                              PlacementHandle placement);
 
   // Reads the whole file, updating access statistics.
   [[nodiscard]] Result<FileReadResult> ReadFile(uint64_t file_id);
@@ -73,13 +76,17 @@ class ExtentFileSystem {
   // Deletes the file and trims its blocks.
   [[nodiscard]] Status DeleteFile(uint64_t file_id);
 
-  // Changes the file's placement; the device migrates each of its blocks.
-  [[nodiscard]] Status ReclassifyFile(uint64_t file_id, StreamClass placement);
+  // Re-declares the file's placement; the device migrates each of its
+  // blocks. A no-op when the file already holds this handle.
+  [[nodiscard]] Status ReclassifyFile(uint64_t file_id, PlacementHandle placement);
 
   // --- Introspection -------------------------------------------------------
 
   const FileMeta* Lookup(uint64_t file_id) const;
-  StreamClass PlacementOf(uint64_t file_id) const;
+  PlacementHandle PlacementOf(uint64_t file_id) const;
+  // The spec behind the file's handle (device lookup); errors if the handle
+  // was closed out from under the file.
+  [[nodiscard]] Result<PlacementSpec> PlacementSpecOf(uint64_t file_id) const;
   std::vector<uint64_t> FileIds() const;
   FsStats Stats() const;
   uint64_t FreeBlocks() const;
@@ -95,7 +102,7 @@ class ExtentFileSystem {
   struct FsFile {
     FileMeta meta;
     std::vector<Extent> extents;
-    StreamClass placement = StreamClass::kSys;
+    PlacementHandle placement;  // open handle the file was last written under
     uint32_t content_crc = 0;
     uint64_t content_bytes = 0;  // bytes actually written (for CRC check)
     bool synthetic = false;      // sized-but-empty content (metadata-only sims)

@@ -1,0 +1,201 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Placement directives: the host->device data-path contract.
+//
+// An NVMe-FDP-style interface ([FDP caches, PAPERS.md]): instead of tagging
+// every write with a closed classification enum, the host *opens* a
+// placement handle declaring the data's attributes -- durability (may the
+// device degrade it?), expected lifetime, and update frequency -- and passes
+// the handle on each write. The device maps the handle onto a reclaim unit
+// (an FTL pool + a per-handle active superblock) and may use the declared
+// lifetime to pick which physical blocks the data lands on (worn blocks for
+// short-lived data, young blocks for long-lived data; "Exploiting Data
+// Longevity", PAPERS.md).
+//
+// Handle semantics (mirrors FDP reclaim-unit handles):
+//   - OpenPlacement returns the lowest free slot id; the table is bounded
+//     (kMaxPlacementHandles) and exhaustion is kResourceExhausted.
+//   - ClosePlacement frees the slot; ids are recycled, so a stale handle
+//     held across a close can alias a newer one (the documented FDP caveat
+//     -- hosts own their handle hygiene).
+//   - Using a never-opened/closed slot fails kFailedPrecondition; a
+//     malformed handle (invalid sentinel, id beyond the table) fails
+//     kInvalidArgument.
+
+#ifndef SOS_SRC_HOST_PLACEMENT_H_
+#define SOS_SRC_HOST_PLACEMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace sos {
+
+// May the device trade this data's fidelity for density/endurance?
+enum class Durability : uint8_t {
+  kCritical = 0,    // exact storage: reliable pools, loud failures
+  kDegradable = 1,  // approximate storage: weak/no ECC, bytes may rot
+};
+
+// Host-declared expected lifetime of the data written under a handle.
+enum class LifetimeHint : uint8_t {
+  kUnknown = 0,  // no declaration: device falls back to legacy behavior
+  kShort = 1,    // hours..days (cache objects, temp files)
+  kMedium = 2,   // weeks..months (app state, downloads)
+  kLong = 3,     // years (photos, documents, system image)
+};
+
+// Host-declared overwrite behavior (advisory; informs hot/cold treatment).
+enum class UpdateFrequency : uint8_t {
+  kUnknown = 0,
+  kRare = 1,      // write-once-ish (media, installers)
+  kFrequent = 2,  // overwritten in place (databases, counters)
+};
+
+inline const char* DurabilityName(Durability d) {
+  return d == Durability::kCritical ? "critical" : "degradable";
+}
+
+inline const char* LifetimeHintName(LifetimeHint h) {
+  switch (h) {
+    case LifetimeHint::kUnknown:
+      return "unknown";
+    case LifetimeHint::kShort:
+      return "short";
+    case LifetimeHint::kMedium:
+      return "medium";
+    case LifetimeHint::kLong:
+      return "long";
+  }
+  return "?";
+}
+
+// The attributes a host declares when opening a placement handle. The
+// constructors (rather than aggregate init) let call sites declare only the
+// attributes they care about -- `{Durability::kDegradable}` or
+// `{durability, lifetime}` -- without partial-initializer warnings.
+struct PlacementSpec {
+  PlacementSpec() = default;
+  PlacementSpec(Durability d, LifetimeHint h = LifetimeHint::kUnknown,  // NOLINT
+                UpdateFrequency f = UpdateFrequency::kUnknown, std::string tag = {})
+      : durability(d), lifetime(h), update_frequency(f), label(std::move(tag)) {}
+
+  Durability durability = Durability::kCritical;
+  LifetimeHint lifetime = LifetimeHint::kUnknown;
+  UpdateFrequency update_frequency = UpdateFrequency::kUnknown;
+  // Optional human-readable tag; used in per-handle metric names. When empty
+  // the device derives a deterministic label from the attributes.
+  std::string label;
+};
+
+// An open placement directive. A small value type: copying it does not
+// duplicate device state, and equality is slot identity (two handles compare
+// equal iff they name the same open slot).
+class PlacementHandle {
+ public:
+  static constexpr uint32_t kInvalidId = ~0u;
+
+  PlacementHandle() = default;
+  explicit PlacementHandle(uint32_t id) : id_(id) {}
+
+  uint32_t id() const { return id_; }
+  bool valid() const { return id_ != kInvalidId; }
+
+  friend bool operator==(PlacementHandle a, PlacementHandle b) { return a.id_ == b.id_; }
+  friend bool operator!=(PlacementHandle a, PlacementHandle b) { return a.id_ != b.id_; }
+
+ private:
+  uint32_t id_ = kInvalidId;
+};
+
+// Bound on open handles per device. Small on purpose (real FDP devices
+// expose a handful of reclaim-unit handles) and <= 255 so the FTL can stamp
+// a one-byte stream tag per page.
+inline constexpr uint32_t kMaxPlacementHandles = 16;
+
+// The handle table every BlockDevice implementation embeds: slot allocation,
+// lifecycle errors, and spec storage are identical across devices -- only
+// what a device *does* with an open spec differs.
+class PlacementHandleTable {
+ public:
+  explicit PlacementHandleTable(uint32_t max_handles = kMaxPlacementHandles)
+      : slots_(max_handles) {}
+
+  [[nodiscard]] Result<PlacementHandle> Open(const PlacementSpec& spec) {
+    for (uint32_t id = 0; id < slots_.size(); ++id) {
+      if (!slots_[id].open) {
+        slots_[id].open = true;
+        slots_[id].spec = spec;
+        return PlacementHandle(id);
+      }
+    }
+    return Status(StatusCode::kResourceExhausted, "placement handle table full");
+  }
+
+  [[nodiscard]] Status Close(PlacementHandle handle) {
+    if (Status s = Check(handle); !s.ok()) {
+      return s;
+    }
+    slots_[handle.id()].open = false;
+    slots_[handle.id()].spec = PlacementSpec{};
+    return Status::Ok();
+  }
+
+  [[nodiscard]] Result<PlacementSpec> Describe(PlacementHandle handle) const {
+    if (Status s = Check(handle); !s.ok()) {
+      return s;
+    }
+    return slots_[handle.id()].spec;
+  }
+
+  // Ok iff `handle` names an open slot: kInvalidArgument for malformed
+  // handles, kFailedPrecondition for well-formed but not-open slots
+  // (never opened, or closed -- including double close).
+  [[nodiscard]] Status Check(PlacementHandle handle) const {
+    if (!handle.valid() || handle.id() >= slots_.size()) {
+      return Status(StatusCode::kInvalidArgument, "malformed placement handle");
+    }
+    if (!slots_[handle.id()].open) {
+      return Status(StatusCode::kFailedPrecondition, "placement handle not open");
+    }
+    return Status::Ok();
+  }
+
+  // Precondition: Check(handle).ok().
+  const PlacementSpec& SpecOf(PlacementHandle handle) const { return slots_[handle.id()].spec; }
+
+  uint32_t open_count() const {
+    uint32_t n = 0;
+    for (const Slot& slot : slots_) {
+      n += slot.open ? 1 : 0;
+    }
+    return n;
+  }
+
+  uint32_t capacity() const { return static_cast<uint32_t>(slots_.size()); }
+
+ private:
+  struct Slot {
+    bool open = false;
+    PlacementSpec spec;
+  };
+  std::vector<Slot> slots_;
+};
+
+// Deterministic per-handle metric label: the spec's label when given, else
+// "h<id>_<durability>_<lifetime>" so reopened slots stay distinguishable.
+inline std::string PlacementLabel(PlacementHandle handle, const PlacementSpec& spec) {
+  if (!spec.label.empty()) {
+    return spec.label;
+  }
+  return "h" + std::to_string(handle.id()) + "_" + DurabilityName(spec.durability) + "_" +
+         LifetimeHintName(spec.lifetime);
+}
+
+}  // namespace sos
+
+#endif  // SOS_SRC_HOST_PLACEMENT_H_

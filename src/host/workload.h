@@ -39,6 +39,25 @@ struct WorkloadEvent {
   FileMeta meta;          // populated for kCreate only
 };
 
+// Driver-facing generator interface: day-batched event streams over
+// generator-scoped refs. Implementations: the mobile generator below and the
+// flash-cache generator (src/host/cache_workload.h).
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  // Generates the events of simulation day `day_index` (0-based), spread
+  // over that day's 24 hours in time order.
+  virtual std::vector<WorkloadEvent> Day(uint64_t day_index) = 0;
+
+  // Tells the generator a create was rejected (device full): the ref is
+  // removed from the live set so later events do not reference it.
+  virtual void DropRef(uint64_t file_ref) = 0;
+
+  // Number of live (created, not deleted) files the generator tracks.
+  virtual size_t live_files() const = 0;
+};
+
 struct MobileWorkloadConfig {
   uint64_t seed = 1;
   // Daily/weekly activity rates (means; actual counts are randomized).
@@ -58,20 +77,13 @@ struct MobileWorkloadConfig {
   double intensity = 1.0;
 };
 
-class MobileWorkloadGenerator {
+class MobileWorkloadGenerator final : public WorkloadGenerator {
  public:
   explicit MobileWorkloadGenerator(const MobileWorkloadConfig& config);
 
-  // Generates the events of simulation day `day_index` (0-based), spread
-  // over that day's 24 hours in time order.
-  std::vector<WorkloadEvent> Day(uint64_t day_index);
-
-  // Tells the generator a create was rejected (device full): the ref is
-  // removed from the live set so later events do not reference it.
-  void DropRef(uint64_t file_ref);
-
-  // Number of live (created, not deleted) files the generator tracks.
-  size_t live_files() const { return live_.size(); }
+  std::vector<WorkloadEvent> Day(uint64_t day_index) override;
+  void DropRef(uint64_t file_ref) override;
+  size_t live_files() const override { return live_.size(); }
 
  private:
   struct LiveFile {

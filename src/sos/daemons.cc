@@ -13,14 +13,28 @@ namespace sos {
 // MigrationDaemon.
 // ---------------------------------------------------------------------------
 
-MigrationDaemon::MigrationDaemon(ExtentFileSystem* fs, const BinaryClassifier* model,
+MigrationDaemon::MigrationDaemon(ExtentFileSystem* fs, PlacementDirectory* placements,
+                                 const BinaryClassifier* model,
                                  const MigrationDaemonConfig& config)
-    : fs_(fs), model_(model), config_(config) {
-  assert(fs_ != nullptr && model_ != nullptr);
+    : fs_(fs), placements_(placements), model_(model), config_(config) {
+  assert(fs_ != nullptr && placements_ != nullptr && model_ != nullptr);
 }
 
 MigrationDaemon::RunStats MigrationDaemon::RunOnce(SimTimeUs now) {
   RunStats stats;
+  // Re-declares a file's placement with a fresh handle of the opposite
+  // durability, keeping the file's lifetime hint. The directory memoizes
+  // handles per spec, so repeat verdicts reuse one slot.
+  auto reclassify = [&](uint64_t id, const FileMeta& meta, Durability durability) -> bool {
+    PlacementSpec spec;
+    spec.durability = durability;
+    spec.lifetime = LifetimeHintFor(meta);
+    auto handle = placements_->For(spec);
+    if (!handle.ok()) {
+      return false;
+    }
+    return fs_->ReclassifyFile(id, handle.value()).ok();
+  };
   for (uint64_t id : fs_->FileIds()) {
     const FileMeta* meta = fs_->Lookup(id);
     if (meta == nullptr) {
@@ -31,17 +45,21 @@ MigrationDaemon::RunStats MigrationDaemon::RunOnce(SimTimeUs now) {
         std::clamp(model_->Score(*meta, now) +
                        config_.type_score_bias[static_cast<size_t>(meta->type)],
                    0.0, 1.0);
-    const StreamClass placement = fs_->PlacementOf(id);
-    if (placement == StreamClass::kSys && score >= config_.demote_threshold &&
+    const auto spec = fs_->PlacementSpecOf(id);
+    if (!spec.ok()) {
+      continue;  // handle closed out from under the file: nothing safe to do
+    }
+    const Durability durability = spec.value().durability;
+    if (durability == Durability::kCritical && score >= config_.demote_threshold &&
         now >= meta->created_us + config_.min_age_us) {
-      if (fs_->ReclassifyFile(id, StreamClass::kSpare).ok()) {
+      if (reclassify(id, *meta, Durability::kDegradable)) {
         ++stats.demoted;
       } else {
         ++stats.demote_failures;
       }
-    } else if (config_.allow_promotion && placement == StreamClass::kSpare &&
+    } else if (config_.allow_promotion && durability == Durability::kDegradable &&
                score <= config_.promote_threshold) {
-      if (fs_->ReclassifyFile(id, StreamClass::kSys).ok()) {
+      if (reclassify(id, *meta, Durability::kCritical)) {
         ++stats.promoted;
       }
     }
@@ -114,8 +132,9 @@ DegradationMonitor::RunStats DegradationMonitor::RunOnce(SimTimeUs /*now*/) {
   if (config_.cloud_repair) {
     Ftl& ftl = device_->ftl();
     for (uint64_t id : fs_->FileIds()) {
-      if (fs_->PlacementOf(id) != StreamClass::kSpare) {
-        continue;
+      const auto spec = fs_->PlacementSpecOf(id);
+      if (!spec.ok() || spec.value().durability != Durability::kDegradable) {
+        continue;  // only degradable data may rot; critical files stay exact
       }
       bool tainted = false;
       for (const Extent& extent : fs_->ExtentsOf(id)) {
@@ -188,7 +207,8 @@ AutoDeleteManager::RunStats AutoDeleteManager::RunOnce(SimTimeUs now) {
   };
   std::vector<Candidate> candidates;
   for (uint64_t id : fs_->FileIds()) {
-    if (fs_->PlacementOf(id) != StreamClass::kSpare) {
+    const auto spec = fs_->PlacementSpecOf(id);
+    if (!spec.ok() || spec.value().durability != Durability::kDegradable) {
       continue;
     }
     const FileMeta* meta = fs_->Lookup(id);

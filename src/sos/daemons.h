@@ -64,9 +64,11 @@ class MigrationDaemon {
     uint64_t demote_failures = 0;  // e.g. SPARE out of space
   };
 
-  // `fs` and `model` must outlive the daemon.
-  MigrationDaemon(ExtentFileSystem* fs, const BinaryClassifier* model,
-                  const MigrationDaemonConfig& config);
+  // `fs`, `placements` and `model` must outlive the daemon. `placements`
+  // mints the demotion/promotion handles (degradable vs critical, with the
+  // file's lifetime hint) against the device under reclassification.
+  MigrationDaemon(ExtentFileSystem* fs, PlacementDirectory* placements,
+                  const BinaryClassifier* model, const MigrationDaemonConfig& config);
 
   // One periodic review pass at simulated time `now`.
   RunStats RunOnce(SimTimeUs now);
@@ -75,6 +77,7 @@ class MigrationDaemon {
 
  private:
   ExtentFileSystem* fs_;
+  PlacementDirectory* placements_;
   const BinaryClassifier* model_;
   MigrationDaemonConfig config_;
   RunStats lifetime_;

@@ -39,6 +39,16 @@ const char* DeviceKindSlug(DeviceKind kind) {
   return "unknown";
 }
 
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kMobile:
+      return "mobile";
+    case WorkloadKind::kFlashCache:
+      return "flash_cache";
+  }
+  return "unknown";
+}
+
 const char* HealthStateName(HealthState state) {
   switch (state) {
     case HealthState::kHealthy:
@@ -62,6 +72,12 @@ void LifetimeResult::ToMetrics(obs::MetricRegistry& registry, const std::string&
   registry.SetCounter(prefix + "sim.files_alive", files_alive_);
   registry.SetCounter(prefix + "sim.retrainings", retrainings_);
   registry.SetGauge(prefix + "sim.projected_lifetime_years", projected_lifetime_years_);
+  // Cache-workload outcomes only; the mobile export predates these rows and
+  // its goldens pin the row set above.
+  if (workload_kind_ == WorkloadKind::kFlashCache) {
+    registry.SetCounter(prefix + "sim.bytes_served", bytes_served_);
+    registry.SetGauge(prefix + "sim.pec_variance", pec_variance_);
+  }
   registry.SetCounter(prefix + "sos.daemon.activations", daemon_activations_);
   registry.SetCounter(prefix + "sos.health.transitions", health_transitions_);
   registry.SetCounter(prefix + "sos.migration.scanned", migration_.scanned);
@@ -117,11 +133,23 @@ LifetimeSim::LifetimeSim(const LifetimeSimConfig& config) : config_(config) {
       break;
   }
 
+  placements_ = std::make_unique<PlacementDirectory>(device_);
   fs_ = std::make_unique<ExtentFileSystem>(device_, &clock_);
 
-  MobileWorkloadConfig wl = config_.workload;
-  wl.seed = DeriveSeed({config_.seed, 0x776cull});
-  workload_ = std::make_unique<MobileWorkloadGenerator>(wl);
+  switch (config_.workload_kind) {
+    case WorkloadKind::kMobile: {
+      MobileWorkloadConfig wl = config_.workload;
+      wl.seed = DeriveSeed({config_.seed, 0x776cull});
+      workload_ = std::make_unique<MobileWorkloadGenerator>(wl);
+      break;
+    }
+    case WorkloadKind::kFlashCache: {
+      FlashCacheWorkloadConfig wl = config_.cache_workload;
+      wl.seed = DeriveSeed({config_.seed, 0x776cull});
+      workload_ = std::make_unique<FlashCacheWorkloadGenerator>(wl);
+      break;
+    }
+  }
 
   // Train classifiers offline on a synthetic "previously scanned" corpus.
   CorpusConfig corpus_config;
@@ -135,8 +163,8 @@ LifetimeSim::LifetimeSim(const LifetimeSimConfig& config) : config_(config) {
       LogisticClassifier::Train(pointers, &DeletionLabel, corpus_config.device_age_us));
 
   if (sos_device_ != nullptr) {
-    migration_ = std::make_unique<MigrationDaemon>(fs_.get(), priority_model_.get(),
-                                                   config_.migration);
+    migration_ = std::make_unique<MigrationDaemon>(fs_.get(), placements_.get(),
+                                                   priority_model_.get(), config_.migration);
     if (config_.enable_cloud) {
       cloud_ = std::make_unique<InMemoryCloud>();
     }
@@ -150,6 +178,7 @@ LifetimeSim::LifetimeSim(const LifetimeSimConfig& config) : config_(config) {
   }
   FtlOf(sos_device_.get(), baseline_device_.get()).SetTraceSink(&trace_);
   result_.kind_ = config_.kind;
+  result_.workload_kind_ = config_.workload_kind;
 }
 
 std::vector<uint8_t> LifetimeSim::ContentFor(uint64_t ref, uint64_t bytes) {
@@ -173,13 +202,28 @@ void LifetimeSim::ApplyEvent(const WorkloadEvent& event) {
       FileMeta meta = event.meta;
       meta.size_bytes = std::min(meta.size_bytes, config_.file_size_cap);
       const std::vector<uint8_t> content = ContentFor(event.file_ref, meta.size_bytes);
-      // New data always lands in SYS first (§4.4); the daemon demotes later.
-      // Baselines have a single domain, so the hint is inert there.
-      auto created = fs_->CreateFile(meta, content, StreamClass::kSys);
+      // Placement directive for the new file. Mobile data always lands
+      // critical first (§4.4); the daemon demotes later. The flash cache
+      // knows at admission time that a TTL'd object is degradable and
+      // short-lived, so it says so up front. Baselines honor the handle
+      // lifecycle but route every write identically.
+      PlacementSpec spec;
+      spec.durability = config_.workload_kind == WorkloadKind::kFlashCache &&
+                                meta.true_priority == Priority::kExpendable
+                            ? Durability::kDegradable
+                            : Durability::kCritical;
+      spec.lifetime = LifetimeHintFor(meta);
+      const auto handle = placements_->For(spec);
+      if (!handle.ok()) {
+        ++result_.create_failures_;
+        workload_->DropRef(event.file_ref);
+        return;
+      }
+      auto created = fs_->CreateFile(meta, content, handle.value());
       if (!created.ok() && autodelete_ != nullptr) {
         // Emergency space reclamation, then retry once.
         autodelete_->RunOnce(clock_.now());
-        created = fs_->CreateFile(meta, content, StreamClass::kSys);
+        created = fs_->CreateFile(meta, content, handle.value());
       }
       if (!created.ok()) {
         ++result_.create_failures_;
@@ -198,7 +242,10 @@ void LifetimeSim::ApplyEvent(const WorkloadEvent& event) {
       if (it != ref_to_fsid_.end()) {
         // Reads exist to age the device (read disturb); degraded or failed
         // payloads are an expected outcome on approximate pools.
-        IgnoreResult(fs_->ReadFile(it->second));
+        const FileMeta* meta = fs_->Lookup(it->second);
+        if (fs_->ReadFile(it->second).ok() && meta != nullptr) {
+          result_.bytes_served_ += std::min(meta->size_bytes, config_.file_size_cap);
+        }
       }
       break;
     }
@@ -389,6 +436,7 @@ LifetimeResult LifetimeSim::Run() {
           : 0.0;
   result_.final_exported_pages_ = ftl.ExportedPages();
   result_.final_spare_quality_ = EstimateSpareQuality(nullptr);
+  result_.pec_variance_ = ftl.PecVariance();
   if (migration_ != nullptr) {
     result_.migration_ = migration_->lifetime_stats();
   }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/classify/logistic.h"
+#include "src/host/cache_workload.h"
 #include "src/host/workload.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -51,6 +52,14 @@ enum class HealthState : uint8_t { kHealthy, kWorn, kCritical };
 
 const char* HealthStateName(HealthState state);
 
+// Which workload drives the simulated device.
+enum class WorkloadKind : uint8_t {
+  kMobile,      // personal-device mix (photos, apps, caches; §2.3.2)
+  kFlashCache,  // CacheLib-style TTL churn (src/host/cache_workload.h)
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
 struct LifetimeSimConfig {
   DeviceKind kind = DeviceKind::kSos;
   uint64_t seed = 1;
@@ -59,7 +68,9 @@ struct LifetimeSimConfig {
   // Scaled-down geometry (see file comment). ~320 MiB of PLC cells.
   NandConfig nand;
 
+  WorkloadKind workload_kind = WorkloadKind::kMobile;
   MobileWorkloadConfig workload;
+  FlashCacheWorkloadConfig cache_workload;  // used when kind is kFlashCache
   uint64_t file_size_cap = 256 * kKiB;  // clamp synthesized file sizes
 
   // Daemon scheduling.
@@ -123,6 +134,12 @@ class LifetimeResult {
   const std::vector<DaySample>& samples() const { return samples_; }
   const FtlStats& ftl() const { return ftl_; }
   uint64_t host_bytes_written() const { return host_bytes_written_; }
+  // Bytes of file content returned to the host by successful reads ("served"
+  // bytes, the denominator of the flash cache's carbon-per-served-byte).
+  uint64_t bytes_served() const { return bytes_served_; }
+  // Final population variance of per-block PEC across all pool-owned blocks
+  // (the wear-variance outcome the lifetime-aware allocator targets).
+  double pec_variance() const { return pec_variance_; }
   uint64_t create_failures() const { return create_failures_; }  // rejected even after auto-delete
   double final_max_wear_ratio() const { return final_max_wear_ratio_; }
   double final_mean_wear_ratio() const { return final_mean_wear_ratio_; }
@@ -165,9 +182,12 @@ class LifetimeResult {
   friend class LifetimeSim;
 
   DeviceKind kind_ = DeviceKind::kSos;
+  WorkloadKind workload_kind_ = WorkloadKind::kMobile;
   std::vector<DaySample> samples_;
   FtlStats ftl_;
   uint64_t host_bytes_written_ = 0;
+  uint64_t bytes_served_ = 0;
+  double pec_variance_ = 0.0;
   uint64_t create_failures_ = 0;
   double final_max_wear_ratio_ = 0.0;
   double final_mean_wear_ratio_ = 0.0;
@@ -209,8 +229,11 @@ class LifetimeSim {
   std::unique_ptr<SosDevice> sos_device_;
   std::unique_ptr<BaselineDevice> baseline_device_;
   BlockDevice* device_ = nullptr;  // whichever of the above is active
+  // Memoizes one open placement handle per distinct spec the host declares;
+  // workload creates and daemon reclassifications all mint through it.
+  std::unique_ptr<PlacementDirectory> placements_;
   std::unique_ptr<ExtentFileSystem> fs_;
-  std::unique_ptr<MobileWorkloadGenerator> workload_;
+  std::unique_ptr<WorkloadGenerator> workload_;
   std::unique_ptr<LogisticClassifier> priority_model_;
   std::unique_ptr<LogisticClassifier> deletion_model_;
   std::unique_ptr<MigrationDaemon> migration_;

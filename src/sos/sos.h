@@ -21,7 +21,9 @@
 //   sos::SimClock clock;
 //   sos::SosDevice device(sos::SosDeviceConfig{}, &clock);
 //   sos::ExtentFileSystem fs(&device, &clock);
-//   auto id = fs.CreateFile(meta, content, sos::StreamClass::kSys);
+//   sos::PlacementDirectory placements(&device);
+//   auto handle = placements.For({sos::Durability::kCritical});
+//   auto id = fs.CreateFile(meta, content, handle.value());
 
 #ifndef SOS_SRC_SOS_SOS_H_
 #define SOS_SRC_SOS_SOS_H_

@@ -14,6 +14,7 @@ FtlConfig BuildSosFtlConfig(const SosDeviceConfig& config) {
   ftl.nand = config.nand;
   ftl.gc_policy = config.gc_policy;
   ftl.batched_relocation = config.batched_relocation;
+  ftl.placement_policy = config.placement_policy;
 
   FtlPoolConfig sys;
   sys.name = "SYS";
@@ -118,19 +119,33 @@ uint32_t SosDevice::block_size() const { return config_.nand.page_size_bytes; }
 
 uint64_t SosDevice::capacity_blocks() const { return ftl_->ExportedPages(); }
 
-Status SosDevice::WriteSpare(uint64_t lba, std::span<const uint8_t> data) {
-  Status s = ftl_->Write(lba, data, spare_pool_);
-  if (s.code() == StatusCode::kOutOfSpace) {
-    return ftl_->Write(lba, data, rescue_pool_);
+Result<PlacementHandle> SosDevice::OpenPlacement(const PlacementSpec& spec) {
+  auto handle = handles_.Open(spec);
+  if (!handle.ok()) {
+    return handle.status();
   }
-  return s;
+  // Name the handle's FTL stream for per-handle metric export. Reopening a
+  // recycled slot renames the stream; its counters persist (device-lifetime
+  // telemetry, like SMART attributes).
+  ftl_->RegisterStream(handle.value().id() + 1, PlacementLabel(handle.value(), spec));
+  return handle;
 }
 
-Status SosDevice::Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) {
-  // SYS-class writes land in the pseudo-SLC stage first when staging is on
+Status SosDevice::ClosePlacement(PlacementHandle handle) { return handles_.Close(handle); }
+
+Result<PlacementSpec> SosDevice::DescribePlacement(PlacementHandle handle) const {
+  return handles_.Describe(handle);
+}
+
+Status SosDevice::Write(uint64_t lba, std::span<const uint8_t> data, PlacementHandle handle) {
+  if (Status s = handles_.Check(handle); !s.ok()) {
+    return s;
+  }
+  const PlacementSpec& spec = handles_.SpecOf(handle);
+  // Critical writes land in the pseudo-SLC stage first when staging is on
   // ("new file data will first be written to high-endurance memory", §4.4);
   // the stage flushes to pseudo-QLC once it passes its high-water mark.
-  if (hint == StreamClass::kSys && stage_pool_.has_value()) {
+  if (spec.durability == Durability::kCritical && stage_pool_.has_value()) {
     const PoolSnapshot stage = ftl_->Snapshot(*stage_pool_);
     if (stage.exported_pages > 0 &&
         static_cast<double>(stage.valid_pages) >
@@ -139,23 +154,23 @@ Status SosDevice::Write(uint64_t lba, std::span<const uint8_t> data, StreamClass
         return flushed.status();  // power/data loss mid-flush: the write fails too
       }
     }
-    Status staged = ftl_->Write(lba, data, *stage_pool_);
+    Status staged = ftl_->Write(lba, data, DirectiveFor(handle, spec, *stage_pool_));
     if (staged.code() != StatusCode::kOutOfSpace) {
       return staged;
     }
     // Stage exhausted even after the flush attempt: fall through to SYS.
   }
   // The device exports a single LBA space, so a write must not fail while
-  // *any* pool has room: each class overflows into the others in preference
-  // order (critical data prefers the most reliable fallback first, and the
-  // migration daemon re-sorts misplacements later).
+  // *any* pool has room: each durability class overflows into the others in
+  // preference order (critical data prefers the most reliable fallback
+  // first, and the migration daemon re-sorts misplacements later).
   const std::array<uint32_t, 3> order =
-      hint == StreamClass::kSpare
+      spec.durability == Durability::kDegradable
           ? std::array<uint32_t, 3>{spare_pool_, rescue_pool_, sys_pool_}
           : std::array<uint32_t, 3>{sys_pool_, rescue_pool_, spare_pool_};
   Status last = Status(StatusCode::kOutOfSpace, "no pools");
   for (uint32_t pool : order) {
-    last = ftl_->Write(lba, data, pool);
+    last = ftl_->Write(lba, data, DirectiveFor(handle, spec, pool));
     if (last.code() != StatusCode::kOutOfSpace) {
       return last;
     }
@@ -177,17 +192,26 @@ Result<BlockReadResult> SosDevice::Read(uint64_t lba) {
 
 Status SosDevice::Trim(uint64_t lba) { return ftl_->Trim(lba); }
 
-Status SosDevice::Reclassify(uint64_t lba, StreamClass hint) {
+Status SosDevice::Reclassify(uint64_t lba, PlacementHandle handle) {
+  if (Status s = handles_.Check(handle); !s.ok()) {
+    return s;
+  }
+  // Edge-case contract (BlockDevice::Reclassify): unmapped/trimmed LBAs are
+  // kNotFound with no state change; an LBA already in the handle's primary
+  // target pool is an Ok no-op (Ftl::Migrate returns before any flash op).
+  // Residency in an *overflow* pool (e.g. RESCUE for degradable data) is
+  // deliberately not a no-op: the device re-sorts it toward the primary.
   if (!ftl_->IsMapped(lba)) {
     return Status(StatusCode::kNotFound, "unmapped LBA");
   }
-  if (hint == StreamClass::kSys) {
-    return ftl_->Migrate(lba, sys_pool_);
+  const PlacementSpec& spec = handles_.SpecOf(handle);
+  if (spec.durability == Durability::kCritical) {
+    return ftl_->Migrate(lba, DirectiveFor(handle, spec, sys_pool_));
   }
   // Demotion: SPARE first, overflow into RESCUE.
-  Status s = ftl_->Migrate(lba, spare_pool_);
+  Status s = ftl_->Migrate(lba, DirectiveFor(handle, spec, spare_pool_));
   if (s.code() == StatusCode::kOutOfSpace) {
-    return ftl_->Migrate(lba, rescue_pool_);
+    return ftl_->Migrate(lba, DirectiveFor(handle, spec, rescue_pool_));
   }
   return s;
 }
@@ -254,7 +278,25 @@ uint32_t BaselineDevice::block_size() const { return ftl_->nand().config().page_
 
 uint64_t BaselineDevice::capacity_blocks() const { return ftl_->ExportedPages(); }
 
-Status BaselineDevice::Write(uint64_t lba, std::span<const uint8_t> data, StreamClass /*hint*/) {
+Result<PlacementHandle> BaselineDevice::OpenPlacement(const PlacementSpec& spec) {
+  return handles_.Open(spec);
+}
+
+Status BaselineDevice::ClosePlacement(PlacementHandle handle) {
+  return handles_.Close(handle);
+}
+
+Result<PlacementSpec> BaselineDevice::DescribePlacement(PlacementHandle handle) const {
+  return handles_.Describe(handle);
+}
+
+Status BaselineDevice::Write(uint64_t lba, std::span<const uint8_t> data,
+                             PlacementHandle handle) {
+  if (Status s = handles_.Check(handle); !s.ok()) {
+    return s;
+  }
+  // Non-directed: every handle funnels into the shared stream of the single
+  // pool -- the conventional-SSD comparison point.
   return ftl_->Write(lba, data, 0);
 }
 
@@ -272,7 +314,15 @@ Result<BlockReadResult> BaselineDevice::Read(uint64_t lba) {
 
 Status BaselineDevice::Trim(uint64_t lba) { return ftl_->Trim(lba); }
 
-Status BaselineDevice::Reclassify(uint64_t /*lba*/, StreamClass /*hint*/) {
+Status BaselineDevice::Reclassify(uint64_t lba, PlacementHandle handle) {
+  if (Status s = handles_.Check(handle); !s.ok()) {
+    return s;
+  }
+  // Same edge-case contract as SosDevice: reclassifying a block that was
+  // never written (or was trimmed) is a caller bug, not a silent success.
+  if (!ftl_->IsMapped(lba)) {
+    return Status(StatusCode::kNotFound, "unmapped LBA");
+  }
   return Status::Ok();  // single reliability domain: nothing to move
 }
 

@@ -12,9 +12,12 @@
 //   RESCUE -- pseudo-TLC pool that adopts PLC blocks retired out of SPARE
 //             (flexible resuscitation, §4.3/[76]). Also approximate.
 //
-// Host hints arrive per write as StreamClass; Reclassify() migrates a block
-// between the reliability domains. Capacity variance propagates from block
-// retirement up through the BlockDevice capacity listener.
+// Hosts direct placement through PlacementHandles (src/host/placement.h):
+// a handle's declared durability picks the reliability domain (kCritical ->
+// SYS, kDegradable -> SPARE/RESCUE), its lifetime hint feeds the FTL's
+// lifetime-aware allocator, and Reclassify() migrates a block between
+// domains. Capacity variance propagates from block retirement up through
+// the BlockDevice capacity listener.
 //
 // Baseline devices for the E12 comparison (pure TLC / pure QLC, uniform
 // strong ECC) are built with MakeBaselineDevice().
@@ -45,6 +48,10 @@ struct SosDeviceConfig {
   // Two-phase (batch-read, then re-append) block evacuation; see
   // FtlConfig::batched_relocation. Off by default to keep goldens.
   bool batched_relocation = false;
+  // How the FTL consumes placement directives (per-handle append points,
+  // lifetime-aware allocation). kLegacy keeps the historical write schedule
+  // byte-identical; see PlacementPolicy in src/ftl/ftl.h.
+  PlacementPolicy placement_policy = PlacementPolicy::kLegacy;
 
   // Optional pseudo-SLC write staging (paper §4.4 extension: "new file data
   // will first be written to high-endurance memory"). A small pool of blocks
@@ -67,10 +74,14 @@ class SosDevice final : public BlockDevice {
 
   uint32_t block_size() const override;
   uint64_t capacity_blocks() const override;
-  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
+  [[nodiscard]] Result<PlacementHandle> OpenPlacement(const PlacementSpec& spec) override;
+  [[nodiscard]] Status ClosePlacement(PlacementHandle handle) override;
+  [[nodiscard]] Result<PlacementSpec> DescribePlacement(PlacementHandle handle) const override;
+  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data,
+                             PlacementHandle handle) override;
   [[nodiscard]] Result<BlockReadResult> Read(uint64_t lba) override;
   [[nodiscard]] Status Trim(uint64_t lba) override;
-  [[nodiscard]] Status Reclassify(uint64_t lba, StreamClass hint) override;
+  [[nodiscard]] Status Reclassify(uint64_t lba, PlacementHandle handle) override;
   void SetCapacityListener(CapacityListener listener) override;
 
   // --- SOS introspection ---------------------------------------------------
@@ -118,10 +129,16 @@ class SosDevice final : public BlockDevice {
   const SosDeviceConfig& config() const { return config_; }
 
  private:
-  // Picks the pool for a spare-class write: SPARE first, RESCUE overflow.
-  [[nodiscard]] Status WriteSpare(uint64_t lba, std::span<const uint8_t> data);
+  // The FTL directive for writing `spec`-classified data into `pool`: the
+  // handle's slot id becomes the stream tag (1-based; 0 is the shared
+  // stream), the declared lifetime rides along.
+  WriteDirective DirectiveFor(PlacementHandle handle, const PlacementSpec& spec,
+                              uint32_t pool) const {
+    return WriteDirective{pool, spec.lifetime, handle.id() + 1};
+  }
 
   SosDeviceConfig config_;
+  PlacementHandleTable handles_;
   std::unique_ptr<Ftl> ftl_;
   uint32_t sys_pool_ = 0;
   uint32_t spare_pool_ = 0;
@@ -143,16 +160,23 @@ class BaselineDevice final : public BlockDevice {
 
   uint32_t block_size() const override;
   uint64_t capacity_blocks() const override;
-  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data, StreamClass hint) override;
+  [[nodiscard]] Result<PlacementHandle> OpenPlacement(const PlacementSpec& spec) override;
+  [[nodiscard]] Status ClosePlacement(PlacementHandle handle) override;
+  [[nodiscard]] Result<PlacementSpec> DescribePlacement(PlacementHandle handle) const override;
+  // A baseline device honors the handle lifecycle but ignores the spec: all
+  // data shares one undirected stream in the single pool.
+  [[nodiscard]] Status Write(uint64_t lba, std::span<const uint8_t> data,
+                             PlacementHandle handle) override;
   [[nodiscard]] Result<BlockReadResult> Read(uint64_t lba) override;
   [[nodiscard]] Status Trim(uint64_t lba) override;
-  [[nodiscard]] Status Reclassify(uint64_t lba, StreamClass hint) override;
+  [[nodiscard]] Status Reclassify(uint64_t lba, PlacementHandle handle) override;
   void SetCapacityListener(CapacityListener listener) override;
 
   Ftl& ftl() { return *ftl_; }
   const Ftl& ftl() const { return *ftl_; }
 
  private:
+  PlacementHandleTable handles_;
   std::unique_ptr<Ftl> ftl_;
 };
 

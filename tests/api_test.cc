@@ -22,11 +22,13 @@ TEST(UmbrellaTest, MinimalUseCompilesAndRuns) {
   config.nand.page_size_bytes = 512;
   SosDevice device(config, &clock);
   ExtentFileSystem fs(&device, &clock);
+  PlacementDirectory placements(&device);
   FileMeta meta;
   meta.type = FileType::kPhoto;
   meta.path = "dcim/x.jpg";
   meta.size_bytes = kKiB;
-  auto id = fs.CreateFile(meta, std::vector<uint8_t>(kKiB, 7), StreamClass::kSys);
+  auto id = fs.CreateFile(meta, std::vector<uint8_t>(kKiB, 7),
+                          placements.For({Durability::kCritical}).value());
   ASSERT_TRUE(id.ok());
   EXPECT_TRUE(fs.ReadFile(id.value()).ok());
   EXPECT_GT(FlashCarbonModel{}.KgPerGb(CellTech::kTlc), 0.0);
@@ -98,12 +100,15 @@ TEST(CapacityShrinkTest, FsHonorsShrunkCapacity) {
   config.spare_retire_rber = 3e-4;  // retire eagerly
   SosDevice device(config, &clock);
   ExtentFileSystem fs(&device, &clock);
+  PlacementDirectory placements(&device);
+  const PlacementHandle critical = placements.For({Durability::kCritical}).value();
+  const PlacementHandle degradable = placements.For({Durability::kDegradable}).value();
 
   // A keeper file on SYS.
   FileMeta keeper;
   keeper.type = FileType::kDocument;
   keeper.size_bytes = 2048;
-  auto keeper_id = fs.CreateFile(keeper, {}, StreamClass::kSys);
+  auto keeper_id = fs.CreateFile(keeper, {}, critical);
   ASSERT_TRUE(keeper_id.ok());
 
   // Churn SPARE until blocks retire.
@@ -119,7 +124,7 @@ TEST(CapacityShrinkTest, FsHonorsShrunkCapacity) {
       junk_ids[idx] = junk_ids.back();
       junk_ids.pop_back();
     } else {
-      auto id = fs.CreateFile(junk, {}, StreamClass::kSpare);
+      auto id = fs.CreateFile(junk, {}, degradable);
       if (id.ok()) {
         junk_ids.push_back(id.value());
       }
@@ -234,11 +239,14 @@ TEST(StatsSurfaceTest, AggregateStatsAreSumOfPoolStats) {
   config.nand.page_size_bytes = 512;
   SosDevice device(config, &clock);
   ExtentFileSystem fs(&device, &clock);
+  PlacementDirectory placements(&device);
+  const PlacementHandle critical = placements.For({Durability::kCritical}).value();
+  const PlacementHandle degradable = placements.For({Durability::kDegradable}).value();
   FileMeta meta;
   meta.type = FileType::kPhoto;
   meta.size_bytes = 4096;
   for (int i = 0; i < 20; ++i) {
-    IgnoreResult(fs.CreateFile(meta, {}, i % 2 == 0 ? StreamClass::kSys : StreamClass::kSpare));
+    IgnoreResult(fs.CreateFile(meta, {}, i % 2 == 0 ? critical : degradable));
   }
 
   const Ftl& ftl = device.ftl();
@@ -256,7 +264,7 @@ TEST(StatsSurfaceTest, AggregateStatsAreSumOfPoolStats) {
   // Snapshot() is a detached value: mutating the device afterwards must not
   // change an already-taken snapshot.
   const FtlStats before = ftl.stats().Snapshot();
-  IgnoreResult(fs.CreateFile(meta, {}, StreamClass::kSys));
+  IgnoreResult(fs.CreateFile(meta, {}, critical));
   EXPECT_GT(ftl.stats().host_writes(), before.host_writes());
   EXPECT_TRUE(before == before.Snapshot());
 }
@@ -269,10 +277,11 @@ TEST(StatsSurfaceTest, FtlToMetricsExportsPoolsAndLatencies) {
   config.nand.page_size_bytes = 512;
   SosDevice device(config, &clock);
   ExtentFileSystem fs(&device, &clock);
+  PlacementDirectory placements(&device);
   FileMeta meta;
   meta.type = FileType::kPhoto;
   meta.size_bytes = 4096;
-  auto id = fs.CreateFile(meta, {}, StreamClass::kSys);
+  auto id = fs.CreateFile(meta, {}, placements.For({Durability::kCritical}).value());
   ASSERT_TRUE(id.ok());
   ASSERT_TRUE(fs.ReadFile(id.value()).ok());
 

@@ -290,6 +290,44 @@ TEST(DeterminismTest, BatchedRelocationAndRberMemoAreScheduleInvariant) {
   }
 }
 
+// Per-handle accounting rides the determinism contract too: the flash-cache
+// workload under each directed placement policy must produce bit-identical
+// per-handle metric rows (ftl.handle.<label>.*) and wear variance whether the
+// batch runs serially or across driver workers. This is what makes the
+// bench_flash_cache metrics golden diffable in CI for any --jobs.
+TEST(DeterminismTest, PerHandleMetricsAreScheduleInvariant) {
+  std::vector<LifetimeSimConfig> configs;
+  for (PlacementPolicy policy : {PlacementPolicy::kStatic, PlacementPolicy::kLifetime}) {
+    LifetimeSimConfig config = QuickConfig(DeviceKind::kSos, 21, 45);
+    config.workload_kind = WorkloadKind::kFlashCache;
+    config.cache_workload.objects_per_day = 60.0;
+    config.cache_workload.lookups_per_day = 200.0;
+    config.sos.placement_policy = policy;
+    configs.push_back(config);
+  }
+
+  std::vector<LifetimeResult> serial;
+  for (const LifetimeSimConfig& config : configs) {
+    serial.push_back(RunSerial(config));
+  }
+  ExperimentDriver driver(4);
+  const ExperimentBatch batch = driver.Run(configs);
+  ASSERT_EQ(batch.results.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    SCOPED_TRACE(PlacementPolicyName(configs[i].sos.placement_policy));
+    ExpectBitIdentical(serial[i], batch.results[i]);
+  }
+
+  // Non-vacuity: the directed runs actually exported per-handle rows, and
+  // those rows are in the byte-diffable export both schedules agree on.
+  const std::string metrics = BatchMetricsJson(batch.results);
+  EXPECT_EQ(metrics, BatchMetricsJson(serial));
+  EXPECT_NE(metrics.find("ftl.handle."), std::string::npos);
+  EXPECT_NE(metrics.find(".write_amplification"), std::string::npos);
+  EXPECT_NE(metrics.find("ftl.placement.pec_variance"), std::string::npos);
+  EXPECT_NE(metrics.find("sim.bytes_served"), std::string::npos);
+}
+
 // The perfcheck workload checksums (tools/perfcheck) are the CI gate for the
 // hot-path refactors. They must not depend on the order benches are
 // evaluated in or on which thread computes them: a fresh bench list

@@ -107,9 +107,11 @@ TEST(UfsViewTest, AllocationTracksWrites) {
   SosDevice device(UfsTestDevice(), &clock);
   UfsView view(&device);
   const auto before = view.Describe();
+  const PlacementHandle degradable =
+      device.OpenPlacement({Durability::kDegradable}).value();
   std::vector<uint8_t> page(512, 1);
   for (uint64_t lba = 0; lba < 10; ++lba) {
-    ASSERT_TRUE(device.Write(lba, page, StreamClass::kSpare).ok());
+    ASSERT_TRUE(device.Write(lba, page, degradable).ok());
   }
   const auto after = view.Describe();
   EXPECT_EQ(before[1].allocated_bytes, 0u);
@@ -133,6 +135,7 @@ TEST(PreferenceBiasTest, NegativeBiasProtectsAType) {
   SimClock clock;
   SosDevice device(UfsTestDevice(), &clock);
   ExtentFileSystem fs(&device, &clock);
+  PlacementDirectory placements(&device);
   const auto corpus = GenerateCorpus({.num_files = 3000, .seed = 12});
   const LogisticClassifier model =
       LogisticClassifier::Train(AsPointers(corpus), &ExpendableLabel,
@@ -143,26 +146,30 @@ TEST(PreferenceBiasTest, NegativeBiasProtectsAType) {
   FileMeta photo = SynthesizeFile(FileType::kPhoto, 0, 0.0, rng);
   photo.personal_signal = 0.0;
   photo.size_bytes = 512;
-  auto id = fs.CreateFile(photo, std::vector<uint8_t>(512, 1), StreamClass::kSys);
+  auto id = fs.CreateFile(photo, std::vector<uint8_t>(512, 1),
+                          placements.For({Durability::kCritical}).value());
   ASSERT_TRUE(id.ok());
   clock.Advance(7 * kUsPerDay);
 
+  auto durability_of = [&](uint64_t file_id) {
+    return fs.PlacementSpecOf(file_id).value().durability;
+  };
   // Without bias: demoted.
   {
-    MigrationDaemon daemon(&fs, &model, {});
+    MigrationDaemon daemon(&fs, &placements, &model, {});
     daemon.RunOnce(clock.now());
-    EXPECT_EQ(fs.PlacementOf(id.value()), StreamClass::kSpare);
+    EXPECT_EQ(durability_of(id.value()), Durability::kDegradable);
   }
   // User said "never risk photos": strong negative bias promotes it back
   // and prevents future demotion.
   {
     MigrationDaemonConfig config;
     config.type_score_bias[static_cast<size_t>(FileType::kPhoto)] = -1.0;
-    MigrationDaemon daemon(&fs, &model, config);
+    MigrationDaemon daemon(&fs, &placements, &model, config);
     daemon.RunOnce(clock.now());
-    EXPECT_EQ(fs.PlacementOf(id.value()), StreamClass::kSys);
+    EXPECT_EQ(durability_of(id.value()), Durability::kCritical);
     daemon.RunOnce(clock.now());
-    EXPECT_EQ(fs.PlacementOf(id.value()), StreamClass::kSys);
+    EXPECT_EQ(durability_of(id.value()), Durability::kCritical);
   }
 }
 
@@ -170,6 +177,7 @@ TEST(PreferenceBiasTest, PositiveBiasVolunteersAType) {
   SimClock clock;
   SosDevice device(UfsTestDevice(), &clock);
   ExtentFileSystem fs(&device, &clock);
+  PlacementDirectory placements(&device);
   const auto corpus = GenerateCorpus({.num_files = 3000, .seed = 13});
   const LogisticClassifier model =
       LogisticClassifier::Train(AsPointers(corpus), &ExpendableLabel,
@@ -178,15 +186,16 @@ TEST(PreferenceBiasTest, PositiveBiasVolunteersAType) {
   Rng rng(5);
   FileMeta doc = SynthesizeFile(FileType::kDocument, 0, 0.0, rng);
   doc.size_bytes = 512;
-  auto id = fs.CreateFile(doc, std::vector<uint8_t>(512, 2), StreamClass::kSys);
+  auto id = fs.CreateFile(doc, std::vector<uint8_t>(512, 2),
+                          placements.For({Durability::kCritical}).value());
   ASSERT_TRUE(id.ok());
   clock.Advance(7 * kUsPerDay);
 
   MigrationDaemonConfig config;
   config.type_score_bias[static_cast<size_t>(FileType::kDocument)] = 1.0;
-  MigrationDaemon daemon(&fs, &model, config);
+  MigrationDaemon daemon(&fs, &placements, &model, config);
   daemon.RunOnce(clock.now());
-  EXPECT_EQ(fs.PlacementOf(id.value()), StreamClass::kSpare);
+  EXPECT_EQ(fs.PlacementSpecOf(id.value()).value().durability, Durability::kDegradable);
 }
 
 }  // namespace

@@ -232,10 +232,11 @@ TEST(SosDeviceRecoveryTest, RemountAfterPowerCutServesAckedSysData) {
   SimClock clock;
   SosDevice dev(SmallSosConfig(), &clock);
   const uint32_t page = dev.block_size();
+  const PlacementHandle critical = dev.OpenPlacement({Durability::kCritical}).value();
 
   constexpr uint64_t kLbas = 12;
   for (uint64_t lba = 0; lba < kLbas; ++lba) {
-    ASSERT_TRUE(dev.Write(lba, Payload(lba, page), StreamClass::kSys).ok()) << "lba " << lba;
+    ASSERT_TRUE(dev.Write(lba, Payload(lba, page), critical).ok()) << "lba " << lba;
   }
 
   dev.ftl().nand().PowerCut();
@@ -262,7 +263,9 @@ TEST(SosDeviceRecoveryTest, RecoveryIsIdempotentAcrossRepeatedCuts) {
   SimClock clock;
   SosDevice dev(SmallSosConfig(), &clock);
   const uint32_t page = dev.block_size();
-  ASSERT_TRUE(dev.Write(5, Payload(5, page), StreamClass::kSys).ok());
+  const PlacementHandle critical = dev.OpenPlacement({Durability::kCritical}).value();
+  const PlacementHandle degradable = dev.OpenPlacement({Durability::kDegradable}).value();
+  ASSERT_TRUE(dev.Write(5, Payload(5, page), critical).ok());
 
   for (int round = 0; round < 3; ++round) {
     SCOPED_TRACE("round " + std::to_string(round));
@@ -271,8 +274,9 @@ TEST(SosDeviceRecoveryTest, RecoveryIsIdempotentAcrossRepeatedCuts) {
     const Result<BlockReadResult> read = dev.Read(5);
     ASSERT_TRUE(read.ok());
     EXPECT_EQ(read.value().data, Payload(5, page));
-    // And the device keeps accepting writes between cuts.
-    ASSERT_TRUE(dev.Write(6 + static_cast<uint64_t>(round), Payload(9, page), StreamClass::kSpare).ok());
+    // Handles stay open across remount, and the device keeps accepting
+    // writes between cuts.
+    ASSERT_TRUE(dev.Write(6 + static_cast<uint64_t>(round), Payload(9, page), degradable).ok());
   }
 }
 
@@ -286,6 +290,8 @@ TEST(SosDeviceRecoveryTest, RecoveredMappingMatchesAckedWriteOracle) {
   SimClock clock;
   SosDevice dev(SmallSosConfig(), &clock);
   const uint32_t page = dev.block_size();
+  const PlacementHandle critical = dev.OpenPlacement({Durability::kCritical}).value();
+  const PlacementHandle degradable = dev.OpenPlacement({Durability::kDegradable}).value();
   const uint64_t kLbas = dev.ftl().ExportedPages() / 3;
   ASSERT_GT(kLbas, 8u);
 
@@ -317,9 +323,8 @@ TEST(SosDeviceRecoveryTest, RecoveredMappingMatchesAckedWriteOracle) {
         EXPECT_EQ(s.code(), StatusCode::kNotFound);
       }
     } else {  // write / overwrite
-      const StreamClass cls =
-          rng.NextBool(0.5) ? StreamClass::kSys : StreamClass::kSpare;
-      const Status s = dev.Write(lba, versioned(lba, op), cls);
+      const PlacementHandle handle = rng.NextBool(0.5) ? critical : degradable;
+      const Status s = dev.Write(lba, versioned(lba, op), handle);
       ASSERT_TRUE(s.ok() || s.code() == StatusCode::kOutOfSpace) << s.ToString();
       if (s.ok()) {
         acked[lba] = Acked{dev.ftl().PoolOf(lba), op};
@@ -332,7 +337,7 @@ TEST(SosDeviceRecoveryTest, RecoveredMappingMatchesAckedWriteOracle) {
   // Lights out mid-workload: the device must fail loudly until remount.
   dev.ftl().nand().PowerCut();
   EXPECT_FALSE(dev.Read(acked.begin()->first).ok());
-  EXPECT_EQ(dev.Write(0, versioned(0, 9999), StreamClass::kSys).code(),
+  EXPECT_EQ(dev.Write(0, versioned(0, 9999), critical).code(),
             StatusCode::kPowerLost);
 
   ASSERT_TRUE(dev.RecoverFromPowerLoss().ok());

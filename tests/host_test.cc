@@ -48,8 +48,16 @@ struct FsFixture {
   SimClock clock;
   SosDevice device;
   ExtentFileSystem fs;
+  PlacementDirectory placements;
+  PlacementHandle critical;
+  PlacementHandle degradable;
 
-  FsFixture() : device(SmallDevice(), &clock), fs(&device, &clock) {}
+  FsFixture()
+      : device(SmallDevice(), &clock),
+        fs(&device, &clock),
+        placements(&device),
+        critical(placements.For({Durability::kCritical}).value()),
+        degradable(placements.For({Durability::kDegradable}).value()) {}
 };
 
 // --- File system -----------------------------------------------------------
@@ -57,7 +65,7 @@ struct FsFixture {
 TEST(FileSystemTest, CreateReadRoundtrip) {
   FsFixture f;
   const auto content = Content(1500, 1);
-  auto id = f.fs.CreateFile(PhotoMeta(1500), content, StreamClass::kSys);
+  auto id = f.fs.CreateFile(PhotoMeta(1500), content, f.critical);
   ASSERT_TRUE(id.ok());
   auto read = f.fs.ReadFile(id.value());
   ASSERT_TRUE(read.ok());
@@ -68,7 +76,7 @@ TEST(FileSystemTest, CreateReadRoundtrip) {
 
 TEST(FileSystemTest, ReadUpdatesAccessStats) {
   FsFixture f;
-  auto id = f.fs.CreateFile(PhotoMeta(512), Content(512, 2), StreamClass::kSys);
+  auto id = f.fs.CreateFile(PhotoMeta(512), Content(512, 2), f.critical);
   ASSERT_TRUE(id.ok());
   const uint32_t reads_before = f.fs.Lookup(id.value())->read_count;
   ASSERT_TRUE(f.fs.ReadFile(id.value()).ok());
@@ -85,7 +93,7 @@ TEST(FileSystemTest, MissingFileFails) {
 
 TEST(FileSystemTest, OverwriteInPlace) {
   FsFixture f;
-  auto id = f.fs.CreateFile(PhotoMeta(kKiB), Content(kKiB, 3), StreamClass::kSys);
+  auto id = f.fs.CreateFile(PhotoMeta(kKiB), Content(kKiB, 3), f.critical);
   ASSERT_TRUE(id.ok());
   const auto updated = Content(900, 9);
   ASSERT_TRUE(f.fs.OverwriteFile(id.value(), updated).ok());
@@ -97,7 +105,7 @@ TEST(FileSystemTest, OverwriteInPlace) {
 
 TEST(FileSystemTest, OverwriteTooLargeRejected) {
   FsFixture f;
-  auto id = f.fs.CreateFile(PhotoMeta(512), Content(512, 3), StreamClass::kSys);
+  auto id = f.fs.CreateFile(PhotoMeta(512), Content(512, 3), f.critical);
   ASSERT_TRUE(id.ok());
   EXPECT_EQ(f.fs.OverwriteFile(id.value(), Content(4096, 1)).code(),
             StatusCode::kInvalidArgument);
@@ -106,7 +114,7 @@ TEST(FileSystemTest, OverwriteTooLargeRejected) {
 TEST(FileSystemTest, DeleteFreesSpace) {
   FsFixture f;
   const uint64_t free_before = f.fs.FreeBlocks();
-  auto id = f.fs.CreateFile(PhotoMeta(4096), Content(4096, 4), StreamClass::kSys);
+  auto id = f.fs.CreateFile(PhotoMeta(4096), Content(4096, 4), f.critical);
   ASSERT_TRUE(id.ok());
   EXPECT_LT(f.fs.FreeBlocks(), free_before);
   ASSERT_TRUE(f.fs.DeleteFile(id.value()).ok());
@@ -116,10 +124,10 @@ TEST(FileSystemTest, DeleteFreesSpace) {
 
 TEST(FileSystemTest, TrimmedBlocksAreReused) {
   FsFixture f;
-  auto id1 = f.fs.CreateFile(PhotoMeta(2048), Content(2048, 5), StreamClass::kSys);
+  auto id1 = f.fs.CreateFile(PhotoMeta(2048), Content(2048, 5), f.critical);
   ASSERT_TRUE(id1.ok());
   ASSERT_TRUE(f.fs.DeleteFile(id1.value()).ok());
-  auto id2 = f.fs.CreateFile(PhotoMeta(2048), Content(2048, 6), StreamClass::kSys);
+  auto id2 = f.fs.CreateFile(PhotoMeta(2048), Content(2048, 6), f.critical);
   ASSERT_TRUE(id2.ok());
   auto read = f.fs.ReadFile(id2.value());
   ASSERT_TRUE(read.ok());
@@ -130,7 +138,7 @@ TEST(FileSystemTest, OutOfSpace) {
   FsFixture f;
   const uint32_t bs = f.device.block_size();
   const uint64_t capacity_bytes = f.device.capacity_blocks() * bs;
-  auto big = f.fs.CreateFile(PhotoMeta(capacity_bytes * 2), {}, StreamClass::kSys);
+  auto big = f.fs.CreateFile(PhotoMeta(capacity_bytes * 2), {}, f.critical);
   EXPECT_EQ(big.status().code(), StatusCode::kOutOfSpace);
 }
 
@@ -139,7 +147,7 @@ TEST(FileSystemTest, FillThenFail) {
   Status last = Status::Ok();
   int created = 0;
   for (int i = 0; i < 10000; ++i) {
-    auto id = f.fs.CreateFile(PhotoMeta(4096), {}, StreamClass::kSys);
+    auto id = f.fs.CreateFile(PhotoMeta(4096), {}, f.critical);
     if (!id.ok()) {
       last = id.status();
       break;
@@ -154,12 +162,12 @@ TEST(FileSystemTest, FillThenFail) {
 
 TEST(FileSystemTest, ReclassifyMovesPools) {
   FsFixture f;
-  auto id = f.fs.CreateFile(PhotoMeta(2048), Content(2048, 7), StreamClass::kSys);
+  auto id = f.fs.CreateFile(PhotoMeta(2048), Content(2048, 7), f.critical);
   ASSERT_TRUE(id.ok());
-  EXPECT_EQ(f.fs.PlacementOf(id.value()), StreamClass::kSys);
+  EXPECT_EQ(f.fs.PlacementOf(id.value()), f.critical);
   const auto sys_before = f.device.SysSnapshot().valid_pages;
-  ASSERT_TRUE(f.fs.ReclassifyFile(id.value(), StreamClass::kSpare).ok());
-  EXPECT_EQ(f.fs.PlacementOf(id.value()), StreamClass::kSpare);
+  ASSERT_TRUE(f.fs.ReclassifyFile(id.value(), f.degradable).ok());
+  EXPECT_EQ(f.fs.PlacementOf(id.value()), f.degradable);
   EXPECT_LT(f.device.SysSnapshot().valid_pages, sys_before);
   EXPECT_GT(f.device.SpareSnapshot().valid_pages, 0u);
   // Content survives the migration.
@@ -171,7 +179,7 @@ TEST(FileSystemTest, ReclassifyMovesPools) {
 TEST(FileSystemTest, ScanFilesSeesAll) {
   FsFixture f;
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(f.fs.CreateFile(PhotoMeta(512), Content(512, 1), StreamClass::kSys).ok());
+    ASSERT_TRUE(f.fs.CreateFile(PhotoMeta(512), Content(512, 1), f.critical).ok());
   }
   EXPECT_EQ(f.fs.ScanFiles().size(), 5u);
   EXPECT_EQ(f.fs.FileIds().size(), 5u);
@@ -189,9 +197,10 @@ TEST(SosDeviceDegradedReadTest, SpareServesAgedDataDegradedButFlagged) {
   SimClock clock;
   SosDevice device(config, &clock);
   const uint32_t page = device.block_size();
+  const PlacementHandle degradable = device.OpenPlacement({Durability::kDegradable}).value();
   constexpr uint64_t kLbas = 10;
   for (uint64_t lba = 0; lba < kLbas; ++lba) {
-    ASSERT_TRUE(device.Write(lba, Content(page, static_cast<uint8_t>(lba)), StreamClass::kSpare).ok());
+    ASSERT_TRUE(device.Write(lba, Content(page, static_cast<uint8_t>(lba)), degradable).ok());
   }
   clock.Advance(YearsToUs(3.0));
   uint64_t degraded = 0;
@@ -235,7 +244,9 @@ TEST(SosDeviceDegradedReadTest, SysRecoversExactlyOrErrorsLoudly) {
   SimClock clock;
   SosDevice device(SmallDevice(), &clock);
   const uint32_t page = device.block_size();
-  ASSERT_TRUE(device.Write(3, Content(page, 3), StreamClass::kSys).ok());
+  ASSERT_TRUE(
+      device.Write(3, Content(page, 3), device.OpenPlacement({Durability::kCritical}).value())
+          .ok());
 
   // Transient: the single failed device read is retried and served exactly.
   FailingReadHook flaky(1, StatusCode::kUnavailable);

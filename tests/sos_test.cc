@@ -30,6 +30,15 @@ SosDeviceConfig SmallSos(bool payloads = true) {
 
 std::vector<uint8_t> Block(uint8_t fill) { return std::vector<uint8_t>(512, fill); }
 
+// Opens a handle of the given durability directly on the device.
+PlacementHandle OpenHandle(BlockDevice& device, Durability durability) {
+  PlacementSpec spec;
+  spec.durability = durability;
+  auto handle = device.OpenPlacement(spec);
+  EXPECT_TRUE(handle.ok());
+  return handle.value();
+}
+
 // --- SosDevice -------------------------------------------------------------
 
 TEST(SosDeviceTest, PoolLayout) {
@@ -48,11 +57,13 @@ TEST(SosDeviceTest, PoolLayout) {
   EXPECT_GT(spare.exported_pages, sys.exported_pages);
 }
 
-TEST(SosDeviceTest, HintRoutesWrites) {
+TEST(SosDeviceTest, DirectiveRoutesWrites) {
   SimClock clock;
   SosDevice device(SmallSos(), &clock);
-  ASSERT_TRUE(device.Write(1, Block(1), StreamClass::kSys).ok());
-  ASSERT_TRUE(device.Write(2, Block(2), StreamClass::kSpare).ok());
+  const PlacementHandle critical = OpenHandle(device, Durability::kCritical);
+  const PlacementHandle degradable = OpenHandle(device, Durability::kDegradable);
+  ASSERT_TRUE(device.Write(1, Block(1), critical).ok());
+  ASSERT_TRUE(device.Write(2, Block(2), degradable).ok());
   EXPECT_EQ(device.ftl().PoolOf(1), device.sys_pool());
   EXPECT_EQ(device.ftl().PoolOf(2), device.spare_pool());
 }
@@ -60,7 +71,7 @@ TEST(SosDeviceTest, HintRoutesWrites) {
 TEST(SosDeviceTest, SysReadsAreReliable) {
   SimClock clock;
   SosDevice device(SmallSos(), &clock);
-  ASSERT_TRUE(device.Write(1, Block(0x5A), StreamClass::kSys).ok());
+  ASSERT_TRUE(device.Write(1, Block(0x5A), OpenHandle(device, Durability::kCritical)).ok());
   clock.Advance(YearsToUs(1.0));
   auto read = device.Read(1);
   ASSERT_TRUE(read.ok());
@@ -71,20 +82,23 @@ TEST(SosDeviceTest, SysReadsAreReliable) {
 TEST(SosDeviceTest, ReclassifyMovesData) {
   SimClock clock;
   SosDevice device(SmallSos(), &clock);
-  ASSERT_TRUE(device.Write(1, Block(7), StreamClass::kSys).ok());
-  ASSERT_TRUE(device.Reclassify(1, StreamClass::kSpare).ok());
+  const PlacementHandle critical = OpenHandle(device, Durability::kCritical);
+  const PlacementHandle degradable = OpenHandle(device, Durability::kDegradable);
+  ASSERT_TRUE(device.Write(1, Block(7), critical).ok());
+  ASSERT_TRUE(device.Reclassify(1, degradable).ok());
   EXPECT_EQ(device.ftl().PoolOf(1), device.spare_pool());
-  ASSERT_TRUE(device.Reclassify(1, StreamClass::kSys).ok());
+  ASSERT_TRUE(device.Reclassify(1, critical).ok());
   EXPECT_EQ(device.ftl().PoolOf(1), device.sys_pool());
-  EXPECT_EQ(device.Reclassify(42, StreamClass::kSys).code(), StatusCode::kNotFound);
+  EXPECT_EQ(device.Reclassify(42, critical).code(), StatusCode::kNotFound);
 }
 
 TEST(SosDeviceTest, FreeFractionFallsWithWrites) {
   SimClock clock;
   SosDevice device(SmallSos(), &clock);
   const double before = device.FreeFraction();
+  const PlacementHandle critical = OpenHandle(device, Durability::kCritical);
   for (uint64_t lba = 0; lba < 50; ++lba) {
-    ASSERT_TRUE(device.Write(lba, Block(1), StreamClass::kSys).ok());
+    ASSERT_TRUE(device.Write(lba, Block(1), critical).ok());
   }
   EXPECT_LT(device.FreeFraction(), before);
 }
@@ -94,11 +108,12 @@ TEST(SosDeviceTest, BaselineDeviceBasics) {
   NandConfig nand = SmallSos().nand;
   nand.tech = CellTech::kTlc;
   BaselineDevice device(nand, &clock, EccPreset::kBch, GcPolicy::kGreedy);
-  ASSERT_TRUE(device.Write(1, Block(3), StreamClass::kSpare).ok());  // hint inert
+  const PlacementHandle degradable = OpenHandle(device, Durability::kDegradable);
+  ASSERT_TRUE(device.Write(1, Block(3), degradable).ok());  // spec inert
   auto read = device.Read(1);
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read.value().data, Block(3));
-  EXPECT_TRUE(device.Reclassify(1, StreamClass::kSys).ok());
+  EXPECT_TRUE(device.Reclassify(1, OpenHandle(device, Durability::kCritical)).ok());
   EXPECT_GT(device.capacity_blocks(), 0u);
 }
 
@@ -129,8 +144,9 @@ TEST(SosDeviceTest, SlcStagingAbsorbsWritesAndFlushes) {
   EXPECT_EQ(device.StageSnapshot().mode, CellTech::kSlc);
 
   // A small burst lands entirely in the stage.
+  const PlacementHandle critical = OpenHandle(device, Durability::kCritical);
   for (uint64_t lba = 0; lba < 8; ++lba) {
-    ASSERT_TRUE(device.Write(lba, Block(static_cast<uint8_t>(lba)), StreamClass::kSys).ok());
+    ASSERT_TRUE(device.Write(lba, Block(static_cast<uint8_t>(lba)), critical).ok());
   }
   EXPECT_EQ(device.StageSnapshot().valid_pages, 8u);
   EXPECT_EQ(device.SysSnapshot().valid_pages, 0u);
@@ -158,8 +174,9 @@ TEST(SosDeviceTest, StagingHighWaterTriggersAutoFlush) {
   const uint64_t stage_capacity = device.StageSnapshot().exported_pages;
   ASSERT_GT(stage_capacity, 0u);
   // Write enough SYS data to cross the high-water mark several times over.
+  const PlacementHandle critical = OpenHandle(device, Durability::kCritical);
   for (uint64_t lba = 0; lba < stage_capacity * 3; ++lba) {
-    ASSERT_TRUE(device.Write(lba, {}, StreamClass::kSys).ok()) << "lba " << lba;
+    ASSERT_TRUE(device.Write(lba, {}, critical).ok()) << "lba " << lba;
   }
   // The stage never overflows: auto-flush kept it at or below high water
   // (modulo the burst between checks), and SYS received the flushed data.
@@ -179,10 +196,11 @@ TEST(SosDeviceTest, StagingSpeedsUpSysWrites) {
     config.enable_slc_staging = staging;
     config.stage_share = 0.125;
     SosDevice device(config, &clock);
+    const PlacementHandle critical = OpenHandle(device, Durability::kCritical);
     const SimTimeUs start = clock.now();
     const int writes = 20;  // fits under the flush high-water mark
     for (uint64_t lba = 0; lba < writes; ++lba) {
-      EXPECT_TRUE(device.Write(lba, {}, StreamClass::kSys).ok());
+      EXPECT_TRUE(device.Write(lba, {}, critical).ok());
     }
     return static_cast<double>(clock.now() - start) / writes;
   };
@@ -193,10 +211,10 @@ TEST(HealthTest, ReportReflectsDeviceState) {
   SimClock clock;
   SosDevice device(SmallSos(), &clock);
   const uint64_t initial = device.capacity_blocks();
+  const PlacementHandle critical = OpenHandle(device, Durability::kCritical);
+  const PlacementHandle degradable = OpenHandle(device, Durability::kDegradable);
   for (uint64_t lba = 0; lba < 30; ++lba) {
-    ASSERT_TRUE(
-        device.Write(lba, Block(1), lba % 2 == 0 ? StreamClass::kSys : StreamClass::kSpare)
-            .ok());
+    ASSERT_TRUE(device.Write(lba, Block(1), lba % 2 == 0 ? critical : degradable).ok());
   }
   clock.Advance(YearsToUs(1.0));
   const DeviceHealthReport report = CollectHealth(device, 1.0, initial);
@@ -218,7 +236,7 @@ TEST(HealthTest, ReportReflectsDeviceState) {
 TEST(HealthTest, TaintCensusCounts) {
   SimClock clock;
   SosDevice device(SmallSos(), &clock);
-  ASSERT_TRUE(device.Write(1, Block(1), StreamClass::kSpare).ok());
+  ASSERT_TRUE(device.Write(1, Block(1), OpenHandle(device, Durability::kDegradable)).ok());
   clock.Advance(YearsToUs(10.0));  // heavy degradation on ECC-less PLC
   ASSERT_TRUE(device.ftl().Refresh(1).ok());  // bakes in corruption -> taint
   const DeviceHealthReport report = CollectHealth(device, 10.0, 0);
@@ -235,6 +253,9 @@ struct DaemonFixture {
   SimClock clock;
   SosDevice device;
   ExtentFileSystem fs;
+  PlacementDirectory placements;
+  PlacementHandle critical;
+  PlacementHandle degradable;
   std::vector<FileMeta> corpus;
   LogisticClassifier priority;
   LogisticClassifier deletion;
@@ -242,6 +263,9 @@ struct DaemonFixture {
   explicit DaemonFixture(SosDeviceConfig config = SmallSos())
       : device(config, &clock),
         fs(&device, &clock),
+        placements(&device),
+        critical(placements.For({Durability::kCritical}).value()),
+        degradable(placements.For({Durability::kDegradable}).value()),
         corpus(GenerateCorpus({.num_files = 4000, .seed = 99})),
         priority(LogisticClassifier::Train(AsPointers(corpus), &ExpendableLabel,
                                            CorpusConfig{}.device_age_us)),
@@ -253,9 +277,16 @@ struct DaemonFixture {
     FileMeta meta = corpus[i];
     meta.size_bytes = size;
     auto id = fs.CreateFile(meta, std::vector<uint8_t>(size, static_cast<uint8_t>(i)),
-                            StreamClass::kSys);
+                            critical);
     EXPECT_TRUE(id.ok());
     return id.value();
+  }
+
+  // The file's declared durability, for placement assertions.
+  Durability DurabilityOf(uint64_t id) {
+    auto spec = fs.PlacementSpecOf(id);
+    EXPECT_TRUE(spec.ok());
+    return spec.value().durability;
   }
 };
 
@@ -271,17 +302,17 @@ TEST(MigrationDaemonTest, DemotesExpendableKeepsCritical) {
   junk.type = FileType::kCache;
   junk.path = "data/cache/app1.tmp";
   junk.size_bytes = kKiB;
-  auto precious_id = f.fs.CreateFile(precious, Block(1), StreamClass::kSys);
-  auto junk_id = f.fs.CreateFile(junk, Block(2), StreamClass::kSys);
+  auto precious_id = f.fs.CreateFile(precious, Block(1), f.critical);
+  auto junk_id = f.fs.CreateFile(junk, Block(2), f.critical);
   ASSERT_TRUE(precious_id.ok());
   ASSERT_TRUE(junk_id.ok());
 
   f.clock.Advance(7 * kUsPerDay);  // past min demotion age
-  MigrationDaemon daemon(&f.fs, &f.priority, {});
+  MigrationDaemon daemon(&f.fs, &f.placements, &f.priority, {});
   const auto stats = daemon.RunOnce(f.clock.now());
   EXPECT_EQ(stats.scanned, 2u);
-  EXPECT_EQ(f.fs.PlacementOf(junk_id.value()), StreamClass::kSpare);
-  EXPECT_EQ(f.fs.PlacementOf(precious_id.value()), StreamClass::kSys);
+  EXPECT_EQ(f.DurabilityOf(junk_id.value()), Durability::kDegradable);
+  EXPECT_EQ(f.DurabilityOf(precious_id.value()), Durability::kCritical);
 }
 
 TEST(MigrationDaemonTest, RespectsMinAge) {
@@ -291,11 +322,11 @@ TEST(MigrationDaemonTest, RespectsMinAge) {
   junk.path = "data/cache/fresh.tmp";
   junk.size_bytes = 512;
   junk.created_us = f.clock.now();
-  auto id = f.fs.CreateFile(junk, Block(1), StreamClass::kSys);
+  auto id = f.fs.CreateFile(junk, Block(1), f.critical);
   ASSERT_TRUE(id.ok());
-  MigrationDaemon daemon(&f.fs, &f.priority, {});
+  MigrationDaemon daemon(&f.fs, &f.placements, &f.priority, {});
   daemon.RunOnce(f.clock.now());  // file is 0 days old
-  EXPECT_EQ(f.fs.PlacementOf(id.value()), StreamClass::kSys);
+  EXPECT_EQ(f.DurabilityOf(id.value()), Durability::kCritical);
 }
 
 TEST(MigrationDaemonTest, HigherThresholdDemotesLess) {
@@ -307,7 +338,7 @@ TEST(MigrationDaemonTest, HigherThresholdDemotesLess) {
     f.clock.Advance(7 * kUsPerDay);
     MigrationDaemonConfig config;
     config.demote_threshold = threshold;
-    MigrationDaemon daemon(&f.fs, &f.priority, config);
+    MigrationDaemon daemon(&f.fs, &f.placements, &f.priority, config);
     return daemon.RunOnce(f.clock.now()).demoted;
   };
   EXPECT_GE(demoted_at(0.5), demoted_at(0.9));
@@ -330,7 +361,7 @@ TEST(AutoDeleteTest, FreesSpaceUnderPressure) {
   for (int i = 0; i < 10000; ++i) {
     FileMeta junk = SynthesizeFile(FileType::kCache, f.clock.now(), 0.0, rng);
     junk.size_bytes = 2048;
-    auto id = f.fs.CreateFile(junk, {}, StreamClass::kSpare);
+    auto id = f.fs.CreateFile(junk, {}, f.degradable);
     if (!id.ok()) {
       break;
     }
@@ -359,7 +390,7 @@ TEST(AutoDeleteTest, NeverDeletesSysFiles) {
   for (int i = 0; i < 10000; ++i) {
     FileMeta meta = SynthesizeFile(FileType::kDocument, f.clock.now(), 0.0, rng);
     meta.size_bytes = 2048;
-    if (!f.fs.CreateFile(meta, {}, StreamClass::kSys).ok()) {
+    if (!f.fs.CreateFile(meta, {}, f.critical).ok()) {
       break;
     }
     ++created;
@@ -376,9 +407,9 @@ TEST(DegradationMonitorTest, RefreshesAgedSparePages) {
   media.type = FileType::kVideo;
   media.path = "dcim/camera/old.mp4";
   media.size_bytes = 4096;
-  auto id = f.fs.CreateFile(media, std::vector<uint8_t>(4096, 0xEE), StreamClass::kSys);
+  auto id = f.fs.CreateFile(media, std::vector<uint8_t>(4096, 0xEE), f.critical);
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(f.fs.ReclassifyFile(id.value(), StreamClass::kSpare).ok());
+  ASSERT_TRUE(f.fs.ReclassifyFile(id.value(), f.degradable).ok());
   f.clock.Advance(YearsToUs(2.5));  // deep retention on ECC-less PLC
   DegradationMonitorConfig config;
   config.cloud_repair = false;
@@ -401,10 +432,10 @@ TEST(DegradationMonitorTest, CloudRepairRestoresContent) {
   media.type = FileType::kPhoto;
   media.path = "dcim/camera/p.jpg";
   media.size_bytes = pristine.size();
-  auto id = f.fs.CreateFile(media, pristine, StreamClass::kSys);
+  auto id = f.fs.CreateFile(media, pristine, f.critical);
   ASSERT_TRUE(id.ok());
   cloud.Store(id.value(), pristine);
-  ASSERT_TRUE(f.fs.ReclassifyFile(id.value(), StreamClass::kSpare).ok());
+  ASSERT_TRUE(f.fs.ReclassifyFile(id.value(), f.degradable).ok());
   f.clock.Advance(YearsToUs(2.5));
 
   DegradationMonitor monitor(&f.fs, &f.device, {}, &cloud);

@@ -146,6 +146,9 @@ TEST_P(SosStressTest, FileSystemChurnKeepsDeviceConsistent) {
   config.spare_ecc = EccPreset::kWeakBch;  // checkable reads
   SosDevice device(config, &clock);
   ExtentFileSystem fs(&device, &clock);
+  PlacementDirectory placements(&device);
+  const PlacementHandle critical = placements.For({Durability::kCritical}).value();
+  const PlacementHandle degradable = placements.For({Durability::kDegradable}).value();
   Rng rng(DeriveSeed({seed, 0x66737374ull /* "fsst" */}));
 
   std::vector<uint64_t> live;
@@ -158,8 +161,7 @@ TEST_P(SosStressTest, FileSystemChurnKeepsDeviceConsistent) {
       for (auto& c : content) {
         c = static_cast<uint8_t>(rng.NextU64());
       }
-      auto id = fs.CreateFile(meta, content,
-                              rng.NextBool(0.5) ? StreamClass::kSys : StreamClass::kSpare);
+      auto id = fs.CreateFile(meta, content, rng.NextBool(0.5) ? critical : degradable);
       if (id.ok()) {
         live.push_back(id.value());
       }
@@ -174,7 +176,7 @@ TEST_P(SosStressTest, FileSystemChurnKeepsDeviceConsistent) {
       live.pop_back();
     } else if (pick == 8) {
       const uint64_t id = live[rng.NextBounded(live.size())];
-      IgnoreResult(fs.ReclassifyFile(id, rng.NextBool(0.5) ? StreamClass::kSys : StreamClass::kSpare));
+      IgnoreResult(fs.ReclassifyFile(id, rng.NextBool(0.5) ? critical : degradable));
     } else {
       clock.Advance(rng.NextBounded(10) * kUsPerDay);
     }
