@@ -1,0 +1,119 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// E20 -- Fleet-scale simulation: a population of devices, one carbon
+// ledger. Draws device configurations from named archetypes (light /
+// media_hoarder / app_churner) by seeded sampling, runs every
+// device-lifetime on this process's shard, and folds the outcomes into a
+// mergeable FleetLedger. The aggregate output is byte-identical for any
+// --jobs value and any --shard split of the same population (see
+// DESIGN.md §13 for the merge algebra).
+//
+// Modes:
+//   bench_fleet --devices=N [--jobs=K]            whole fleet, one process
+//   bench_fleet --shard=i/M --partial-out=F       one shard -> partial JSON
+//   bench_fleet --merge=F0 --merge=F1 ...         combine partials, report
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/report.h"
+
+namespace sos {
+namespace {
+
+void Report(const fleet::FleetPartial& partial, const std::string& metrics_out) {
+  PrintBanner("E20", "Fleet-scale simulation: one carbon ledger",
+              "§3 fleet framing; ROADMAP item 1");
+  std::printf("%s", fleet::FleetReport(partial).c_str());
+  if (!metrics_out.empty()) {
+    if (Status s = obs::WriteFile(metrics_out, fleet::FleetMetricsJson(partial)); !s.ok()) {
+      std::fprintf(stderr, "[bench] --metrics-out: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags("bench_fleet",
+                "E20: population simulation over device archetypes with a mergeable "
+                "fleet ledger (deterministic for any --jobs / --shard split)");
+  uint64_t* devices = flags.U64("devices", 600, "fleet population size");
+  uint64_t* seed = flags.U64("seed", 1, "fleet seed (device i draws from f(seed, i))");
+  std::string* mix = flags.Path(
+      "mix", "archetype weights, e.g. light:60,media_hoarder:25,app_churner:15");
+  std::string* shard = flags.Path("shard", "run only shard i of N, spelled i/N");
+  std::string* partial_out = flags.Path("partial-out", "write this shard's ledger as JSON");
+  std::vector<std::string>* merge_inputs =
+      flags.StringList("merge", "merge partial files instead of simulating");
+  size_t* jobs = flags.Size("jobs", 1, JobsFlagHelp());
+  std::string* metrics_out = flags.Path("metrics-out", "write fleet metrics JSON");
+  flags.ParseOrDie(argc, argv);
+
+  // --- Merge mode ---------------------------------------------------------
+  if (!merge_inputs->empty()) {
+    std::vector<fleet::FleetPartial> partials;
+    for (const std::string& path : *merge_inputs) {
+      Result<fleet::FleetPartial> partial = fleet::ReadPartialFile(path);
+      if (!partial.ok()) {
+        std::fprintf(stderr, "bench_fleet: %s\n", partial.status().ToString().c_str());
+        return 2;
+      }
+      partials.push_back(std::move(partial.value()));
+    }
+    Result<fleet::FleetPartial> merged = fleet::MergePartials(std::move(partials));
+    if (!merged.ok()) {
+      std::fprintf(stderr, "bench_fleet: %s\n", merged.status().ToString().c_str());
+      return 2;
+    }
+    Report(merged.value(), *metrics_out);
+    return 0;
+  }
+
+  // --- Simulate mode ------------------------------------------------------
+  fleet::FleetConfig config;
+  config.devices = *devices;
+  config.seed = *seed;
+  config.jobs = ResolveJobs(*jobs);
+  if (!mix->empty()) {
+    Result<fleet::MixSpec> parsed = fleet::ParseMixSpec(*mix);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_fleet: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    config.mix = parsed.value();
+  }
+  if (!shard->empty()) {
+    Result<std::pair<uint64_t, uint64_t>> parsed = fleet::ParseShardSpec(*shard);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_fleet: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    config.shard_index = parsed.value().first;
+    config.shard_count = parsed.value().second;
+  }
+
+  WallTimer timer;
+  Result<fleet::FleetPartial> partial = fleet::RunFleet(config);
+  if (!partial.ok()) {
+    std::fprintf(stderr, "bench_fleet: %s\n", partial.status().ToString().c_str());
+    return 2;
+  }
+  const double wall_seconds = timer.Seconds();
+
+  if (!partial_out->empty()) {
+    if (Status s = obs::WriteFile(*partial_out, fleet::PartialToJson(partial.value()));
+        !s.ok()) {
+      std::fprintf(stderr, "bench_fleet: --partial-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  Report(partial.value(), *metrics_out);
+  PrintJobsSummary(config.jobs, partial.value().shard_devices, wall_seconds);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sos
+
+int main(int argc, char** argv) { return sos::Run(argc, argv); }

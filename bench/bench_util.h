@@ -341,17 +341,29 @@ struct BenchOptions {
   std::string trace_out;    // --trace-out=<file>: batch trace JSONL
 };
 
+// Canonical meaning of --jobs=0: "auto", i.e. one worker per hardware
+// thread. Resolved at parse time so every consumer (ExperimentDriver, the
+// fleet runner, ad-hoc pools) sees the same concrete worker count; negative
+// and garbage values never reach here (FlagSet hard-errors on them).
+inline size_t ResolveJobs(size_t jobs) { return jobs == 0 ? ThreadPool::DefaultThreads() : jobs; }
+
+// The usage text every bench shows for --jobs; one spelling, one meaning.
+inline const char* JobsFlagHelp() {
+  return "parallel simulations (0 = auto: one per hardware thread)";
+}
+
 // Declares --jobs / --metrics-out / --trace-out on `flags`, parses, and
 // returns the values. Exits with usage on any unknown or malformed flag.
+// --jobs=0 is resolved to the hardware concurrency (see ResolveJobs).
 inline BenchOptions ParseSweepArgs(FlagSet& flags, int argc, char** argv) {
-  size_t* jobs = flags.Size("jobs", 1, "parallel simulations (0 = hardware concurrency)");
+  size_t* jobs = flags.Size("jobs", 1, JobsFlagHelp());
   std::string* metrics_out =
       flags.Path("metrics-out", "write the batch's metrics as JSON to this file");
   std::string* trace_out =
       flags.Path("trace-out", "write the batch's event trace as JSONL to this file");
   flags.ParseOrDie(argc, argv);
   BenchOptions options;
-  options.jobs = *jobs;
+  options.jobs = ResolveJobs(*jobs);
   options.metrics_out = *metrics_out;
   options.trace_out = *trace_out;
   return options;

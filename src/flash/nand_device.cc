@@ -16,6 +16,7 @@ NandDevice::NandDevice(const NandConfig& config, SimClock* clock)
   blocks_.resize(config_.num_blocks);
   for (auto& blk : blocks_) {
     blk.info.mode = config_.tech;  // native density until told otherwise
+    blk.info.pec = config_.initial_pec;
     blk.pages.resize(config_.PagesPerBlock(blk.info.mode));
     if (config_.store_payloads) {
       blk.data.resize(blk.pages.size());

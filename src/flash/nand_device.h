@@ -64,6 +64,11 @@ struct NandConfig {
   // from the exact model by up to RberCache::kRelErrorBound, which would
   // drift the goldens. Flip on for fleet-scale throughput runs.
   bool rber_memo = false;
+  // Pre-aging: every block starts life with this many program/erase cycles
+  // already on the odometer. The fleet simulator uses it to model devices
+  // entering the population mid-life (archetype "initial age"); 0 keeps the
+  // factory-fresh default every existing bench and golden assumes.
+  uint32_t initial_pec = 0;
 
   // Page count of one block when programmed in `mode`.
   uint32_t PagesPerBlock(CellTech mode) const {

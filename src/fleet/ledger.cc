@@ -1,0 +1,255 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/fleet/ledger.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/carbon/embodied.h"
+
+namespace sos::fleet {
+
+namespace {
+
+// Distribution bounds. Fixed constants (never data-derived), so every
+// partial of every fleet shares bucket shapes and Merge() is total.
+std::vector<double> LifetimeBounds() {
+  return {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 7.0, 10.0, 15.0, 25.0, 50.0};
+}
+
+std::vector<double> CapacityRetainedBounds() {
+  return {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.925, 0.95, 0.975, 0.99, 1.0};
+}
+
+std::vector<double> AutodeleteBounds() {
+  return {0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0};
+}
+
+std::vector<double> PecVarianceBounds() {
+  return {1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0};
+}
+
+// Embodied kg of `gb` decimal GB built as the outcome's scheme. One shared
+// model instance: the anchor constant is compile-time fixed, so per-device
+// carbon is a pure function of the outcome.
+double ActualKg(const DeviceOutcome& outcome) {
+  const FlashCarbonModel model;
+  if (outcome.kind == DeviceKind::kSos) {
+    // SYS is pseudo-QLC, SPARE native PLC (paper §4.1-4.2).
+    return outcome.full_size_gb *
+           model.KgPerGbSplit(CellTech::kQlc, CellTech::kPlc, outcome.sys_share);
+  }
+  return outcome.full_size_gb * model.KgPerGb(CellTech::kTlc);
+}
+
+double TlcKg(const DeviceOutcome& outcome) {
+  const FlashCarbonModel model;
+  return outcome.full_size_gb * model.KgPerGb(CellTech::kTlc);
+}
+
+}  // namespace
+
+int64_t ToMicro(double value) { return std::llround(value * kMicroScale); }
+
+double FromMicro(int64_t micro) { return static_cast<double>(micro) / kMicroScale; }
+
+// --- FleetHistogram ----------------------------------------------------------
+
+FleetHistogram::FleetHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i] && "histogram bounds must be strictly ascending");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void FleetHistogram::Observe(double v) {
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  ++count_;
+  micro_sum_ += ToMicro(v);
+}
+
+Status FleetHistogram::Merge(const FleetHistogram& other) {
+  if (bounds_ != other.bounds_) {
+    return Status(StatusCode::kInvalidArgument, "fleet histogram merge: bounds differ");
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  micro_sum_ += other.micro_sum_;
+  return Status::Ok();
+}
+
+obs::Histogram FleetHistogram::ToObs() const {
+  return obs::Histogram::FromParts(bounds_, buckets_, count_, FromMicro(micro_sum_));
+}
+
+FleetHistogram FleetHistogram::FromParts(std::vector<double> bounds,
+                                         std::vector<uint64_t> buckets, uint64_t count,
+                                         int64_t micro_sum) {
+  FleetHistogram h(std::move(bounds));
+  assert(buckets.size() == h.bounds_.size() + 1 && "bucket count must match bounds + overflow");
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.micro_sum_ = micro_sum;
+  return h;
+}
+
+// --- DeviceOutcome -----------------------------------------------------------
+
+DeviceOutcome MakeOutcome(const DeviceDraw& draw, const LifetimeResult& result) {
+  DeviceOutcome outcome;
+  outcome.archetype = draw.archetype;
+  outcome.kind = result.kind();
+  outcome.full_size_gb = draw.full_size_gb;
+  outcome.sys_share = draw.config.sos.sys_share;
+  outcome.projected_lifetime_years = result.projected_lifetime_years();
+  outcome.initial_exported_pages = result.initial_exported_pages();
+  outcome.final_exported_pages = result.final_exported_pages();
+  outcome.pec_variance = result.pec_variance();
+  outcome.autodelete_files = result.autodelete().files_deleted;
+  outcome.autodelete_bytes = result.autodelete().bytes_freed;
+  outcome.create_failures = result.create_failures();
+  outcome.host_bytes_written = result.host_bytes_written();
+  outcome.daemon_activations = result.daemon_activations();
+  outcome.trace_dropped = result.trace_dropped();
+  return outcome;
+}
+
+// --- CarbonAccumulator -------------------------------------------------------
+
+void CarbonAccumulator::Add(const CarbonAccumulator& other) {
+  actual_micro_kg += other.actual_micro_kg;
+  tlc_counterfactual_micro_kg += other.tlc_counterfactual_micro_kg;
+  capacity_micro_gb += other.capacity_micro_gb;
+}
+
+// --- FleetLedger -------------------------------------------------------------
+
+FleetLedger::FleetLedger()
+    : lifetime_years_(LifetimeBounds()),
+      capacity_retained_(CapacityRetainedBounds()),
+      autodelete_files_(AutodeleteBounds()),
+      pec_variance_(PecVarianceBounds()) {}
+
+void FleetLedger::Fold(const DeviceOutcome& outcome) {
+  ++devices_;
+  ++archetype_devices_[static_cast<size_t>(outcome.archetype)];
+  if (outcome.kind == DeviceKind::kSos) {
+    ++sos_devices_;
+  } else {
+    ++baseline_devices_;
+  }
+
+  // Distribution observations. Lifetime is clamped to 100 years: a device
+  // that saw no wear projects "effectively forever", which would swamp the
+  // population mean; clamped it still lands in the overflow bucket.
+  const double lifetime = std::min(outcome.projected_lifetime_years, 100.0);
+  lifetime_years_.Observe(lifetime);
+  const double retained =
+      outcome.initial_exported_pages > 0
+          ? static_cast<double>(outcome.final_exported_pages) /
+                static_cast<double>(outcome.initial_exported_pages)
+          : 1.0;
+  capacity_retained_.Observe(retained);
+  autodelete_files_.Observe(static_cast<double>(outcome.autodelete_files));
+  pec_variance_.Observe(outcome.pec_variance);
+
+  // Carbon, micro-kg. Rounded once per device, then summed exactly.
+  CarbonAccumulator device_carbon;
+  device_carbon.actual_micro_kg = ToMicro(ActualKg(outcome));
+  device_carbon.tlc_counterfactual_micro_kg = ToMicro(TlcKg(outcome));
+  device_carbon.capacity_micro_gb = ToMicro(outcome.full_size_gb);
+  carbon_.Add(device_carbon);
+  archetype_carbon_[static_cast<size_t>(outcome.archetype)].Add(device_carbon);
+
+  autodelete_files_total_ += outcome.autodelete_files;
+  autodelete_bytes_total_ += outcome.autodelete_bytes;
+  create_failures_total_ += outcome.create_failures;
+  host_bytes_total_ += outcome.host_bytes_written;
+  daemon_activations_total_ += outcome.daemon_activations;
+  trace_dropped_total_ += outcome.trace_dropped;
+}
+
+Status FleetLedger::Merge(const FleetLedger& other) {
+  Status status = lifetime_years_.Merge(other.lifetime_years_);
+  if (!status.ok()) {
+    return status;
+  }
+  status = capacity_retained_.Merge(other.capacity_retained_);
+  if (!status.ok()) {
+    return status;
+  }
+  status = autodelete_files_.Merge(other.autodelete_files_);
+  if (!status.ok()) {
+    return status;
+  }
+  status = pec_variance_.Merge(other.pec_variance_);
+  if (!status.ok()) {
+    return status;
+  }
+  devices_ += other.devices_;
+  for (size_t i = 0; i < kNumArchetypes; ++i) {
+    archetype_devices_[i] += other.archetype_devices_[i];
+    archetype_carbon_[i].Add(other.archetype_carbon_[i]);
+  }
+  sos_devices_ += other.sos_devices_;
+  baseline_devices_ += other.baseline_devices_;
+  carbon_.Add(other.carbon_);
+  autodelete_files_total_ += other.autodelete_files_total_;
+  autodelete_bytes_total_ += other.autodelete_bytes_total_;
+  create_failures_total_ += other.create_failures_total_;
+  host_bytes_total_ += other.host_bytes_total_;
+  daemon_activations_total_ += other.daemon_activations_total_;
+  trace_dropped_total_ += other.trace_dropped_total_;
+  return Status::Ok();
+}
+
+double FleetLedger::SavingsKg() const {
+  return FromMicro(carbon_.tlc_counterfactual_micro_kg - carbon_.actual_micro_kg);
+}
+
+void FleetLedger::ToMetrics(obs::MetricRegistry& registry, const std::string& prefix) const {
+  registry.SetCounter(prefix + "devices", devices_);
+  for (size_t i = 0; i < kNumArchetypes; ++i) {
+    registry.SetCounter(
+        prefix + "archetype." + ArchetypeName(static_cast<Archetype>(i)) + ".devices",
+        archetype_devices_[i]);
+  }
+  registry.SetCounter(prefix + "devices.sos", sos_devices_);
+  registry.SetCounter(prefix + "devices.baseline", baseline_devices_);
+  registry.SetHistogram(prefix + "lifetime_years", lifetime_years_.ToObs());
+  registry.SetHistogram(prefix + "capacity_retained", capacity_retained_.ToObs());
+  registry.SetHistogram(prefix + "autodelete_files", autodelete_files_.ToObs());
+  registry.SetHistogram(prefix + "pec_variance", pec_variance_.ToObs());
+  registry.SetGauge(prefix + "carbon.actual_kg", FromMicro(carbon_.actual_micro_kg));
+  registry.SetGauge(prefix + "carbon.tlc_counterfactual_kg",
+                    FromMicro(carbon_.tlc_counterfactual_micro_kg));
+  registry.SetGauge(prefix + "carbon.savings_kg", SavingsKg());
+  registry.SetGauge(prefix + "carbon.capacity_gb", FromMicro(carbon_.capacity_micro_gb));
+  for (size_t i = 0; i < kNumArchetypes; ++i) {
+    const std::string arch_prefix =
+        prefix + "archetype." + ArchetypeName(static_cast<Archetype>(i)) + ".carbon.";
+    const CarbonAccumulator& acc = archetype_carbon_[i];
+    registry.SetGauge(arch_prefix + "actual_kg", FromMicro(acc.actual_micro_kg));
+    registry.SetGauge(arch_prefix + "savings_kg",
+                      FromMicro(acc.tlc_counterfactual_micro_kg - acc.actual_micro_kg));
+  }
+  registry.SetCounter(prefix + "autodelete.files", autodelete_files_total_);
+  registry.SetCounter(prefix + "autodelete.bytes", autodelete_bytes_total_);
+  registry.SetCounter(prefix + "create_failures", create_failures_total_);
+  registry.SetCounter(prefix + "host_bytes_written", host_bytes_total_);
+  registry.SetCounter(prefix + "daemon_activations", daemon_activations_total_);
+  registry.SetCounter(prefix + "trace.dropped_events", trace_dropped_total_);
+}
+
+}  // namespace sos::fleet

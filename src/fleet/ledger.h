@@ -1,0 +1,181 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// Fleet ledger: the mergeable aggregate of a device population
+// (DESIGN.md §13).
+//
+// The determinism contract -- byte-identical aggregate output for any
+// --jobs value and any shard split -- forbids floating-point accumulation:
+// double addition is commutative but NOT associative, so two shard
+// groupings of the same devices could disagree in the last ulp. Every
+// mergeable quantity in this ledger is therefore an integer: plain counts,
+// or fixed-point micro-units (value x 1e6, rounded ONCE per device at
+// observation time). Integer addition is an abelian monoid, so Merge() is
+// exactly associative and commutative and any fold order -- serial,
+// threaded, 2-shard, 8-shard -- lands on the same bits. Doubles are
+// materialized only at render time, from integers that are already exact.
+
+#ifndef SOS_SRC_FLEET_LEDGER_H_
+#define SOS_SRC_FLEET_LEDGER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/archetype.h"
+#include "src/obs/metrics.h"
+#include "src/sos/lifetime_sim.h"
+
+namespace sos::fleet {
+
+// Fixed-point scale for ledger quantities: 1 unit = 1e-6 of the carried
+// value (micro-years, micro-kg, ...).
+inline constexpr double kMicroScale = 1e6;
+
+// Rounds a per-device observation into ledger fixed point. The ONLY place a
+// double becomes a ledger integer; everything after is exact arithmetic.
+int64_t ToMicro(double value);
+
+// Renders a fixed-point quantity back to double for reports. Exact in the
+// sense that every shard grouping renders the same bits (the int is).
+double FromMicro(int64_t micro);
+
+// Fixed-bucket histogram with a fixed-point sum. Same bucketing rule as
+// obs::Histogram (ascending inclusive upper bounds + overflow bucket), but
+// the sum is carried in micro-units so merge stays exact.
+class FleetHistogram {
+ public:
+  FleetHistogram() = default;
+  explicit FleetHistogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  // Elementwise add; kInvalidArgument if bucket bounds differ.
+  [[nodiscard]] Status Merge(const FleetHistogram& other);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  uint64_t count() const { return count_; }
+  int64_t micro_sum() const { return micro_sum_; }
+
+  // Materializes the obs-layer histogram (sum = FromMicro(micro_sum)) for
+  // registry export.
+  obs::Histogram ToObs() const;
+
+  // Rebuilds from serialized parts (the partial-file reader).
+  static FleetHistogram FromParts(std::vector<double> bounds, std::vector<uint64_t> buckets,
+                                  uint64_t count, int64_t micro_sum);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;  // bounds_.size() + 1, last = overflow
+  uint64_t count_ = 0;
+  int64_t micro_sum_ = 0;
+};
+
+// The per-device scalars the ledger folds. A plain value so tests can
+// synthesize outcomes without running simulations; MakeOutcome() extracts
+// one from a real LifetimeResult.
+struct DeviceOutcome {
+  Archetype archetype = Archetype::kLight;
+  DeviceKind kind = DeviceKind::kSos;
+  double full_size_gb = 128.0;
+  double sys_share = 0.5;  // SOS split fraction (carbon arithmetic)
+
+  double projected_lifetime_years = 0.0;
+  uint64_t initial_exported_pages = 0;
+  uint64_t final_exported_pages = 0;
+  double pec_variance = 0.0;
+  uint64_t autodelete_files = 0;
+  uint64_t autodelete_bytes = 0;
+  uint64_t create_failures = 0;
+  uint64_t host_bytes_written = 0;
+  uint64_t daemon_activations = 0;
+  uint64_t trace_dropped = 0;
+};
+
+DeviceOutcome MakeOutcome(const DeviceDraw& draw, const LifetimeResult& result);
+
+// Embodied-carbon accumulator, micro-kg fixed point. `actual` is the carbon
+// of the fleet as configured (SOS split or TLC); `tlc_counterfactual` prices
+// the same usable capacity built as TLC -- the paper's baseline. Savings is
+// their difference, computed at render time from exact integers.
+struct CarbonAccumulator {
+  int64_t actual_micro_kg = 0;
+  int64_t tlc_counterfactual_micro_kg = 0;
+  int64_t capacity_micro_gb = 0;
+
+  // Infallible elementwise add (unlike the histogram Merge, there is no
+  // shape to validate).
+  void Add(const CarbonAccumulator& other);
+};
+
+// The fleet-level aggregate: population counts, outcome distributions, and
+// the carbon ledger. Fold() ingests one device; Merge() combines ledgers
+// from any partition of the population (see file comment for why the result
+// is bit-exact either way).
+class FleetLedger {
+ public:
+  FleetLedger();
+
+  void Fold(const DeviceOutcome& outcome);
+
+  // kInvalidArgument if histogram shapes differ (ledgers from different
+  // schema versions).
+  [[nodiscard]] Status Merge(const FleetLedger& other);
+
+  uint64_t devices() const { return devices_; }
+  const std::array<uint64_t, kNumArchetypes>& archetype_devices() const {
+    return archetype_devices_;
+  }
+  uint64_t sos_devices() const { return sos_devices_; }
+  uint64_t baseline_devices() const { return baseline_devices_; }
+  const FleetHistogram& lifetime_years() const { return lifetime_years_; }
+  const FleetHistogram& capacity_retained() const { return capacity_retained_; }
+  const FleetHistogram& autodelete_files() const { return autodelete_files_; }
+  const FleetHistogram& pec_variance() const { return pec_variance_; }
+  const CarbonAccumulator& carbon() const { return carbon_; }
+  const std::array<CarbonAccumulator, kNumArchetypes>& archetype_carbon() const {
+    return archetype_carbon_;
+  }
+  uint64_t autodelete_files_total() const { return autodelete_files_total_; }
+  uint64_t autodelete_bytes_total() const { return autodelete_bytes_total_; }
+  uint64_t create_failures_total() const { return create_failures_total_; }
+  uint64_t host_bytes_total() const { return host_bytes_total_; }
+  uint64_t daemon_activations_total() const { return daemon_activations_total_; }
+  uint64_t trace_dropped_total() const { return trace_dropped_total_; }
+  int64_t lifetime_micro_years_total() const { return lifetime_years_.micro_sum(); }
+
+  // Carbon savings (kg) of the fleet vs the all-TLC counterfactual.
+  double SavingsKg() const;
+
+  // Registers the ledger under `prefix` ("fleet." by convention).
+  // Registration order is fixed here, so the export is byte-stable for any
+  // fold/merge grouping of the same population.
+  void ToMetrics(obs::MetricRegistry& registry, const std::string& prefix = "fleet.") const;
+
+  // Serialization hooks for the partial-file codec (src/fleet/partial.h).
+  friend struct LedgerCodec;
+
+ private:
+  uint64_t devices_ = 0;
+  std::array<uint64_t, kNumArchetypes> archetype_devices_ = {};
+  uint64_t sos_devices_ = 0;
+  uint64_t baseline_devices_ = 0;
+  FleetHistogram lifetime_years_;
+  FleetHistogram capacity_retained_;  // final/initial exported pages
+  FleetHistogram autodelete_files_;   // auto-deleted files per device
+  FleetHistogram pec_variance_;       // wear spread within each device
+  CarbonAccumulator carbon_;
+  std::array<CarbonAccumulator, kNumArchetypes> archetype_carbon_ = {};
+  uint64_t autodelete_files_total_ = 0;
+  uint64_t autodelete_bytes_total_ = 0;
+  uint64_t create_failures_total_ = 0;
+  uint64_t host_bytes_total_ = 0;
+  uint64_t daemon_activations_total_ = 0;
+  uint64_t trace_dropped_total_ = 0;
+};
+
+}  // namespace sos::fleet
+
+#endif  // SOS_SRC_FLEET_LEDGER_H_

@@ -192,8 +192,16 @@ inline std::string PlacementLabel(PlacementHandle handle, const PlacementSpec& s
   if (!spec.label.empty()) {
     return spec.label;
   }
-  return "h" + std::to_string(handle.id()) + "_" + DurabilityName(spec.durability) + "_" +
-         LifetimeHintName(spec.lifetime);
+  // Built with appends, not operator+ chains: GCC 12's -Wrestrict misfires
+  // on rvalue string concatenation in some inlining contexts, and CI builds
+  // with -Werror.
+  std::string label = "h";
+  label += std::to_string(handle.id());
+  label += "_";
+  label += DurabilityName(spec.durability);
+  label += "_";
+  label += LifetimeHintName(spec.lifetime);
+  return label;
 }
 
 }  // namespace sos

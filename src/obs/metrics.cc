@@ -129,6 +129,18 @@ Histogram Histogram::FromParts(std::vector<double> bounds, std::vector<uint64_t>
   return h;
 }
 
+Status Histogram::Merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    return Status(StatusCode::kInvalidArgument, "histogram merge: bucket bounds differ");
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  return Status::Ok();
+}
+
 // --- MetricRegistry ----------------------------------------------------------
 
 size_t MetricRegistry::Find(const std::string& name) const {

@@ -79,6 +79,14 @@ class Histogram {
   static Histogram FromParts(std::vector<double> bounds, std::vector<uint64_t> buckets,
                              uint64_t count, double sum);
 
+  // Folds `other` into this histogram bucket by bucket. The bucket counts
+  // and total count are integer sums, so merging is exactly associative and
+  // commutative; `sum` is a double and therefore only order-stable if the
+  // caller merges in a canonical order (the fleet ledger avoids the issue by
+  // carrying fixed-point sums and materializing the double at render time).
+  // kInvalidArgument if the bucket bounds differ.
+  [[nodiscard]] Status Merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;
   std::vector<uint64_t> buckets_;  // bounds_.size() + 1, last = overflow

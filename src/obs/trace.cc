@@ -108,6 +108,11 @@ void TraceSink::Emit(TraceEvent event) {
   events_.push_back(std::move(event));
 }
 
+void TraceSink::ToMetrics(MetricRegistry& registry, const std::string& prefix) const {
+  registry.SetCounter(prefix + "trace.events", events_.size());
+  registry.SetCounter(prefix + "trace.dropped_events", dropped_);
+}
+
 std::string TraceEventToJson(const TraceEvent& event) {
   std::string out = "{\"t_us\": ";
   out += FormatU64(event.t_us);

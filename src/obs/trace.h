@@ -27,6 +27,8 @@
 
 namespace sos::obs {
 
+class MetricRegistry;
+
 // One discrete simulator event. `type` follows the metric naming scheme
 // (`layer.component.event`, e.g. "ftl.gc.victim"); `fields` render in
 // insertion order.
@@ -62,6 +64,14 @@ class TraceSink {
   const std::vector<TraceEvent>& events() const { return events_; }
   uint64_t dropped() const { return dropped_; }
   size_t capacity() const { return capacity_; }
+
+  // Registers the sink's own telemetry under `prefix`: `trace.events`
+  // (retained) and `trace.dropped_events` (lost to the keep-first cap).
+  // The dropped counter is exported unconditionally -- a zero row is how a
+  // reader can tell "nothing was dropped" from "nobody measured" (the
+  // "no silent caps" rule; fleet-scale runs cap per-device traces hard and
+  // still have to account for every event).
+  void ToMetrics(MetricRegistry& registry, const std::string& prefix = "") const;
 
   static constexpr size_t kDefaultCapacity = 65536;
 

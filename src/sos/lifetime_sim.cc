@@ -102,7 +102,8 @@ Ftl& FtlOf(SosDevice* sos_dev, BaselineDevice* baseline) {
   return sos_dev != nullptr ? sos_dev->ftl() : baseline->ftl();
 }
 
-LifetimeSim::LifetimeSim(const LifetimeSimConfig& config) : config_(config) {
+LifetimeSim::LifetimeSim(const LifetimeSimConfig& config)
+    : config_(config), trace_(config.trace_capacity) {
   // Build the device.
   NandConfig nand = config_.nand;
   switch (config_.kind) {
@@ -454,10 +455,12 @@ LifetimeResult LifetimeSim::Run() {
 
   // Capture the device-side telemetry into the portable result so exports
   // can happen on any thread after the simulator is gone.
-  obs::MetricRegistry device_registry;
-  ftl.ToMetrics(device_registry, "ftl.");
-  ftl.nand().ToMetrics(device_registry, "flash.die.");
-  result_.device_metrics_ = device_registry.Snapshot();
+  if (config_.capture_device_metrics) {
+    obs::MetricRegistry device_registry;
+    ftl.ToMetrics(device_registry, "ftl.");
+    ftl.nand().ToMetrics(device_registry, "flash.die.");
+    result_.device_metrics_ = device_registry.Snapshot();
+  }
   result_.trace_ = trace_.events();
   result_.trace_dropped_ = trace_.dropped();
   return result_;

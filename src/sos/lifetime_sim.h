@@ -96,6 +96,17 @@ struct LifetimeSimConfig {
   // Record a DaySample every this many days.
   uint32_t sample_period_days = 30;
 
+  // Capacity of the per-run trace buffer (keep-first / drop-newest; see
+  // obs/trace.h). Fleet runs shrink this to 0 so a million devices don't
+  // retain a million traces -- the dropped counter still accounts for every
+  // event that would have been recorded.
+  size_t trace_capacity = obs::TraceSink::kDefaultCapacity;
+
+  // Capture the per-device metric rows (ftl.*, flash.die.*) into the
+  // result. That is ~100 rows per run; the fleet runner turns this off and
+  // folds only the scalar outcomes into its ledger.
+  bool capture_device_metrics = true;
+
   LifetimeSimConfig() {
     nand.num_blocks = 256;
     nand.wordlines_per_block = 64;

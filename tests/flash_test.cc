@@ -278,6 +278,19 @@ TEST(NandDeviceTest, EraseResetsAndCountsPec) {
   EXPECT_TRUE(device.Program({0, 0}, Payload(16, 2)).ok());
 }
 
+TEST(NandDeviceTest, InitialPecPreAgesEveryBlock) {
+  SimClock clock;
+  NandConfig config = SmallConfig();
+  config.initial_pec = 150;  // a fleet device entering the sim mid-life
+  NandDevice device(config, &clock);
+  EXPECT_EQ(device.block_info(0).pec, 150u);
+  EXPECT_EQ(device.block_info(config.num_blocks - 1).pec, 150u);
+  // Erase counts on top of the pre-aging, not from zero.
+  ASSERT_TRUE(device.Program({0, 0}, Payload(16, 1)).ok());
+  ASSERT_TRUE(device.EraseBlock(0).ok());
+  EXPECT_EQ(device.block_info(0).pec, 151u);
+}
+
 TEST(NandDeviceTest, ModeChangeRules) {
   SimClock clock;
   NandDevice device(SmallConfig(), &clock);

@@ -130,6 +130,38 @@ TEST(TraceSinkTest, KeepsFirstEventsAndCountsDrops) {
   EXPECT_NE(jsonl.find("\"count\": 2"), std::string::npos);
 }
 
+TEST(TraceSinkTest, ToMetricsExportsEventAndDropCounters) {
+  TraceSink sink(1);
+  sink.Emit(TraceEvent{0, "kept"});
+  sink.Emit(TraceEvent{1, "dropped"});
+
+  MetricRegistry registry;
+  sink.ToMetrics(registry, "dev.");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].name, "dev.trace.events");
+  EXPECT_EQ(snapshot[0].counter, 1u);
+  EXPECT_EQ(snapshot[1].name, "dev.trace.dropped_events");
+  EXPECT_EQ(snapshot[1].counter, 1u);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndRejectsShapeMismatch) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  a.Observe(0.5);
+  b.Observe(1.5);
+  b.Observe(10.0);  // overflow
+  ASSERT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.buckets()[0], 1u);
+  EXPECT_EQ(a.buckets()[1], 1u);
+  EXPECT_EQ(a.buckets()[2], 1u);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+
+  Histogram mismatched({1.0, 3.0});
+  EXPECT_FALSE(a.Merge(mismatched).ok());
+}
+
 TEST(TraceEventTest, FieldsRenderInInsertionOrder) {
   TraceEvent event{123, "ftl.gc.victim"};
   event.With("pool", "SYS").WithU64("block", 7).WithF64("score", 0.5).WithI64("delta", -3);

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// fleetmerge: combine bench_fleet shard partials into the fleet aggregate.
+//
+//   fleetmerge [--metrics-out=FILE] [--report=0|1] PARTIAL...
+//
+// Reads every partial, validates that together they form a complete shard
+// cover of one population (same seed, device count, mix, shard count; every
+// shard exactly once), merges them, and prints the same report bench_fleet
+// prints for an unsharded run of the whole fleet -- byte-identical, by the
+// ledger's integer merge algebra (DESIGN.md §13). Exit codes: 0 ok, 2 bad
+// input (unreadable/malformed/incomplete partials), 1 output I/O failure.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fleet/partial.h"
+#include "src/fleet/report.h"
+#include "src/obs/metrics.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: fleetmerge [--metrics-out=FILE] [--report=0|1] PARTIAL...\n"
+    "  Merges bench_fleet --partial-out shard files into the fleet aggregate.\n"
+    "  --metrics-out=FILE  write merged fleet metrics JSON\n"
+    "  --report=0|1        print the fleet report (default 1)\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  bool report = true;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg == "--report=0") {
+      report = false;
+    } else if (arg == "--report=1") {
+      report = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "fleetmerge: unknown flag %s\n%s", arg.c_str(), kUsage);
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "fleetmerge: no partial files given\n%s", kUsage);
+    return 2;
+  }
+
+  std::vector<sos::fleet::FleetPartial> partials;
+  for (const std::string& path : inputs) {
+    sos::Result<sos::fleet::FleetPartial> partial = sos::fleet::ReadPartialFile(path);
+    if (!partial.ok()) {
+      std::fprintf(stderr, "fleetmerge: %s\n", partial.status().ToString().c_str());
+      return 2;
+    }
+    partials.push_back(std::move(partial.value()));
+  }
+  sos::Result<sos::fleet::FleetPartial> merged =
+      sos::fleet::MergePartials(std::move(partials));
+  if (!merged.ok()) {
+    std::fprintf(stderr, "fleetmerge: %s\n", merged.status().ToString().c_str());
+    return 2;
+  }
+
+  if (report) {
+    std::printf("%s", sos::fleet::FleetReport(merged.value()).c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (sos::Status s =
+            sos::obs::WriteFile(metrics_out, sos::fleet::FleetMetricsJson(merged.value()));
+        !s.ok()) {
+      std::fprintf(stderr, "fleetmerge: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

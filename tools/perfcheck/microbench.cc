@@ -171,6 +171,58 @@ uint64_t EccWorkload(uint32_t passes, uint64_t* ops) {
   return acc;
 }
 
+// Same decode grid as EccWorkload but a single preset per bench, so the
+// ROADMAP item-2 decode-path work has a per-preset baseline to move against
+// (the mixed bench hides which scheme a regression or win lands in).
+uint64_t EccPresetWorkload(EccPreset preset, uint64_t tag, uint64_t* ops) {
+  const EccScheme scheme = EccScheme::FromPreset(preset);
+  uint64_t acc = tag;
+  Rng rng(DeriveSeed({tag, 0x45434334ull}));
+  for (uint32_t i = 0; i < 10000; ++i) {
+    const uint64_t raw = rng.NextBounded(700);
+    const DecodeOutcome out = DecodePage(scheme, 4096, raw, DeriveSeed({tag, 0x45434335ull, i}));
+    acc = DeriveSeed({acc, out.corrected ? 1u : 0u, out.residual_errors, out.failed_codewords});
+    ++*ops;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Bit flips: sample an error count for a worn pseudo-QLC page, then flip
+// that many distinct bits of a 4 KiB payload. This is the payload-corruption
+// path NandDevice::Read pays on every stored-payload read; the distinct-bit
+// rejection set inside InjectErrors is the suspected hot spot. The payload
+// carries flips across iterations (InjectErrors is content-oblivious), so
+// timing measures only sample + inject; the checksum folds the final page.
+// ---------------------------------------------------------------------------
+
+uint64_t BitFlipWorkload(uint64_t* ops) {
+  constexpr uint64_t kPageBytes = 4096;
+  std::vector<uint8_t> page(kPageBytes);
+  for (uint64_t j = 0; j < kPageBytes; ++j) {
+    page[j] = static_cast<uint8_t>((j * 17u) & 0xffu);
+  }
+  const uint32_t endurance = GetCellTechInfo(CellTech::kQlc).rated_endurance_pec;
+  uint64_t acc = 0x464c4950ull;
+  for (uint32_t i = 0; i < 4000; ++i) {
+    PageErrorState state;
+    state.mode = CellTech::kQlc;
+    state.endurance_pec = static_cast<double>(endurance);
+    state.pec_at_program = (i * 97u) % (endurance + endurance / 2);
+    state.retention_years = 0.25 * static_cast<double>(i % 16);
+    state.reads_since_program = (i % 8) * 20000u;
+    const uint64_t seed = DeriveSeed({0x464c4951ull, i});
+    const uint64_t count = ErrorModel::SampleErrorCount(state, kPageBytes * 8, seed);
+    acc = DeriveSeed({acc, count, ErrorModel::InjectErrors(page, count, seed)});
+    ++*ops;
+  }
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over the accumulated corruption
+  for (uint8_t b : page) {
+    h = (h ^ b) * 1099511628211ull;
+  }
+  return DeriveSeed({acc, h});
+}
+
 // ---------------------------------------------------------------------------
 // NAND: program one block, read it back three times -- once through the
 // per-page loop, once through the batched run entry points. The two benches
@@ -390,6 +442,16 @@ std::vector<MicroBench> AllBenches() {
   benches.push_back(
       Repeated("gc_churn_batched", [](uint64_t* ops) { return GcChurnWorkload(true, ops); }));
   benches.push_back(Repeated("lifetime_ops", [](uint64_t* ops) { return LifetimeWorkload(ops); }));
+  // Appended after the PR-9 fleet work; keep new benches below this line so
+  // the golden entries above never reorder.
+  benches.push_back(Repeated("ecc_decode_ldpc", [](uint64_t* ops) {
+    return EccPresetWorkload(EccPreset::kLdpc, 0x4c445043ull, ops);
+  }));
+  benches.push_back(Repeated("ecc_decode_bch", [](uint64_t* ops) {
+    return EccPresetWorkload(EccPreset::kBch, 0x42434831ull, ops);
+  }));
+  benches.push_back(
+      Repeated("bit_flip_apply", [](uint64_t* ops) { return BitFlipWorkload(ops); }));
   return benches;
 }
 
