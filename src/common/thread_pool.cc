@@ -18,15 +18,21 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && workers_.empty()) {
+      return;  // already shut down
+    }
     stop_ = true;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
   }
+  workers_.clear();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -48,8 +48,17 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
+  // Stops accepting new work, runs every job already queued, and joins the
+  // workers. Idempotent; the destructor calls it. After Shutdown the pool is
+  // permanently stopped -- a later Submit fails (see below) instead of
+  // enqueueing work no worker will ever run.
+  void Shutdown();
+
   // Enqueues a callable; the returned future yields its result or rethrows
-  // the exception it threw.
+  // the exception it threw. Submitting to a stopped pool does not enqueue:
+  // the returned future reports std::future_error (broken_promise) from
+  // get() -- an error, never a deadlock (the shutdown-ordering contract
+  // tests/thread_pool_test.cc pins down).
   template <typename F>
   auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -57,6 +66,12 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) {
+        // Dropping `task` here abandons its shared state: the caller's
+        // future throws broken_promise instead of blocking forever on a
+        // job that will never run.
+        return future;
+      }
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -70,10 +85,12 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  // Guarded by mu_ (with cv_ for hand-off) -- the synchronization soslint R8
+  // expects around any queue shared with pool lambdas.
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ = false;  // guarded by mu_; sticky once set
 };
 
 // Runs fn(i) for every i in [begin, end) on the pool and blocks until all

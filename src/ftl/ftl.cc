@@ -585,6 +585,177 @@ Result<FtlReadResult> Ftl::Read(uint64_t lba) {
   return ReadInternal(lba, /*count_stats=*/true);
 }
 
+std::vector<Result<FtlReadResult>> Ftl::ReadRun(uint64_t start_lba, uint32_t count) {
+  std::vector<Result<FtlReadResult>> out;
+  out.reserve(count);
+  uint32_t i = 0;
+  while (i < count) {
+    const auto first = l2p_.Find(start_lba + i);
+    if (!first.has_value()) {
+      out.push_back(Status(StatusCode::kNotFound, "unmapped LBA"));
+      ++i;
+      continue;
+    }
+    // Extend the stretch while the next LBA maps to the next physical page
+    // of the same block -- the layout sequential batched writes produce.
+    std::vector<PhysLoc> locs{*first};
+    while (i + locs.size() < count) {
+      const auto next = l2p_.Find(start_lba + i + locs.size());
+      if (!next.has_value() || next->block != first->block ||
+          next->page != first->page + locs.size()) {
+        break;
+      }
+      locs.push_back(*next);
+    }
+    obs::ScopedLatency timer(clock_, &read_latency_);
+    auto raws = nand_.ReadRun(first->block, first->page, static_cast<uint32_t>(locs.size()));
+    for (size_t j = 0; j < locs.size(); ++j) {
+      Result<ReadResult> raw = std::move(raws[j]);
+      if (!raw.ok() && raw.status().code() == StatusCode::kUnavailable) {
+        // Same single deterministic retry as ReadInternal.
+        raw = nand_.Read({locs[j].block, locs[j].page});
+      }
+      if (!raw.ok()) {
+        out.push_back(raw.status());
+        continue;
+      }
+      out.push_back(DecodeRead(locs[j], std::move(raw.value()), /*count_stats=*/true));
+    }
+    i += static_cast<uint32_t>(locs.size());
+  }
+  return out;
+}
+
+Status Ftl::WriteRun(uint64_t start_lba, std::span<const std::vector<uint8_t>> pages,
+                     const WriteDirective& directive, uint64_t* written) {
+  *written = 0;
+  if (directive.pool_id >= pools_.size()) {
+    return Status(StatusCode::kInvalidArgument, "bad pool id");
+  }
+  if (directive.stream > 255) {
+    return Status(StatusCode::kInvalidArgument, "stream tag exceeds one byte");
+  }
+  for (const std::vector<uint8_t>& page : pages) {
+    if (page.size() > config_.nand.page_size_bytes) {
+      return Status(StatusCode::kInvalidArgument, "payload exceeds page size");
+    }
+  }
+  obs::ScopedLatency timer(clock_, &write_latency_);
+  Pool& pool = pools_[directive.pool_id];
+  int attempts = 0;  // consecutive no-progress iterations, as AppendPage's budget
+  while (*written < pages.size()) {
+    if (++attempts > 5) {
+      return Status(StatusCode::kOutOfSpace, "append retry budget exhausted");
+    }
+    ActiveSlot& slot = SlotFor(pool, /*cold=*/false, directive.stream);
+    if (!EnsureWritable(directive.pool_id, slot, /*allow_gc=*/true, directive.lifetime)) {
+      return Status(StatusCode::kOutOfSpace,
+                    "pool '" + pool.config.name + "' has no writable blocks");
+    }
+    const uint32_t bid = *slot.block;
+    uint32_t page = nand_.block_info(bid).next_page;
+    // Flush parity pages until the cursor rests on a data slot, exactly as
+    // AppendPage does (a stripe boundary may seal the block).
+    bool resealed = false;
+    Status parity_status = Status::Ok();
+    while (IsParitySlot(pool, page)) {
+      if (Status s = WriteParityPage(directive.pool_id, slot); !s.ok()) {
+        parity_status = s;
+        break;
+      }
+      if (!slot.block.has_value()) {
+        resealed = true;
+        break;
+      }
+      page = nand_.block_info(bid).next_page;
+    }
+    if (!parity_status.ok()) {
+      if (parity_status.code() == StatusCode::kPowerLost) {
+        return parity_status;  // device is dark; only RecoverFromFlash helps
+      }
+      if (parity_status.code() == StatusCode::kWornOut) {
+        if (Status s = DropBadBlock(directive.pool_id, bid); !s.ok()) {
+          return s;
+        }
+      }
+      continue;  // transient parity failure: retry
+    }
+    if (resealed) {
+      continue;  // block sealed by the parity flush; pick a new one
+    }
+    // The contiguous data-slot stretch from the cursor: up to the next
+    // parity slot or the end of the block, one ProgramRun.
+    uint32_t n = 0;
+    while (*written + n < pages.size() && page + n < PagesPerBlock(pool) &&
+           !IsParitySlot(pool, page + n)) {
+      ++n;
+    }
+    std::vector<PageOob> oobs(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      oobs[j].lba = start_lba + *written + j;
+      oobs[j].seq = write_seq_ + j;
+      oobs[j].pool = directive.pool_id;
+      oobs[j].flags = 0;  // fresh host data supersedes any corruption
+    }
+    const Status programmed = nand_.ProgramRun(bid, pages.subspan(*written, n), oobs);
+    // Pages that physically landed: the program cursor is the ground truth.
+    // A post-op power cut advances it for the torn page, which the serial
+    // path would not have acknowledged -- report that one unwritten.
+    uint32_t landed = nand_.block_info(bid).next_page - page;
+    if (!programmed.ok() && programmed.code() == StatusCode::kPowerLost && landed > 0) {
+      --landed;
+    }
+    for (uint32_t j = 0; j < landed; ++j) {
+      const uint64_t lba = start_lba + *written;
+      const uint32_t pg = page + j;
+      ++write_seq_;
+      P2lRow(bid)[pg] = lba;
+      page_stream_[static_cast<size_t>(bid) * page_stride_ + pg] =
+          static_cast<uint8_t>(directive.stream);
+      ++block_valid_[bid];
+      ++pool.valid_pages;
+      block_last_write_[bid] = clock_->now();
+      ++pool.stats.nand_writes_;
+      if (directive.stream != 0) {
+        ++StreamEntry(directive.stream).nand_writes;
+      }
+      if (pool.config.parity_stripe > 0 && config_.nand.store_payloads) {
+        const std::vector<uint8_t>& data = pages[*written];
+        for (size_t b = 0; b < data.size() && b < slot.stripe_xor.size(); ++b) {
+          slot.stripe_xor[b] = static_cast<uint8_t>(slot.stripe_xor[b] ^ data[b]);
+        }
+        ++slot.stripe_fill;
+      }
+      if (auto old = l2p_.Find(lba); old.has_value()) {
+        InvalidateLoc(*old);
+      }
+      l2p_.Set(lba, PhysLoc{directive.pool_id, bid, pg, /*tainted=*/false});
+      ++pool.stats.host_writes_;
+      if (directive.stream != 0) {
+        ++StreamEntry(directive.stream).host_writes;
+      }
+      ++*written;
+      attempts = 0;  // progress resets the retry budget
+    }
+    if (nand_.block_info(bid).next_page >= PagesPerBlock(pool)) {
+      block_sealed_[bid] = 1;
+      slot.block.reset();
+    }
+    if (!programmed.ok()) {
+      if (programmed.code() == StatusCode::kPowerLost) {
+        return programmed;
+      }
+      if (programmed.code() == StatusCode::kWornOut) {
+        if (Status s = DropBadBlock(directive.pool_id, bid); !s.ok()) {
+          return s;
+        }
+      }
+      continue;  // transient program failure: retry on a fresh append point
+    }
+  }
+  return Status::Ok();
+}
+
 Status Ftl::Trim(uint64_t lba) {
   const auto loc = l2p_.Find(lba);
   if (!loc.has_value()) {

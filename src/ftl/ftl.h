@@ -282,6 +282,33 @@ class Ftl {
   // Reads a logical page through the owning pool's ECC/parity path.
   [[nodiscard]] Result<FtlReadResult> Read(uint64_t lba);
 
+  // --- Batched host entry points (serve-layer coalescing, DESIGN.md §14) ---
+  //
+  // Op-schedule-equivalent to the serial loops they replace: per-page NAND
+  // semantics (clock advance, fault gating, error sampling, bookkeeping
+  // order) are exactly those of Read()/Write() issued in sequence -- only
+  // the number of device calls shrinks. The sim-latency histograms record
+  // one observation per physical run rather than one per page (the honest
+  // cost model for a queued batch); nothing on the historical single-page
+  // path changes, so all pre-existing goldens stay byte-identical.
+
+  // Reads `count` consecutive LBAs; result i is start_lba + i. Physically
+  // contiguous mappings are fetched with one NandDevice::ReadRun per
+  // stretch; unmapped LBAs yield kNotFound in their slot.
+  [[nodiscard]] std::vector<Result<FtlReadResult>> ReadRun(uint64_t start_lba, uint32_t count);
+
+  // Writes pages[i] at start_lba + i under `directive`, filling each
+  // contiguous free data-slot stretch of the active block with one
+  // NandDevice::ProgramRun. Mappings commit page by page exactly as the
+  // serial loop would; on error `*written` tells how many leading pages
+  // were acknowledged (their mappings installed) and the status describes
+  // the first failure. After a mid-run power cut the final physically
+  // landed page is conservatively reported unacknowledged (the torn-write
+  // window): recovery may surface either version, which is the same
+  // contract the serial path gives an interrupted caller.
+  [[nodiscard]] Status WriteRun(uint64_t start_lba, std::span<const std::vector<uint8_t>> pages,
+                                const WriteDirective& directive, uint64_t* written);
+
   // Invalidates a logical page.
   [[nodiscard]] Status Trim(uint64_t lba);
 

@@ -1,0 +1,137 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+//
+// BoundedQueue<T>: the blocking MPMC channel of the serve layer's
+// submission/completion pipeline (DESIGN.md §14).
+//
+// Internally synchronized -- one mutex, two condition variables -- which is
+// what makes handing one to a thread-pool lambda the *sanctioned* R8 idiom:
+// soslint's cross-TU index records every class with a mutex/cv/atomic member
+// as a synchronized type and exempts mutating calls through its instances
+// (`pool.Submit([&completions] { completions.Push(...); })`). The queue, not
+// the caller, owns the synchronization.
+//
+// Shutdown contract (mirrors ThreadPool's): Shutdown() wakes every waiter;
+// pushes after Shutdown fail with kFailedPrecondition; pops drain whatever is
+// already queued and then return nullopt. Nothing blocks forever across a
+// shutdown -- the ordering regression tests pin this down.
+
+#ifndef SOS_SRC_SERVE_BOUNDED_QUEUE_H_
+#define SOS_SRC_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace sos::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Fails with kFailedPrecondition once the
+  // queue is closed (also when the close lands while blocked).
+  [[nodiscard]] Status Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        return Status(StatusCode::kFailedPrecondition, "queue is closed");
+      }
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return Status::Ok();
+  }
+
+  // Non-blocking push: kUnavailable when full, kFailedPrecondition when
+  // closed.
+  [[nodiscard]] Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status(StatusCode::kFailedPrecondition, "queue is closed");
+      }
+      if (items_.size() >= capacity_) {
+        return Status(StatusCode::kUnavailable, "queue is full");
+      }
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return Status::Ok();
+  }
+
+  // Blocks until an item is available or the queue is closed *and* drained;
+  // nullopt only in the latter case.
+  std::optional<T> Pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      item_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) {
+        return std::nullopt;  // closed and drained
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return out;
+  }
+
+  // Non-blocking pop; nullopt when nothing is queued right now.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return out;
+  }
+
+  // Sticky: wakes every blocked producer and consumer.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   // signaled on push/close
+  std::condition_variable space_cv_;  // signaled on pop/close
+  std::deque<T> items_;               // guarded by mu_
+  bool closed_ = false;               // guarded by mu_; sticky
+};
+
+}  // namespace sos::serve
+
+#endif  // SOS_SRC_SERVE_BOUNDED_QUEUE_H_

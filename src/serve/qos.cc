@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/serve/qos.h"
+
+#include <utility>
+
+namespace sos::serve {
+
+QosScheduler::QosScheduler(bool qos_enabled, const QosWeights& weights)
+    : qos_enabled_(qos_enabled), weights_(weights) {
+  for (uint32_t c = 0; c < kNumQosClasses; ++c) {
+    credit_[c] = weights_.of(static_cast<QosClass>(c));
+  }
+}
+
+bool QosScheduler::HasRoom(QosClass cls, size_t depth) const {
+  const size_t cap = (cls == QosClass::kSysRead || cls == QosClass::kSysWrite)
+                         ? depth
+                         : (depth / 2 == 0 ? 1 : depth / 2);
+  return queues_[static_cast<uint32_t>(cls)].size() < cap;
+}
+
+void QosScheduler::Enqueue(Pending pending) {
+  queues_[static_cast<uint32_t>(pending.cls)].push_back(std::move(pending));
+  ++size_;
+}
+
+std::optional<Pending> QosScheduler::Next() {
+  if (size_ == 0) {
+    return std::nullopt;
+  }
+  if (!qos_enabled_) {
+    // Global FIFO: the head with the smallest admission seq across classes.
+    uint32_t best = kNumQosClasses;
+    for (uint32_t c = 0; c < kNumQosClasses; ++c) {
+      if (queues_[c].empty()) {
+        continue;
+      }
+      if (best == kNumQosClasses || queues_[c].front().seq < queues_[best].front().seq) {
+        best = c;
+      }
+    }
+    Pending out = std::move(queues_[best].front());
+    queues_[best].pop_front();
+    --size_;
+    return out;
+  }
+  // Weighted round-robin: highest-priority backlogged class with credit; a
+  // cycle ends when every backlogged class has spent its credit.
+  for (;;) {
+    for (uint32_t c = 0; c < kNumQosClasses; ++c) {
+      if (queues_[c].empty() || credit_[c] == 0) {
+        continue;
+      }
+      --credit_[c];
+      Pending out = std::move(queues_[c].front());
+      queues_[c].pop_front();
+      --size_;
+      return out;
+    }
+    for (uint32_t c = 0; c < kNumQosClasses; ++c) {
+      credit_[c] = weights_.of(static_cast<QosClass>(c));
+    }
+  }
+}
+
+std::optional<Pending> QosScheduler::TakeAdjacent(QosClass cls, ServeOp op, uint64_t lba,
+                                                  PlacementHandle handle, uint32_t window) {
+  std::deque<Pending>& queue = queues_[static_cast<uint32_t>(cls)];
+  const size_t limit = window < queue.size() ? window : queue.size();
+  for (size_t i = 0; i < limit; ++i) {
+    Pending& cand = queue[i];
+    if (cand.req.op == op && cand.req.lba == lba && cand.req.handle == handle) {
+      Pending out = std::move(cand);
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      --size_;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sos::serve

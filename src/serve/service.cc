@@ -1,0 +1,342 @@
+// Copyright (c) 2026 The SOS Authors. MIT License.
+
+#include "src/serve/service.h"
+
+#include <utility>
+
+namespace sos::serve {
+
+AsyncBlockService::AsyncBlockService(SosDevice* device, SimClock* clock,
+                                     const ServeConfig& config)
+    : device_(device),
+      clock_(clock),
+      config_(config),
+      scheduler_(config.qos, config.weights),
+      sim_now_us_(clock->now()) {
+  if (config_.workers > 0) {
+    completions_ = std::make_unique<BoundedQueue<Completion>>(config_.submission_depth);
+    completion_thread_ = std::thread([this] { CompletionLoop(); });
+    pool_ = std::make_unique<ThreadPool>(config_.workers);
+    worker_futures_.reserve(config_.workers);
+    for (size_t i = 0; i < config_.workers; ++i) {
+      worker_futures_.push_back(pool_->Submit([this] { WorkerLoop(); }));
+    }
+  }
+}
+
+AsyncBlockService::~AsyncBlockService() { Shutdown(); }
+
+Result<PlacementHandle> AsyncBlockService::OpenPlacement(const PlacementSpec& spec) {
+  std::lock_guard<std::mutex> gate(device_mu_);
+  auto opened = device_->OpenPlacement(spec);
+  if (opened.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handle_specs_[opened.value().id()] = spec;
+  }
+  return opened;
+}
+
+Status AsyncBlockService::ClosePlacement(PlacementHandle handle) {
+  std::lock_guard<std::mutex> gate(device_mu_);
+  Status closed = device_->ClosePlacement(handle);
+  if (closed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    handle_specs_.erase(handle.id());
+  }
+  return closed;
+}
+
+QosClass AsyncBlockService::Classify(const ServeRequest& req) const {
+  switch (req.op) {
+    case ServeOp::kFlush:
+      return QosClass::kMaintenance;
+    case ServeOp::kTrim:
+      return QosClass::kBulk;
+    case ServeOp::kDescribePlacement:
+      return QosClass::kSysRead;
+    case ServeOp::kRead:
+    case ServeOp::kWrite:
+      break;
+  }
+  // Reads carry the handle as a durability hint; writes place under it. A
+  // handle this service did not broker (or an invalid one) defaults to bulk
+  // -- the device will report the lifecycle error on the write path.
+  auto it = handle_specs_.find(req.handle.id());
+  const bool critical = it != handle_specs_.end() && it->second.durability == Durability::kCritical;
+  if (!critical) {
+    return QosClass::kBulk;
+  }
+  return req.op == ServeOp::kRead ? QosClass::kSysRead : QosClass::kSysWrite;
+}
+
+std::future<ServeResponse> AsyncBlockService::Submit(ServeRequest req) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+
+  Pending pending;
+  pending.req = std::move(req);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  pending.cls = Classify(pending.req);
+  if (config_.workers == 0) {
+    // Pump mode is single-caller: blocking on space would deadlock, so make
+    // room by dispatching inline instead.
+    while (!stopping_ && !scheduler_.HasRoom(pending.cls, config_.submission_depth)) {
+      lock.unlock();
+      RunPending(1);
+      lock.lock();
+    }
+  } else {
+    space_cv_.wait(lock, [&] {
+      return stopping_ || scheduler_.HasRoom(pending.cls, config_.submission_depth);
+    });
+  }
+  if (stopping_) {
+    ++stats_.rejected;
+    lock.unlock();
+    ServeResponse resp;
+    resp.status = Status(StatusCode::kUnavailable, "service is shutting down");
+    resp.cls = pending.cls;
+    promise.set_value(std::move(resp));
+    return future;
+  }
+  pending.seq = seq_++;
+  pending.submit_sim_us = sim_now_us_.load(std::memory_order_relaxed);
+  pending.promise = std::move(promise);
+  ++stats_.submitted;
+  scheduler_.Enqueue(std::move(pending));
+  lock.unlock();
+  work_cv_.notify_one();
+  return future;
+}
+
+bool AsyncBlockService::PopBatchLocked(Batch* batch) {
+  std::optional<Pending> first = scheduler_.Next();
+  if (!first.has_value()) {
+    return false;
+  }
+  const QosClass cls = first->cls;
+  const ServeOp op = first->req.op;
+  const uint64_t start_lba = first->req.lba;
+  const PlacementHandle handle = first->req.handle;
+  batch->reqs.push_back(std::move(*first));
+  if (config_.coalesce && (op == ServeOp::kRead || op == ServeOp::kWrite)) {
+    while (batch->reqs.size() < config_.max_coalesce) {
+      std::optional<Pending> next = scheduler_.TakeAdjacent(
+          cls, op, start_lba + batch->reqs.size(), handle, config_.coalesce_window);
+      if (!next.has_value()) {
+        break;
+      }
+      batch->reqs.push_back(std::move(*next));
+    }
+  }
+  return true;
+}
+
+void AsyncBlockService::ExecuteBatch(Batch batch) {
+  const size_t n = batch.reqs.size();
+  std::vector<ServeResponse> resps(n);
+
+  std::unique_lock<std::mutex> gate(device_mu_);
+  const ServeOp op = batch.reqs.front().req.op;
+  if (op == ServeOp::kRead && n > 1) {
+    auto results = device_->ReadBatch(batch.reqs.front().req.lba, static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      if (results[i].ok()) {
+        resps[i].data = std::move(results[i].value().data);
+        resps[i].degraded = results[i].value().degraded;
+      } else {
+        resps[i].status = results[i].status();
+      }
+    }
+  } else if (op == ServeOp::kWrite && n > 1) {
+    std::vector<std::vector<uint8_t>> pages;
+    pages.reserve(n);
+    for (Pending& p : batch.reqs) {
+      pages.push_back(std::move(p.req.data));
+    }
+    std::vector<Status> statuses =
+        device_->WriteBatch(batch.reqs.front().req.lba, pages, batch.reqs.front().req.handle);
+    for (size_t i = 0; i < n; ++i) {
+      resps[i].status = statuses[i];
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      Pending& p = batch.reqs[i];
+      switch (p.req.op) {
+        case ServeOp::kRead: {
+          auto result = device_->Read(p.req.lba);
+          if (result.ok()) {
+            resps[i].data = std::move(result.value().data);
+            resps[i].degraded = result.value().degraded;
+          } else {
+            resps[i].status = result.status();
+          }
+          break;
+        }
+        case ServeOp::kWrite:
+          resps[i].status = device_->Write(p.req.lba, p.req.data, p.req.handle);
+          break;
+        case ServeOp::kTrim:
+          resps[i].status = device_->Trim(p.req.lba);
+          break;
+        case ServeOp::kFlush: {
+          if (device_->staging_enabled()) {
+            auto flushed = device_->FlushStage();
+            if (!flushed.ok()) {
+              resps[i].status = flushed.status();
+            }
+          }
+          device_->ftl().BackgroundCollect();
+          break;
+        }
+        case ServeOp::kDescribePlacement: {
+          auto described = device_->DescribePlacement(p.req.handle);
+          if (described.ok()) {
+            resps[i].spec = described.value();
+          } else {
+            resps[i].status = described.status();
+          }
+          break;
+        }
+      }
+    }
+  }
+  const uint64_t now = clock_->now();
+  sim_now_us_.store(now, std::memory_order_relaxed);
+  gate.unlock();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.coalesced += n - 1;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    Completion completion;
+    Pending& p = batch.reqs[i];
+    completion.promise = std::move(p.promise);
+    completion.resp = std::move(resps[i]);
+    completion.resp.cls = p.cls;
+    completion.resp.submit_sim_us = p.submit_sim_us;
+    completion.resp.complete_sim_us = now;
+    if (completions_ != nullptr) {
+      // The R8-sanctioned hand-off: the queue is internally synchronized;
+      // the drain thread resolves the future. Push only fails after Shutdown,
+      // which Shutdown orders strictly after every worker has exited.
+      if (completions_->Push(std::move(completion)).ok()) {
+        continue;
+      }
+    }
+    DeliverCompletion(std::move(completion));
+  }
+}
+
+void AsyncBlockService::DeliverCompletion(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t c = static_cast<uint32_t>(completion.resp.cls);
+    ++stats_.completed;
+    ++stats_.per_class[c].completed;
+    if (!completion.resp.status.ok()) {
+      ++stats_.per_class[c].errors;
+    }
+    latency_us_[c].Add(
+        static_cast<double>(completion.resp.complete_sim_us - completion.resp.submit_sim_us));
+  }
+  idle_cv_.notify_all();
+  completion.promise.set_value(std::move(completion.resp));
+}
+
+void AsyncBlockService::WorkerLoop() {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !scheduler_.empty(); });
+      if (!PopBatchLocked(&batch)) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+    }
+    space_cv_.notify_all();
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void AsyncBlockService::CompletionLoop() {
+  while (std::optional<Completion> completion = completions_->Pop()) {
+    DeliverCompletion(std::move(*completion));
+  }
+}
+
+size_t AsyncBlockService::RunPending(size_t max_batches) {
+  if (config_.workers != 0) {
+    return 0;  // async mode dispatches itself
+  }
+  size_t completed = 0;
+  for (size_t b = 0; b < max_batches; ++b) {
+    Batch batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!PopBatchLocked(&batch)) {
+        break;
+      }
+    }
+    completed += batch.reqs.size();
+    ExecuteBatch(std::move(batch));
+  }
+  return completed;
+}
+
+void AsyncBlockService::Drain() {
+  if (config_.workers == 0) {
+    RunPending();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return stats_.completed >= stats_.submitted; });
+}
+
+void AsyncBlockService::Shutdown() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  if (config_.workers > 0) {
+    for (std::future<void>& worker : worker_futures_) {
+      worker.get();
+    }
+    pool_->Shutdown();
+    completions_->Shutdown();
+    completion_thread_.join();
+  }
+}
+
+ServeStats AsyncBlockService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+LatencySummary AsyncBlockService::Latency(QosClass cls) const {
+  Percentiles samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples = latency_us_[static_cast<uint32_t>(cls)];
+  }
+  LatencySummary summary;
+  summary.count = samples.count();
+  summary.p50 = samples.Get(50);
+  summary.p99 = samples.Get(99);
+  summary.p999 = samples.Get(99.9);
+  return summary;
+}
+
+}  // namespace sos::serve

@@ -95,5 +95,69 @@ TEST(FlagSetEnumTest, ComposesWithOtherFlagKinds) {
             StatusCode::kInvalidArgument);
 }
 
+// --- Declaration-time misuse (bench bugs, not user errors) ------------------
+//
+// FlagSet's contract is that a malformed *declaration* aborts the process at
+// startup: a bench that registers the same flag twice, or an enum whose
+// default cannot be a member of its choice set, should never get as far as
+// parsing user input. These are death tests so the abort path itself stays
+// covered.
+
+using FlagSetDeathTest = ::testing::Test;
+
+TEST(FlagSetDeathTest, DuplicateDeclarationAborts) {
+  EXPECT_DEATH(
+      {
+        FlagSet flags("t", "");
+        (void)flags.Size("jobs", 1, "workers");
+        (void)flags.U64("jobs", 2, "same name, different kind");
+      },
+      "duplicate flag --jobs");
+}
+
+TEST(FlagSetDeathTest, EnumWithEmptyChoiceSetAborts) {
+  // An empty choice set can never contain the default, so the declaration is
+  // unsatisfiable -- caught before any argv is looked at.
+  EXPECT_DEATH(
+      {
+        FlagSet flags("t", "");
+        (void)flags.Enum("placement", "legacy", {}, "arm");
+      },
+      "default 'legacy' for --placement is not one of its choices");
+}
+
+TEST(FlagSetDeathTest, EnumDefaultOutsideChoicesAborts) {
+  EXPECT_DEATH(
+      {
+        FlagSet flags("t", "");
+        (void)flags.Enum("placement", "adaptive", {"legacy", "static"}, "arm");
+      },
+      "default 'adaptive' for --placement is not one of its choices");
+}
+
+// --- StringList negative paths ----------------------------------------------
+
+TEST(FlagSetListTest, EmptyElementsAreRejectedInBothSyntaxes) {
+  FlagSet flags("t", "");
+  std::vector<std::string>* faults = flags.StringList("fault", "fault spec");
+  EXPECT_EQ(ParseArgs(flags, {"--fault="}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseArgs(flags, {"--fault", ""}).code(), StatusCode::kInvalidArgument);
+  // A good element before the bad one does not make the parse succeed, and
+  // the error names the flag.
+  const Status s = ParseArgs(flags, {"--fault=power_cut@100", "--fault="});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("--fault"), std::string::npos) << s.ToString();
+  (void)faults;
+}
+
+TEST(FlagSetListTest, RepeatedOccurrencesAppendInOrder) {
+  FlagSet flags("t", "");
+  std::vector<std::string>* faults = flags.StringList("fault", "fault spec");
+  ASSERT_TRUE(ParseArgs(flags, {"--fault=power_cut@100", "--fault", "die_fail@2,d3"}).ok());
+  ASSERT_EQ(faults->size(), 2u);
+  EXPECT_EQ((*faults)[0], "power_cut@100");
+  EXPECT_EQ((*faults)[1], "die_fail@2,d3");
+}
+
 }  // namespace
 }  // namespace sos

@@ -531,6 +531,64 @@ TEST(SoslintR8Test, DefaultRefCaptureWritingOutsideNameIsFlagged) {
   EXPECT_EQ(CountRule(diags, "R8"), 1);
 }
 
+TEST(SoslintR8Test, BareQueuePushFromPoolLambdaIsFlagged) {
+  // Positive seed for the queue verbs: Push on a plain struct (no mutex
+  // member anywhere in the tree) from a Submit lambda is a data race.
+  const auto diags = Lint("bench/x.cc", R"cc(
+    struct PlainQueue {
+      std::deque<int> items;
+      void Push(int v);
+    };
+    void F(ThreadPool& pool, PlainQueue& results) {
+      pool.Submit([&results] { results.Push(1); });
+    }
+  )cc");
+  ASSERT_EQ(CountRule(diags, "R8"), 1);
+  EXPECT_NE(FirstOf(diags, "R8").message.find("results"), std::string::npos);
+}
+
+TEST(SoslintR8Test, SynchronizedQueueHandoffIsExempt) {
+  // Negative seed: the completion-queue hand-off idiom. BoundedQueue carries
+  // its own mutex, so a Push through it from a pool lambda is the sanctioned
+  // cross-thread channel -- no diagnostic, even though the lambda body holds
+  // no lock of its own.
+  const auto diags = Lint("src/serve/x.cc", R"cc(
+    class BoundedQueue {
+     public:
+      void Push(int v);
+     private:
+      std::mutex mu_;
+      std::condition_variable cv_;
+    };
+    void F(ThreadPool& pool, BoundedQueue& completions) {
+      pool.Submit([&completions] { completions.Push(1); });
+    }
+  )cc");
+  EXPECT_EQ(CountRule(diags, "R8"), 0);
+}
+
+TEST(SoslintR8Test, SynchronizedTypeResolvesAcrossTranslationUnits) {
+  // The class and its instance live in different files: the exemption rides
+  // on the cross-TU symbol index, not on same-file text.
+  const std::vector<lint::SourceFile> files = {
+      {"src/serve/bounded_queue.h", R"cc(
+        class CompletionQueue {
+         public:
+          void Push(int v);
+         private:
+          std::mutex mu_;
+        };
+      )cc"},
+      {"src/serve/service.cc", R"cc(
+        void Pump(ThreadPool& pool, CompletionQueue& done) {
+          pool.Submit([&done] { done.Push(2); });
+        }
+      )cc"},
+  };
+  const auto diags = lint::LintTree(files);
+  EXPECT_EQ(CountRule(diags, "R8"), 0);
+}
+
 TEST(SoslintR8Test, AllowCommentSuppresses) {
   const auto diags = Lint("bench/x.cc", R"cc(
     void Sum(ThreadPool& pool) {

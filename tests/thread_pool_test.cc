@@ -55,6 +55,33 @@ TEST(ThreadPoolTest, SubmitPropagatesException) {
   EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
 }
 
+// Shutdown ordering regression: submitting to a pool that has been shut down
+// must fail loudly (broken_promise) instead of deadlocking on a future whose
+// job no worker will ever run. Shutdown itself must be idempotent and still
+// run everything queued before it.
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsErrorNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    (void)pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 16);  // queued work drained before the join
+  EXPECT_EQ(pool.size(), 0u);
+
+  std::future<int> late = pool.Submit([] { return 3; });
+  ASSERT_TRUE(late.valid());
+  try {
+    (void)late.get();  // must throw, not block
+    FAIL() << "expected broken_promise from a post-shutdown Submit";
+  } catch (const std::future_error& e) {
+    EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+  }
+
+  pool.Shutdown();  // idempotent
+  EXPECT_EQ(pool.size(), 0u);
+}
+
 TEST(ParallelForTest, EmptyRangeIsANoop) {
   ThreadPool pool(2);
   std::atomic<int> calls{0};

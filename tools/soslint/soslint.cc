@@ -748,6 +748,11 @@ const std::unordered_set<std::string>& MutatingMethods() {
       "push_back", "emplace_back", "insert", "emplace", "erase",  "clear",
       "resize",    "append",       "assign", "Add",     "Set",    "Observe",
       "Record",    "Append",       "Increment",
+      // Queue verbs: a bare struct's Push/Pop from a pool lambda is exactly
+      // the race R8 exists for. Writes through an identifier of an
+      // internally synchronized type (see SymbolIndex::sync_idents) are
+      // exempted at the check site instead.
+      "Push", "Pop", "TryPush", "TryPop", "Enqueue", "Dequeue",
   };
   return kMethods;
 }
@@ -767,7 +772,7 @@ bool IsAssignOp(const std::string& t) {
 }
 
 void CheckThreadPoolCaptures(const SourceFile& file, const std::vector<Token>& tokens,
-                             std::vector<Diagnostic>* diags) {
+                             const SymbolIndex& index, std::vector<Diagnostic>* diags) {
   for (size_t i = 0; i + 1 < tokens.size(); ++i) {
     if (tokens[i].kind != TokKind::kIdent || !IsPoolEntryPoint(tokens[i].text) ||
         tokens[i + 1].text != "(") {
@@ -873,7 +878,11 @@ void CheckThreadPoolCaptures(const SourceFile& file, const std::vector<Token>& t
                    tokens[k + 2].kind == TokKind::kIdent &&
                    MutatingMethods().count(tokens[k + 2].text) > 0 &&
                    tokens[k + 3].text == "(") {
-          write = true;
+          // The completion-queue hand-off idiom: a mutating call through an
+          // identifier declared (anywhere in the tree) with an internally
+          // synchronized type -- a class carrying its own mutex/cv/atomic --
+          // is the sanctioned cross-thread channel, not a race.
+          write = index.sync_idents.count(name) == 0;
         }
         if (write && !slot_write && default_ref && ref_captures.count(name) == 0) {
           // Under [&] we cannot see the capture set; only treat the name as
@@ -1335,6 +1344,60 @@ SymbolIndex BuildIndex(const std::vector<SourceFile>& files) {
         }
         continue;
       }
+      // --- internally synchronized class types (R8) ---
+      if (t == "class" || t == "struct") {
+        // Skip `template <class T>` parameters and `enum class`.
+        if (i > 0 && (tokens[i - 1].text == "<" || tokens[i - 1].text == "," ||
+                      tokens[i - 1].text == "enum")) {
+          continue;
+        }
+        if (i + 1 >= tokens.size() || tokens[i + 1].kind != TokKind::kIdent) {
+          continue;
+        }
+        const std::string& name = tokens[i + 1].text;
+        size_t j = i + 2;  // scan past `final` / base clause to the body
+        while (j < tokens.size() && tokens[j].text != "{" && tokens[j].text != ";") {
+          ++j;
+        }
+        if (j >= tokens.size() || tokens[j].text != "{") {
+          continue;  // forward declaration
+        }
+        const size_t close = MatchingClose(tokens, j);
+        for (size_t m = j + 1; m < close && m < tokens.size(); ++m) {
+          if (tokens[m].kind == TokKind::kIdent &&
+              (tokens[m].text == "mutex" || tokens[m].text == "condition_variable" ||
+               tokens[m].text == "atomic" || tokens[m].text == "Mutex")) {
+            index.synchronized_types.insert(name);
+            break;
+          }
+        }
+        continue;
+      }
+    }
+  }
+  // Second sub-pass: now that every synchronized type is known, collect the
+  // identifiers declared with one anywhere in the tree (members, locals,
+  // parameters). Cross-TU on purpose: the queue class lives in src/serve,
+  // its instances in whoever hands work to a pool.
+  if (!index.synchronized_types.empty()) {
+    for (const SourceFile& file : files) {
+      const Lexed lexed = Lex(file.content);
+      const std::vector<Token>& tokens = lexed.tokens;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokKind::kIdent ||
+            index.synchronized_types.count(tokens[i].text) == 0) {
+          continue;
+        }
+        size_t j = SkipTemplateArgs(tokens, i);
+        while (j < tokens.size() && tokens[j].kind == TokKind::kPunct &&
+               kDeclQualifiers.count(tokens[j].text) > 0) {
+          ++j;
+        }
+        if (j < tokens.size() && tokens[j].kind == TokKind::kIdent &&
+            tokens[j].text.size() >= 2) {
+          index.sync_idents.insert(tokens[j].text);
+        }
+      }
     }
   }
   return index;
@@ -1353,7 +1416,7 @@ std::vector<Diagnostic> LintFile(const SourceFile& file, const SymbolIndex& inde
   CheckAssertSideEffects(file, lexed.tokens, &raw);
   CheckSwallowedRecoveryStatus(file, lexed.tokens, &raw);
   CheckStatusFlow(file, lexed.tokens, scope_close, index, &raw);
-  CheckThreadPoolCaptures(file, lexed.tokens, &raw);
+  CheckThreadPoolCaptures(file, lexed.tokens, index, &raw);
   CheckFloatFormatting(file, lexed.tokens, index, &raw);
   CheckUnitHygiene(file, lexed.tokens, &raw);
 

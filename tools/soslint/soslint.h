@@ -50,6 +50,11 @@
 //       indexed by a lambda parameter, the ParallelMap contract), hold a
 //       lock / use atomics in the body, or carry soslint:allow(R8). This
 //       covers the bench drivers and one-shot tools TSan never runs.
+//       Exemption: mutating calls through an identifier declared (anywhere
+//       in the tree) with an internally synchronized type -- a class whose
+//       body holds a std::mutex / condition_variable / atomic member, e.g.
+//       serve::BoundedQueue -- are the sanctioned completion-queue hand-off
+//       idiom and are not flagged.
 //   R9  Golden-output float stability. Doubles reaching textual output must
 //       go through fixed-precision formatting (snprintf/%.*f or the project
 //       formatters FormatDouble/FormatPercent/FormatBytes/FormatJsonDouble)
@@ -126,6 +131,16 @@ struct SymbolIndex {
   // Names (variables, members, and functions) declared anywhere with type
   // double/float (R9). Single-character names are skipped as noise.
   std::set<std::string> double_idents;
+  // Class/struct names whose body declares a std::mutex /
+  // condition_variable / atomic member -- internally synchronized types
+  // (R8). Built in a first sub-pass so the second can resolve variables.
+  std::set<std::string> synchronized_types;
+  // Names of variables/members declared anywhere with a synchronized type.
+  // R8 exempts mutating calls through these: the completion-queue hand-off
+  // idiom (`pool.Submit([&cq] { cq.Push(...); })`) is safe exactly because
+  // the queue locks internally -- the synchronization the rule wants is
+  // inside the callee, not at the call site.
+  std::set<std::string> sync_idents;
 };
 
 SymbolIndex BuildIndex(const std::vector<SourceFile>& files);
